@@ -1,0 +1,170 @@
+(* Command-line interface to the Palladium reproduction: run the
+   individual experiments with custom parameters.
+
+       dune exec bin/palladium_cli.exe -- <command> [options]
+
+   (The full paper-table regeneration lives in bench/main.exe.) *)
+
+open Cmdliner
+
+let mhz = float_of_int Cycles.mhz
+
+(* --- call: measure a protected null call ----------------------------- *)
+
+let run_call iterations =
+  let w = Palladium.boot () in
+  let app = Palladium.create_app w ~name:"cli" in
+  let ext = User_ext.seg_dlopen app Ulib.null_image in
+  let prepare = User_ext.seg_dlsym app ext "null_fn" in
+  ignore (User_ext.call app ~prepare ~arg:0);
+  let samples =
+    List.init iterations (fun _ ->
+        match User_ext.call app ~prepare ~arg:0 with
+        | Ok (_, cycles) -> float_of_int cycles
+        | Error e -> Fmt.failwith "%a" User_ext.pp_call_error e)
+  in
+  Printf.printf
+    "protected null call: mean %.1f cycles (%.3f usec), stddev %.2f, %d runs\n"
+    (Stats.mean samples)
+    (Stats.mean samples /. mhz)
+    (Stats.stddev samples) iterations
+
+let call_cmd =
+  let iterations =
+    Arg.(value & opt int 100 & info [ "n"; "iterations" ] ~doc:"Number of runs.")
+  in
+  Cmd.v
+    (Cmd.info "call" ~doc:"Measure the protected procedure call cost (Table 1).")
+    Term.(const run_call $ iterations)
+
+(* --- filter: packet filtering sweep ----------------------------------- *)
+
+let run_filter terms count match_percent =
+  if terms < 0 || terms > 6 then (
+    prerr_endline "palladium: --terms must be between 0 and 6";
+    exit 2);
+  if count <= 0 then (
+    prerr_endline "palladium: --count must be positive";
+    exit 2);
+  let w = Palladium.boot () in
+  let kernel = Palladium.kernel w in
+  let task = Kernel.create_task kernel ~name:"netd" in
+  let filter = Filter_expr.canonical terms in
+  Fmt.pr "filter: %a\n" Filter_expr.pp filter;
+  let interp = Bpf_asm_interp.load kernel in
+  Bpf_asm_interp.set_program interp (Filter_expr.to_bpf_tcpdump filter);
+  let seg = Palladium.create_kernel_segment w in
+  let native = Native_compile.load seg filter in
+  let gen = Pkt_gen.create () in
+  let bpf_total = ref 0 and nat_total = ref 0 and matches = ref 0 in
+  List.iter
+    (fun pkt ->
+      let bytes = Packet.to_bytes pkt in
+      Bpf_asm_interp.set_packet interp bytes;
+      let v, c = Bpf_asm_interp.run interp task in
+      bpf_total := !bpf_total + c;
+      if v <> 0 then incr matches;
+      match Native_compile.run native task ~packet:bytes with
+      | Ok (_, c) -> nat_total := !nat_total + c
+      | Error e -> Fmt.failwith "%a" Kernel_ext.pp_invoke_error e)
+    (Pkt_gen.stream gen ~count ~match_percent);
+  Printf.printf
+    "%d packets (%d matched): BPF %.1f cycles/pkt, compiled extension %.1f cycles/pkt (%.2fx)\n"
+    count !matches
+    (float_of_int !bpf_total /. float_of_int count)
+    (float_of_int !nat_total /. float_of_int count)
+    (float_of_int !bpf_total /. float_of_int !nat_total)
+
+let filter_cmd =
+  let terms =
+    Arg.(value & opt int 4 & info [ "t"; "terms" ] ~doc:"Conjunction terms (0-6).")
+  in
+  let count =
+    Arg.(value & opt int 100 & info [ "c"; "count" ] ~doc:"Packets to filter.")
+  in
+  let pct =
+    Arg.(value & opt int 25 & info [ "m"; "match" ] ~doc:"Matching packet percentage.")
+  in
+  Cmd.v
+    (Cmd.info "filter" ~doc:"Packet filter: BPF interpreter vs compiled extension (Figure 7).")
+    Term.(const run_filter $ terms $ count $ pct)
+
+(* --- webserver: throughput experiment ----------------------------------- *)
+
+let run_webserver bytes concurrency total =
+  let models =
+    [
+      Cgi_model.Cgi; Cgi_model.Fast_cgi; Cgi_model.Libcgi_protected;
+      Cgi_model.Libcgi; Cgi_model.Static;
+    ]
+  in
+  Printf.printf "file size %d bytes, %d requests, %d concurrent:\n" bytes total
+    concurrency;
+  List.iter
+    (fun inv ->
+      let r =
+        Server.run ~concurrency ~total ~invocation:inv ~bytes
+          ~protected_call_usec:0.72 ()
+      in
+      Printf.printf "  %-22s %7.0f req/s  (cpu %.0f%%, link %.0f%%)\n"
+        (Cgi_model.name inv) r.Server.throughput_rps
+        (100.0 *. r.Server.cpu_utilisation)
+        (100.0 *. r.Server.link_utilisation))
+    models
+
+let webserver_cmd =
+  let bytes =
+    Arg.(value & opt int 1024 & info [ "s"; "size" ] ~doc:"Response size in bytes.")
+  in
+  let conc =
+    Arg.(value & opt int 30 & info [ "c"; "concurrency" ] ~doc:"Concurrent clients.")
+  in
+  let total =
+    Arg.(value & opt int 1000 & info [ "n"; "requests" ] ~doc:"Total requests.")
+  in
+  Cmd.v
+    (Cmd.info "webserver" ~doc:"CGI invocation-model throughput (Table 3).")
+    Term.(const run_webserver $ bytes $ conc $ total)
+
+(* --- rpc ------------------------------------------------------------------ *)
+
+let run_rpc bytes =
+  Printf.printf "Linux socket RPC round trip, %d bytes: %.2f usec\n" bytes
+    (Rpc.round_trip_usec ~bytes);
+  let b = Rpc.breakdown ~bytes in
+  Printf.printf
+    "  syscalls %.1f + stack %.1f + switches %.1f + marshal %.1f + dispatch %.1f + wakeups %.1f + copies %.1f\n"
+    b.Rpc.syscalls b.Rpc.stack b.Rpc.switches b.Rpc.marshal b.Rpc.dispatch
+    b.Rpc.wakeups b.Rpc.copies
+
+let rpc_cmd =
+  let bytes =
+    Arg.(value & opt int 32 & info [ "s"; "size" ] ~doc:"Payload bytes.")
+  in
+  Cmd.v
+    (Cmd.info "rpc" ~doc:"Socket RPC cost breakdown (Table 2 baseline).")
+    Term.(const run_rpc $ bytes)
+
+(* --- vmmap: inspect an application's address space ------------------------- *)
+
+let run_vmmap () =
+  let w = Palladium.boot () in
+  let app = Palladium.create_app w ~name:"inspect" in
+  ignore (User_ext.seg_dlopen app Ulib.strrev_image);
+  Fmt.pr "%a\n" Address_space.pp (User_ext.task app).Task.asp
+
+let vmmap_cmd =
+  Cmd.v
+    (Cmd.info "vmmap"
+       ~doc:"Show a promoted application's address space with PPL markings.")
+    Term.(const run_vmmap $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "palladium" ~version:Palladium.version
+       ~doc:
+         "Palladium (SOSP '99) reproduction: segmentation+paging protection \
+          for safe software extensions, on a simulated x86.")
+    [ call_cmd; filter_cmd; webserver_cmd; rpc_cmd; vmmap_cmd ]
+
+let () = exit (Cmd.eval main)

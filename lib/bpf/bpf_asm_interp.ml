@@ -1,0 +1,402 @@
+(* The BPF interpreter written in the simulated instruction set and
+   loaded as a classic (unprotected) kernel module — the Figure 7
+   baseline.  Running the interpreter *on the simulated CPU* means its
+   per-instruction dispatch and packet-load costs are measured, not
+   assumed.
+
+   Structure mirrors BSD's bpf_filter(): a fetch of the instruction
+   quadruple, a dispatch switch, bounds-checked big-endian packet
+   loads (through helper routines, as the mbuf access macros compile
+   to), and an accumulator/index register pair held in EAX/EDI.
+
+   In-memory program encoding: 16 bytes per instruction, four
+   little-endian u32 words [code; jt; jf; k] (the 8-byte packed struct
+   of net/bpf.h widened to word slots).  Register use: EAX = A,
+   EDI = X, ESI = instruction pointer, EBX/ECX/EDX = scratch. *)
+
+open Asm
+
+let i x = I x
+
+let reg r = Operand.Reg r
+
+let imm v = Operand.Imm v
+
+let dref ?disp r = Operand.deref ?disp r
+
+let sym s = Operand.label s
+
+(* Data-section capacities. *)
+let max_insns = 256
+
+let max_packet = 2048
+
+let insn_slot_bytes = 16
+
+let code_of insn =
+  let c, _, _, _ = Bpf_insn.encode insn in
+  c
+
+(* Opcode constants used by the dispatch chain. *)
+let op_ldw = code_of (Bpf_insn.Ld_abs (Bpf_insn.W, 0))
+
+let op_ldh = code_of (Bpf_insn.Ld_abs (Bpf_insn.H, 0))
+
+let op_ldb = code_of (Bpf_insn.Ld_abs (Bpf_insn.B, 0))
+
+let op_ldw_ind = code_of (Bpf_insn.Ld_ind (Bpf_insn.W, 0))
+
+let op_ldh_ind = code_of (Bpf_insn.Ld_ind (Bpf_insn.H, 0))
+
+let op_ldb_ind = code_of (Bpf_insn.Ld_ind (Bpf_insn.B, 0))
+
+let op_ldx_msh = code_of (Bpf_insn.Ldx_msh 0)
+
+let op_ldi = code_of (Bpf_insn.Ld_imm 0)
+
+let op_ldmem = code_of (Bpf_insn.Ld_mem 0)
+
+let op_ldlen = code_of Bpf_insn.Ld_len
+
+let op_ldxi = code_of (Bpf_insn.Ldx_imm 0)
+
+let op_ldxmem = code_of (Bpf_insn.Ldx_mem 0)
+
+let op_st = code_of (Bpf_insn.St 0)
+
+let op_stx = code_of (Bpf_insn.Stx 0)
+
+let op_ja = code_of (Bpf_insn.Ja 0)
+
+let op_jeq = code_of (Bpf_insn.Jmp (Bpf_insn.Jeq, Bpf_insn.K, 0, 0, 0))
+
+let op_jgt = code_of (Bpf_insn.Jmp (Bpf_insn.Jgt, Bpf_insn.K, 0, 0, 0))
+
+let op_jge = code_of (Bpf_insn.Jmp (Bpf_insn.Jge, Bpf_insn.K, 0, 0, 0))
+
+let op_jset = code_of (Bpf_insn.Jmp (Bpf_insn.Jset, Bpf_insn.K, 0, 0, 0))
+
+let op_and = code_of (Bpf_insn.Alu (Bpf_insn.And, Bpf_insn.K, 0))
+
+let op_or = code_of (Bpf_insn.Alu (Bpf_insn.Or, Bpf_insn.K, 0))
+
+let op_add = code_of (Bpf_insn.Alu (Bpf_insn.Add, Bpf_insn.K, 0))
+
+let op_sub = code_of (Bpf_insn.Alu (Bpf_insn.Sub, Bpf_insn.K, 0))
+
+let op_lsh = code_of (Bpf_insn.Alu (Bpf_insn.Lsh, Bpf_insn.K, 0))
+
+let op_rsh = code_of (Bpf_insn.Alu (Bpf_insn.Rsh, Bpf_insn.K, 0))
+
+let op_retk = code_of (Bpf_insn.Ret_k 0)
+
+let op_reta = code_of Bpf_insn.Ret_a
+
+let op_tax = code_of Bpf_insn.Tax
+
+let op_txa = code_of Bpf_insn.Txa
+
+(* One bounds-checked big-endian load helper per width.  ECX holds k;
+   the result lands in A (EAX).  Out-of-bounds access rejects the
+   packet, as bpf_filter does. *)
+let load_helper ~label ~bytes =
+  let body =
+    [
+      L label;
+      (* bounds: k + bytes <= pkt_len *)
+      i (Instr.Mov (reg Reg.EDX, sym "bpf_pkt_len"));
+      i (Instr.Mov (reg Reg.EDX, dref Reg.EDX));
+      i (Instr.Mov (reg Reg.EBX, reg Reg.ECX));
+      i (Instr.Alu (Instr.Add, reg Reg.EBX, imm bytes));
+      i (Instr.Cmp (reg Reg.EBX, reg Reg.EDX));
+      (* the return address is still on the stack inside a helper:
+         unwind it before rejecting *)
+      i (Instr.Jcc (Instr.Above, Instr.Label "bpf$oob_unwind"));
+      i (Instr.Mov (reg Reg.EDX, sym "bpf_pkt"));
+      i (Instr.Alu (Instr.Add, reg Reg.EDX, reg Reg.ECX));
+      i (Instr.Movb (reg Reg.EAX, dref Reg.EDX));
+    ]
+  in
+  let more =
+    List.concat
+      (List.init (bytes - 1) (fun n ->
+           [
+             i (Instr.Shl (reg Reg.EAX, 8));
+             i (Instr.Movb (reg Reg.EBX, dref ~disp:(n + 1) Reg.EDX));
+             i (Instr.Alu (Instr.Or, reg Reg.EAX, reg Reg.EBX));
+           ]))
+  in
+  body @ more @ [ i Instr.Ret ]
+
+(* Dispatch chain entry: compare the opcode and branch to the case. *)
+let case op label =
+  [ i (Instr.Cmp (reg Reg.EBX, imm op)); i (Instr.Jcc (Instr.Eq, Instr.Label label)) ]
+
+(* A conditional-jump case: on [cond] take jt (at [ESI-12]), else jf
+   (at [ESI-8]); displacements are in instruction slots. *)
+let jump_case ~label ~cond =
+  [
+    L label;
+    i (Instr.Cmp (reg Reg.EAX, reg Reg.ECX));
+    i (Instr.Jcc (cond, Instr.Label (label ^ "$t")));
+    i (Instr.Mov (reg Reg.EDX, dref ~disp:(-8) Reg.ESI)); (* jf *)
+    i (Instr.Jmp (Instr.Label "bpf$dojmp"));
+    L (label ^ "$t");
+    i (Instr.Mov (reg Reg.EDX, dref ~disp:(-12) Reg.ESI)); (* jt *)
+    i (Instr.Jmp (Instr.Label "bpf$dojmp"));
+  ]
+
+let alu_case ~label ~op =
+  [
+    L label;
+    i (Instr.Alu (op, reg Reg.EAX, reg Reg.ECX));
+    i (Instr.Jmp (Instr.Label "bpf$loop"));
+  ]
+
+let scratch_addr_into_edx =
+  [
+    i (Instr.Mov (reg Reg.EDX, sym "bpf_mem"));
+    i (Instr.Shl (reg Reg.ECX, 2));
+    i (Instr.Alu (Instr.Add, reg Reg.EDX, reg Reg.ECX));
+  ]
+
+let interpreter_text =
+  [
+    L "bpf_run";
+    i (Instr.Push (reg Reg.EBP));
+    i (Instr.Mov (reg Reg.EBP, reg Reg.ESP));
+    i (Instr.Push (reg Reg.ESI));
+    i (Instr.Push (reg Reg.EDI));
+    i (Instr.Mov (reg Reg.ESI, sym "bpf_prog"));
+    i (Instr.Mov (reg Reg.EAX, imm 0));
+    i (Instr.Mov (reg Reg.EDI, imm 0));
+    (* main loop: fetch code and k, advance, dispatch *)
+    L "bpf$loop";
+    i (Instr.Mov (reg Reg.EBX, dref Reg.ESI));
+    i (Instr.Mov (reg Reg.ECX, dref ~disp:12 Reg.ESI));
+    i (Instr.Alu (Instr.Add, reg Reg.ESI, imm insn_slot_bytes));
+  ]
+  @ case op_ldh "bpf$ldh" @ case op_jeq "bpf$jeq" @ case op_ldb "bpf$ldb"
+  @ case op_ldw "bpf$ldw" @ case op_ldh_ind "bpf$ldh_ind"
+  @ case op_ldw_ind "bpf$ldw_ind" @ case op_ldb_ind "bpf$ldb_ind"
+  @ case op_ldx_msh "bpf$msh"
+  @ case op_retk "bpf$retk" @ case op_ja "bpf$ja"
+  @ case op_reta "bpf$reta" @ case op_jgt "bpf$jgt" @ case op_jge "bpf$jge"
+  @ case op_jset "bpf$jset" @ case op_and "bpf$and" @ case op_or "bpf$or"
+  @ case op_add "bpf$add" @ case op_sub "bpf$sub" @ case op_lsh "bpf$lsh"
+  @ case op_rsh "bpf$rsh" @ case op_ldi "bpf$ldi" @ case op_ldxi "bpf$ldxi"
+  @ case op_tax "bpf$tax" @ case op_txa "bpf$txa" @ case op_st "bpf$st"
+  @ case op_stx "bpf$stx" @ case op_ldmem "bpf$ldmem"
+  @ case op_ldxmem "bpf$ldxmem" @ case op_ldlen "bpf$len"
+  @ [ i (Instr.Jmp (Instr.Label "bpf$oob")) (* unknown opcode: reject *) ]
+  (* packet loads *)
+  @ [
+      L "bpf$ldw";
+      i (Instr.Call (Instr.Label "bpf$load4"));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$ldh";
+      i (Instr.Call (Instr.Label "bpf$load2"));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$ldb";
+      i (Instr.Call (Instr.Label "bpf$load1"));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      (* indexed loads: effective offset is X + k *)
+      L "bpf$ldw_ind";
+      i (Instr.Alu (Instr.Add, reg Reg.ECX, reg Reg.EDI));
+      i (Instr.Call (Instr.Label "bpf$load4"));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$ldh_ind";
+      i (Instr.Alu (Instr.Add, reg Reg.ECX, reg Reg.EDI));
+      i (Instr.Call (Instr.Label "bpf$load2"));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$ldb_ind";
+      i (Instr.Alu (Instr.Add, reg Reg.ECX, reg Reg.EDI));
+      i (Instr.Call (Instr.Label "bpf$load1"));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      (* ldx msh: X <- 4 * (pkt[k] & 0xf); inline bounds check so A
+         stays untouched *)
+      L "bpf$msh";
+      i (Instr.Mov (reg Reg.EDX, sym "bpf_pkt_len"));
+      i (Instr.Mov (reg Reg.EDX, dref Reg.EDX));
+      i (Instr.Cmp (reg Reg.ECX, reg Reg.EDX));
+      i (Instr.Jcc (Instr.Above_eq, Instr.Label "bpf$oob"));
+      i (Instr.Mov (reg Reg.EDX, sym "bpf_pkt"));
+      i (Instr.Alu (Instr.Add, reg Reg.EDX, reg Reg.ECX));
+      i (Instr.Movb (reg Reg.EDI, dref Reg.EDX));
+      i (Instr.Alu (Instr.And, reg Reg.EDI, imm 0xF));
+      i (Instr.Shl (reg Reg.EDI, 2));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+    ]
+  (* jumps *)
+  @ [
+      L "bpf$ja";
+      i (Instr.Mov (reg Reg.EDX, reg Reg.ECX));
+      i (Instr.Jmp (Instr.Label "bpf$dojmp"));
+    ]
+  @ jump_case ~label:"bpf$jeq" ~cond:Instr.Eq
+  @ jump_case ~label:"bpf$jgt" ~cond:Instr.Above
+  @ jump_case ~label:"bpf$jge" ~cond:Instr.Above_eq
+  @ [
+      (* jset: A & k != 0 *)
+      L "bpf$jset";
+      i (Instr.Mov (reg Reg.EDX, reg Reg.EAX));
+      i (Instr.Alu (Instr.And, reg Reg.EDX, reg Reg.ECX));
+      i (Instr.Cmp (reg Reg.EDX, imm 0));
+      i (Instr.Jcc (Instr.Ne, Instr.Label "bpf$jset$t"));
+      i (Instr.Mov (reg Reg.EDX, dref ~disp:(-8) Reg.ESI));
+      i (Instr.Jmp (Instr.Label "bpf$dojmp"));
+      L "bpf$jset$t";
+      i (Instr.Mov (reg Reg.EDX, dref ~disp:(-12) Reg.ESI));
+      i (Instr.Jmp (Instr.Label "bpf$dojmp"));
+      (* common jump tail: ESI += 16 * displacement *)
+      L "bpf$dojmp";
+      i (Instr.Shl (reg Reg.EDX, 4));
+      i (Instr.Alu (Instr.Add, reg Reg.ESI, reg Reg.EDX));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+    ]
+  (* ALU *)
+  @ alu_case ~label:"bpf$and" ~op:Instr.And
+  @ alu_case ~label:"bpf$or" ~op:Instr.Or
+  @ alu_case ~label:"bpf$add" ~op:Instr.Add
+  @ alu_case ~label:"bpf$sub" ~op:Instr.Sub
+  @ [
+      L "bpf$lsh";
+      i (Instr.Mov (reg Reg.EDX, reg Reg.ECX));
+      (* constant-shift ISA: shift by 1, k times — filters use small shifts *)
+      L "bpf$lsh$loop";
+      i (Instr.Cmp (reg Reg.EDX, imm 0));
+      i (Instr.Jcc (Instr.Eq, Instr.Label "bpf$loop"));
+      i (Instr.Shl (reg Reg.EAX, 1));
+      i (Instr.Dec (reg Reg.EDX));
+      i (Instr.Jmp (Instr.Label "bpf$lsh$loop"));
+      L "bpf$rsh";
+      i (Instr.Mov (reg Reg.EDX, reg Reg.ECX));
+      L "bpf$rsh$loop";
+      i (Instr.Cmp (reg Reg.EDX, imm 0));
+      i (Instr.Jcc (Instr.Eq, Instr.Label "bpf$loop"));
+      i (Instr.Shr (reg Reg.EAX, 1));
+      i (Instr.Dec (reg Reg.EDX));
+      i (Instr.Jmp (Instr.Label "bpf$rsh$loop"));
+    ]
+  (* moves, scratch memory, len *)
+  @ [
+      L "bpf$ldi";
+      i (Instr.Mov (reg Reg.EAX, reg Reg.ECX));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$ldxi";
+      i (Instr.Mov (reg Reg.EDI, reg Reg.ECX));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$tax";
+      i (Instr.Mov (reg Reg.EDI, reg Reg.EAX));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$txa";
+      i (Instr.Mov (reg Reg.EAX, reg Reg.EDI));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$st";
+    ]
+  @ scratch_addr_into_edx
+  @ [
+      i (Instr.Mov (dref Reg.EDX, reg Reg.EAX));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$stx";
+    ]
+  @ scratch_addr_into_edx
+  @ [
+      i (Instr.Mov (dref Reg.EDX, reg Reg.EDI));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$ldmem";
+    ]
+  @ scratch_addr_into_edx
+  @ [
+      i (Instr.Mov (reg Reg.EAX, dref Reg.EDX));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$ldxmem";
+    ]
+  @ scratch_addr_into_edx
+  @ [
+      i (Instr.Mov (reg Reg.EDI, dref Reg.EDX));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+      L "bpf$len";
+      i (Instr.Mov (reg Reg.EDX, sym "bpf_pkt_len"));
+      i (Instr.Mov (reg Reg.EAX, dref Reg.EDX));
+      i (Instr.Jmp (Instr.Label "bpf$loop"));
+    ]
+  (* returns *)
+  @ [
+      L "bpf$retk";
+      i (Instr.Mov (reg Reg.EAX, reg Reg.ECX));
+      i (Instr.Jmp (Instr.Label "bpf$done"));
+      L "bpf$reta";
+      i (Instr.Jmp (Instr.Label "bpf$done"));
+      L "bpf$oob_unwind";
+      i (Instr.Pop (reg Reg.EDX));
+      L "bpf$oob";
+      i (Instr.Mov (reg Reg.EAX, imm 0));
+      L "bpf$done";
+      i (Instr.Pop (reg Reg.EDI));
+      i (Instr.Pop (reg Reg.ESI));
+      i (Instr.Pop (reg Reg.EBP));
+      i Instr.Ret;
+    ]
+  @ load_helper ~label:"bpf$load4" ~bytes:4
+  @ load_helper ~label:"bpf$load2" ~bytes:2
+  @ load_helper ~label:"bpf$load1" ~bytes:1
+
+let image =
+  Image.create ~name:"bpfinterp"
+    ~bss:
+      [
+        Image.bss_item "bpf_prog" (max_insns * insn_slot_bytes);
+        Image.bss_item "bpf_pkt" max_packet;
+        Image.bss_item "bpf_mem" (Bpf_insn.scratch_slots * 4);
+      ]
+    ~data:
+      [ Image.data_u32s "bpf_prog_len" [ 0 ]; Image.data_u32s "bpf_pkt_len" [ 0 ] ]
+    ~exports:[ "bpf_run" ]
+    interpreter_text
+
+(* Wire encoding of a BPF program for poking into [bpf_prog]. *)
+let encode_program prog =
+  let b = Bytes.create (Array.length prog * insn_slot_bytes) in
+  Array.iteri
+    (fun idx insn ->
+      let code, jt, jf, k = Bpf_insn.encode insn in
+      let base = idx * insn_slot_bytes in
+      Bytes.set_int32_le b base (Int32.of_int code);
+      Bytes.set_int32_le b (base + 4) (Int32.of_int jt);
+      Bytes.set_int32_le b (base + 8) (Int32.of_int jf);
+      Bytes.set_int32_le b (base + 12) (Int32.of_int k))
+    prog;
+  b
+
+(* A loaded interpreter instance (classic kernel module). *)
+type t = { kmod : Kmod.t }
+
+let load kernel = { kmod = Kmod.insmod kernel image }
+
+let set_program t prog =
+  (match Bpf_insn.validate prog with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Bpf_asm_interp.set_program: " ^ msg));
+  if Array.length prog > max_insns then
+    invalid_arg "Bpf_asm_interp.set_program: program too long";
+  Kmod.poke t.kmod ~symbol:"bpf_prog" ~off:0 (encode_program prog);
+  Kmod.poke_u32 t.kmod ~symbol:"bpf_prog_len" ~off:0 (Array.length prog);
+  (* fresh scratch memory per attached filter, like a stack-allocated
+     mem[] in bpf_filter *)
+  Kmod.poke t.kmod ~symbol:"bpf_mem" ~off:0
+    (Bytes.make (Bpf_insn.scratch_slots * 4) '\000')
+
+let set_packet t bytes =
+  if Bytes.length bytes > max_packet then
+    invalid_arg "Bpf_asm_interp.set_packet: packet too long";
+  Kmod.poke t.kmod ~symbol:"bpf_pkt" ~off:0 bytes;
+  Kmod.poke_u32 t.kmod ~symbol:"bpf_pkt_len" ~off:0 (Bytes.length bytes)
+
+(* Run the loaded filter over the loaded packet; returns (accept
+   value, cycles). *)
+let run t task =
+  match Kmod.invoke t.kmod task ~fn:"bpf_run" ~arg:0 with
+  | Kernel.Completed, value, cycles -> (value, cycles)
+  | (Kernel.Faulted _ | Kernel.Timed_out _ | Kernel.Out_of_fuel), _, _ ->
+      invalid_arg "Bpf_asm_interp.run: interpreter did not complete"

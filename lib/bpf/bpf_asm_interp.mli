@@ -1,0 +1,34 @@
+(** The BPF interpreter written in the simulated instruction set and
+    loaded as a classic (unprotected) kernel module — the Figure 7
+    baseline.  Because it runs on the simulated CPU, its dispatch and
+    packet-load costs are measured rather than assumed.
+
+    In-memory program encoding: 16 bytes per instruction, four
+    little-endian u32 words [code; jt; jf; k]. *)
+
+val max_insns : int
+
+val max_packet : int
+
+val insn_slot_bytes : int
+
+val image : Image.t
+(** The interpreter module image (text + bpf_prog/bpf_pkt/bpf_mem
+    data), exporting [bpf_run]. *)
+
+val encode_program : Bpf_insn.t array -> Bytes.t
+
+type t
+
+val load : Kernel.t -> t
+(** insmod the interpreter into the kernel. *)
+
+val set_program : t -> Bpf_insn.t array -> unit
+(** Validate and install a filter; resets the scratch memory.  Raises
+    [Invalid_argument] on invalid or oversized programs. *)
+
+val set_packet : t -> Bytes.t -> unit
+
+val run : t -> Task.t -> int * int
+(** Execute the installed filter over the installed packet at CPL 0;
+    returns (accept value, cycles). *)

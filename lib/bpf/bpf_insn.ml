@@ -1,0 +1,186 @@
+(* The BSD Packet Filter virtual machine instruction set (McCanne &
+   Jacobson, USENIX '93) — the baseline interpreter of Figure 7.
+
+   Each instruction is (code, jt, jf, k); opcode encodings follow
+   net/bpf.h.  The subset here covers everything tcpdump-style
+   conjunctive filters compile to, plus scratch-memory and ALU ops for
+   completeness. *)
+
+type size = W | H | B
+
+type src = K | X (* operand source: immediate or index register *)
+
+type alu_op = Add | Sub | Mul | Div | And | Or | Lsh | Rsh
+
+type jmp_cond = Jeq | Jgt | Jge | Jset
+
+type t =
+  | Ld_abs of size * int (* A <- pkt[k] *)
+  | Ld_ind of size * int (* A <- pkt[X+k] *)
+  | Ld_len (* A <- packet length *)
+  | Ld_imm of int
+  | Ld_mem of int (* A <- M[k] *)
+  | Ldx_imm of int
+  | Ldx_mem of int
+  | Ldx_len
+  | Ldx_msh of int (* X <- 4 * (pkt[k] & 0xf): IP header length *)
+  | St of int (* M[k] <- A *)
+  | Stx of int
+  | Alu of alu_op * src * int (* A <- A op (k | X) *)
+  | Neg
+  | Ja of int
+  | Jmp of jmp_cond * src * int * int * int (* cond, src, k, jt, jf *)
+  | Ret_k of int
+  | Ret_a
+  | Tax (* X <- A *)
+  | Txa (* A <- X *)
+
+(* net/bpf.h encodings. *)
+let class_ld = 0x00
+
+let class_ldx = 0x01
+
+let class_st = 0x02
+
+let class_stx = 0x03
+
+let class_alu = 0x04
+
+let class_jmp = 0x05
+
+let class_ret = 0x06
+
+let class_misc = 0x07
+
+let size_bits = function W -> 0x00 | H -> 0x08 | B -> 0x10
+
+let mode_imm = 0x00
+
+let mode_abs = 0x20
+
+let mode_ind = 0x40
+
+let mode_mem = 0x60
+
+let mode_len = 0x80
+
+let mode_msh = 0xa0
+
+let src_bits = function K -> 0x00 | X -> 0x08
+
+let alu_bits = function
+  | Add -> 0x00
+  | Sub -> 0x10
+  | Mul -> 0x20
+  | Div -> 0x30
+  | Or -> 0x40
+  | And -> 0x50
+  | Lsh -> 0x60
+  | Rsh -> 0x70
+
+let jmp_bits = function Jeq -> 0x10 | Jgt -> 0x20 | Jge -> 0x30 | Jset -> 0x40
+
+(* (code, jt, jf, k) quadruple. *)
+let encode = function
+  | Ld_abs (s, k) -> (class_ld lor size_bits s lor mode_abs, 0, 0, k)
+  | Ld_ind (s, k) -> (class_ld lor size_bits s lor mode_ind, 0, 0, k)
+  | Ld_len -> (class_ld lor size_bits W lor mode_len, 0, 0, 0)
+  | Ld_imm k -> (class_ld lor size_bits W lor mode_imm, 0, 0, k)
+  | Ld_mem k -> (class_ld lor size_bits W lor mode_mem, 0, 0, k)
+  | Ldx_imm k -> (class_ldx lor mode_imm, 0, 0, k)
+  | Ldx_mem k -> (class_ldx lor mode_mem, 0, 0, k)
+  | Ldx_len -> (class_ldx lor mode_len, 0, 0, 0)
+  | Ldx_msh k -> (class_ldx lor size_bits B lor mode_msh, 0, 0, k)
+  | St k -> (class_st, 0, 0, k)
+  | Stx k -> (class_stx, 0, 0, k)
+  | Alu (op, s, k) -> (class_alu lor alu_bits op lor src_bits s, 0, 0, k)
+  | Neg -> (class_alu lor 0x80, 0, 0, 0)
+  | Ja k -> (class_jmp, 0, 0, k)
+  | Jmp (c, s, k, jt, jf) -> (class_jmp lor jmp_bits c lor src_bits s, jt, jf, k)
+  | Ret_k k -> (class_ret, 0, 0, k)
+  | Ret_a -> (class_ret lor 0x10, 0, 0, 0)
+  | Tax -> (class_misc, 0, 0, 0)
+  | Txa -> (class_misc lor 0x80, 0, 0, 0)
+
+let scratch_slots = 16
+
+(* The validation the kernel performs before accepting a filter
+   (forward branches only, in-bounds jumps and memory slots, every
+   path ends in ret) — BPF's safety argument. *)
+let validate prog =
+  let n = Array.length prog in
+  if n = 0 then Error "empty program"
+  else if n > 4096 then Error "program too long"
+  else
+    let rec check i =
+      if i >= n then Ok ()
+      else
+        let continue () = check (i + 1) in
+        match prog.(i) with
+        | Ja k ->
+            if i + 1 + k >= n || k < 0 then Error "ja out of bounds"
+            else continue ()
+        | Jmp (_, _, _, jt, jf) ->
+            if i + 1 + jt >= n || i + 1 + jf >= n then
+              Error "conditional jump out of bounds"
+            else continue ()
+        | St k | Stx k | Ld_mem k | Ldx_mem k ->
+            if k < 0 || k >= scratch_slots then Error "scratch slot out of range"
+            else continue ()
+        | Alu (Div, K, 0) -> Error "division by constant zero"
+        | Ld_abs _ | Ld_ind _ | Ld_len | Ld_imm _ | Ldx_imm _ | Ldx_len
+        | Ldx_msh _ | Alu _ | Neg | Ret_k _ | Ret_a | Tax | Txa ->
+            continue ()
+    in
+    match prog.(n - 1) with
+    | Ret_k _ | Ret_a | Ja _ | Jmp _ -> (
+        match check 0 with
+        | Ok () -> (
+            (* last instruction must not fall through *)
+            match prog.(n - 1) with
+            | Ret_k _ | Ret_a -> Ok ()
+            | Ja _ | Jmp _ -> Ok () (* jumps validated in-bounds above *)
+            | _ -> assert false)
+        | Error _ as e -> e)
+    | _ -> Error "program may fall off the end"
+
+let pp ppf insn =
+  let s = function W -> "w" | H -> "h" | B -> "b" in
+  match insn with
+  | Ld_abs (sz, k) -> Fmt.pf ppf "ld%s [%d]" (s sz) k
+  | Ld_ind (sz, k) -> Fmt.pf ppf "ld%s [x+%d]" (s sz) k
+  | Ld_len -> Fmt.string ppf "ld len"
+  | Ld_imm k -> Fmt.pf ppf "ld #%d" k
+  | Ld_mem k -> Fmt.pf ppf "ld M[%d]" k
+  | Ldx_imm k -> Fmt.pf ppf "ldx #%d" k
+  | Ldx_mem k -> Fmt.pf ppf "ldx M[%d]" k
+  | Ldx_len -> Fmt.string ppf "ldx len"
+  | Ldx_msh k -> Fmt.pf ppf "ldxb 4*([%d]&0xf)" k
+  | St k -> Fmt.pf ppf "st M[%d]" k
+  | Stx k -> Fmt.pf ppf "stx M[%d]" k
+  | Alu (op, src, k) ->
+      let o =
+        match op with
+        | Add -> "add"
+        | Sub -> "sub"
+        | Mul -> "mul"
+        | Div -> "div"
+        | And -> "and"
+        | Or -> "or"
+        | Lsh -> "lsh"
+        | Rsh -> "rsh"
+      in
+      let operand = match src with K -> Printf.sprintf "#%d" k | X -> "x" in
+      Fmt.pf ppf "%s %s" o operand
+  | Neg -> Fmt.string ppf "neg"
+  | Ja k -> Fmt.pf ppf "ja +%d" k
+  | Jmp (c, src, k, jt, jf) ->
+      let o =
+        match c with Jeq -> "jeq" | Jgt -> "jgt" | Jge -> "jge" | Jset -> "jset"
+      in
+      let operand = match src with K -> Printf.sprintf "#%d" k | X -> "x" in
+      Fmt.pf ppf "%s %s, +%d, +%d" o operand jt jf
+  | Ret_k k -> Fmt.pf ppf "ret #%d" k
+  | Ret_a -> Fmt.string ppf "ret a"
+  | Tax -> Fmt.string ppf "tax"
+  | Txa -> Fmt.string ppf "txa"

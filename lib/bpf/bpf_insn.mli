@@ -1,0 +1,44 @@
+(** The BSD Packet Filter instruction set (McCanne & Jacobson,
+    USENIX '93), with net/bpf.h opcode encodings and the kernel-side
+    validator. *)
+
+type size = W | H | B
+
+type src = K | X
+
+type alu_op = Add | Sub | Mul | Div | And | Or | Lsh | Rsh
+
+type jmp_cond = Jeq | Jgt | Jge | Jset
+
+type t =
+  | Ld_abs of size * int  (** A <- pkt[k] (big-endian) *)
+  | Ld_ind of size * int  (** A <- pkt[X+k] *)
+  | Ld_len
+  | Ld_imm of int
+  | Ld_mem of int  (** A <- M[k] *)
+  | Ldx_imm of int
+  | Ldx_mem of int
+  | Ldx_len
+  | Ldx_msh of int  (** X <- 4*(pkt[k] & 0xf): the IP header length *)
+  | St of int
+  | Stx of int
+  | Alu of alu_op * src * int
+  | Neg
+  | Ja of int
+  | Jmp of jmp_cond * src * int * int * int  (** cond, src, k, jt, jf *)
+  | Ret_k of int
+  | Ret_a
+  | Tax
+  | Txa
+
+val encode : t -> int * int * int * int
+(** The classic (code, jt, jf, k) quadruple. *)
+
+val scratch_slots : int
+
+val validate : t array -> (unit, string) result
+(** The acceptance check a kernel performs before attaching a filter:
+    bounded length, in-bounds forward jumps and scratch slots, no
+    constant division by zero, no falling off the end. *)
+
+val pp : t Fmt.t

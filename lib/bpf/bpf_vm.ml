@@ -1,0 +1,81 @@
+(* Reference BPF interpreter in OCaml: the semantic oracle against
+   which both the simulated-assembly interpreter and the compiled
+   filters are tested. *)
+
+type error = Out_of_bounds of int | Division_by_zero | No_return
+
+exception Bpf_error of error
+
+let mask32 v = v land 0xFFFF_FFFF
+
+let run prog ~packet =
+  let n = Array.length prog in
+  let len = Bytes.length packet in
+  let mem = Array.make Bpf_insn.scratch_slots 0 in
+  let byte k =
+    if k < 0 || k >= len then raise (Bpf_error (Out_of_bounds k))
+    else Char.code (Bytes.get packet k)
+  in
+  let load size k =
+    match size with
+    | Bpf_insn.B -> byte k
+    | Bpf_insn.H -> (byte k lsl 8) lor byte (k + 1)
+    | Bpf_insn.W ->
+        (byte k lsl 24) lor (byte (k + 1) lsl 16) lor (byte (k + 2) lsl 8)
+        lor byte (k + 3)
+  in
+  let rec step pc a x =
+    if pc >= n then raise (Bpf_error No_return)
+    else
+      match prog.(pc) with
+      | Bpf_insn.Ld_abs (s, k) -> step (pc + 1) (load s k) x
+      | Bpf_insn.Ld_ind (s, k) -> step (pc + 1) (load s (x + k)) x
+      | Bpf_insn.Ld_len -> step (pc + 1) len x
+      | Bpf_insn.Ld_imm k -> step (pc + 1) (mask32 k) x
+      | Bpf_insn.Ld_mem k -> step (pc + 1) mem.(k) x
+      | Bpf_insn.Ldx_imm k -> step (pc + 1) a (mask32 k)
+      | Bpf_insn.Ldx_mem k -> step (pc + 1) a mem.(k)
+      | Bpf_insn.Ldx_len -> step (pc + 1) a len
+      | Bpf_insn.Ldx_msh k -> step (pc + 1) a (4 * (byte k land 0xF))
+      | Bpf_insn.St k ->
+          mem.(k) <- a;
+          step (pc + 1) a x
+      | Bpf_insn.Stx k ->
+          mem.(k) <- x;
+          step (pc + 1) a x
+      | Bpf_insn.Alu (op, src, k) ->
+          let operand = match src with Bpf_insn.K -> k | Bpf_insn.X -> x in
+          let a' =
+            match op with
+            | Bpf_insn.Add -> a + operand
+            | Bpf_insn.Sub -> a - operand
+            | Bpf_insn.Mul -> a * operand
+            | Bpf_insn.Div ->
+                if operand = 0 then raise (Bpf_error Division_by_zero)
+                else a / operand
+            | Bpf_insn.And -> a land operand
+            | Bpf_insn.Or -> a lor operand
+            | Bpf_insn.Lsh -> a lsl (operand land 31)
+            | Bpf_insn.Rsh -> a lsr (operand land 31)
+          in
+          step (pc + 1) (mask32 a') x
+      | Bpf_insn.Neg -> step (pc + 1) (mask32 (-a)) x
+      | Bpf_insn.Ja k -> step (pc + 1 + k) a x
+      | Bpf_insn.Jmp (c, src, k, jt, jf) ->
+          let operand = match src with Bpf_insn.K -> k | Bpf_insn.X -> x in
+          let holds =
+            match c with
+            | Bpf_insn.Jeq -> a = operand
+            | Bpf_insn.Jgt -> a > operand
+            | Bpf_insn.Jge -> a >= operand
+            | Bpf_insn.Jset -> a land operand <> 0
+          in
+          step (pc + 1 + if holds then jt else jf) a x
+      | Bpf_insn.Ret_k k -> k
+      | Bpf_insn.Ret_a -> a
+      | Bpf_insn.Tax -> step (pc + 1) a a
+      | Bpf_insn.Txa -> step (pc + 1) x x
+  in
+  step 0 0 0
+
+let accepts prog ~packet = run prog ~packet <> 0

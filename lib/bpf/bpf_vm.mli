@@ -1,0 +1,13 @@
+(** Reference BPF interpreter: the semantic oracle for the
+    simulated-assembly interpreter and the compiled filters. *)
+
+type error = Out_of_bounds of int | Division_by_zero | No_return
+
+exception Bpf_error of error
+
+val run : Bpf_insn.t array -> packet:Bytes.t -> int
+(** Execute the program over the packet; returns the accept value
+    (0 = reject).  Raises {!Bpf_error} on out-of-bounds packet access,
+    division by zero or running off the end. *)
+
+val accepts : Bpf_insn.t array -> packet:Bytes.t -> bool

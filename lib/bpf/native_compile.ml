@@ -1,0 +1,125 @@
+(* The compiled packet filter (Pradhan & Chiueh, HotOS '99): lower a
+   filter expression directly to native code and run it inside the
+   kernel as a Palladium extension.  The generated module reads the
+   packet from the shared data area of its extension segment (the
+   kernel copies headers there, section 4.3) and takes the packet
+   offset as its one 4-byte argument. *)
+
+open Asm
+
+let i x = I x
+
+let reg r = Operand.Reg r
+
+let imm v = Operand.Imm v
+
+let dref ?disp r = Operand.deref ?disp r
+
+(* Load a big-endian field of [size] at [off] from the packet whose
+   base is in EDX, into EBX (clobbers ECX). *)
+let load_field ~off ~(size : Bpf_insn.size) =
+  let bytes = match size with Bpf_insn.B -> 1 | Bpf_insn.H -> 2 | Bpf_insn.W -> 4 in
+  i (Instr.Movb (reg Reg.EBX, dref ~disp:off Reg.EDX))
+  :: List.concat
+       (List.init (bytes - 1) (fun n ->
+            [
+              i (Instr.Shl (reg Reg.EBX, 8));
+              i (Instr.Movb (reg Reg.ECX, dref ~disp:(off + n + 1) Reg.EDX));
+              i (Instr.Alu (Instr.Or, reg Reg.EBX, reg Reg.ECX));
+            ]))
+
+(* filter(pkt_off): 1 when every term matches, else 0. *)
+let filter_text (terms : Filter_expr.t) =
+  let header =
+    [
+      L "filter";
+      i (Instr.Mov (reg Reg.EDX, dref ~disp:4 Reg.ESP)); (* packet base *)
+    ]
+  in
+  (* Port fields honour the IP header length (like the tcpdump code
+     the interpreter runs), computed once in ECX — the compiler keeps
+     it cheap where the interpreter pays per primitive. *)
+  let port_check ~port_disp value =
+    [
+      i (Instr.Movb (reg Reg.ECX, dref ~disp:Packet.off_ip_start Reg.EDX));
+      i (Instr.Alu (Instr.And, reg Reg.ECX, imm 0xF));
+      i (Instr.Shl (reg Reg.ECX, 2));
+      i
+        (Instr.Movb
+           ( reg Reg.EBX,
+             Operand.mem ~base:Reg.EDX ~index:(Reg.ECX, 1)
+               ~disp:(Packet.off_ip_start + port_disp) () ));
+      i (Instr.Shl (reg Reg.EBX, 8));
+      i
+        (Instr.Movb
+           ( reg Reg.EAX,
+             Operand.mem ~base:Reg.EDX ~index:(Reg.ECX, 1)
+               ~disp:(Packet.off_ip_start + port_disp + 1) () ));
+      i (Instr.Alu (Instr.Or, reg Reg.EBX, reg Reg.EAX));
+      i (Instr.Cmp (reg Reg.EBX, imm value));
+      i (Instr.Jcc (Instr.Ne, Instr.Label "filter$reject"));
+    ]
+  in
+  let checks =
+    List.concat_map
+      (fun { Filter_expr.field; value } ->
+        match field with
+        | Filter_expr.Src_port -> port_check ~port_disp:0 value
+        | Filter_expr.Dst_port -> port_check ~port_disp:2 value
+        | Filter_expr.Ether_type | Filter_expr.Ip_proto | Filter_expr.Ip_src
+        | Filter_expr.Ip_dst ->
+            let off, size = Filter_expr.field_offset field in
+            load_field ~off ~size
+            @ [
+                i (Instr.Cmp (reg Reg.EBX, imm value));
+                i (Instr.Jcc (Instr.Ne, Instr.Label "filter$reject"));
+              ])
+      terms
+  in
+  let tail =
+    [
+      i (Instr.Mov (reg Reg.EAX, imm 1));
+      i Instr.Ret;
+      L "filter$reject";
+      i (Instr.Mov (reg Reg.EAX, imm 0));
+      i Instr.Ret;
+    ]
+  in
+  header @ checks @ tail
+
+(* Shared-area capacity for packet headers. *)
+let shared_bytes = 2048
+
+let image terms =
+  Image.create ~name:"cfilter"
+    ~bss:[ Image.bss_item Pconfig.shared_area_symbol shared_bytes ]
+    ~exports:[ "filter" ]
+    (filter_text terms)
+
+(* A compiled filter loaded into a Palladium kernel extension
+   segment. *)
+type t = { seg : Kernel_ext.t; shared_off : int }
+
+let load w_kernel_seg terms =
+  let seg = w_kernel_seg in
+  ignore (Kernel_ext.insmod seg (image terms));
+  let shared_off =
+    match Kernel_ext.shared_linear seg with
+    | Some linear -> Kernel_ext.to_segment_offset seg linear
+    | None -> invalid_arg "Native_compile.load: shared area missing"
+  in
+  { seg; shared_off }
+
+(* Deliver a packet: copy the header into the shared area (charging
+   the copy like the kernel's word-copy loop would cost), then invoke
+   the extension with the packet's segment offset. *)
+let run t task ~packet =
+  let kernel_cpu = Kernel.cpu (Kernel_ext.kernel t.seg) in
+  Kernel_ext.write_shared t.seg ~off:0 packet;
+  Cpu.charge kernel_cpu (((Bytes.length packet + 3) / 4 * 3) + 10);
+  match
+    Kernel_ext.invoke ~task t.seg ~name:"cfilter$filter" ~arg:t.shared_off
+  with
+  | Ok (Some (v, cycles)) -> Ok (v, cycles)
+  | Ok None -> Error Kernel_ext.No_such_service
+  | Error e -> Error e

@@ -1,0 +1,20 @@
+(** The compiled packet filter (Pradhan & Chiueh, HotOS '99): a filter
+    expression lowered to native code and run inside the kernel as a
+    Palladium extension at SPL 1.  Packets are delivered through the
+    extension segment's shared data area. *)
+
+val shared_bytes : int
+
+val image : Filter_expr.t -> Image.t
+(** The filter module image (exports [filter], declares the shared
+    area). *)
+
+type t
+
+val load : Kernel_ext.t -> Filter_expr.t -> t
+(** insmod the compiled filter into an extension segment. *)
+
+val run :
+  t -> Task.t -> packet:Bytes.t -> (int * int, Kernel_ext.invoke_error) result
+(** Copy the packet into the shared area (charging the copy), then
+    invoke the extension; [Ok (1|0, cycles)]. *)

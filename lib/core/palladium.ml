@@ -1,0 +1,33 @@
+(* Facade tying the Palladium pieces together: boot a simulated
+   machine with the Palladium-modified kernel, then create extensible
+   applications (user-level mechanism) and kernel extension segments
+   (kernel-level mechanism).
+
+   See {!User_ext} and {!Kernel_ext} for the two mechanisms,
+   {!Stub_gen} for the Figure 6 control-transfer sequences, {!Guard}
+   for the protected-memory service, and {!Ulib} for ready-made
+   extension images. *)
+
+let version = "0.9.0"
+
+type world = { kernel : Kernel.t }
+
+let boot ?params () = { kernel = Kernel.boot ?params () }
+
+let kernel w = w.kernel
+
+let cpu w = Kernel.cpu w.kernel
+
+(* An extensible application, promoted to SPL 2 and ready to load
+   SPL 3 extensions. *)
+let create_app w ~name = User_ext.create w.kernel ~name
+
+(* A plain (non-Palladium) process at SPL 3. *)
+let create_plain_process w ~name =
+  let task = Kernel.create_task w.kernel ~name in
+  let rt = Runtime.install w.kernel task in
+  (task, rt)
+
+(* A kernel extension segment at SPL 1. *)
+let create_kernel_segment ?(size = Pconfig.kernel_ext_segment_bytes) w =
+  Kernel_ext.create w.kernel ~size

@@ -1,0 +1,33 @@
+(** Facade over the Palladium reproduction: boot a simulated machine
+    with the Palladium-modified kernel, then create extensible
+    applications ({!User_ext}, the user-level mechanism of paper
+    section 4.4) and kernel extension segments ({!Kernel_ext}, the
+    kernel-level mechanism of section 4.3).
+
+    Related entry points: {!Stub_gen} (the Figure 6 control-transfer
+    sequences), {!Guard} (the protected-memory service), {!Kmod} (the
+    unprotected insmod baseline) and {!Ulib} (ready-made extension
+    images). *)
+
+val version : string
+
+type world = { kernel : Kernel.t }
+
+val boot : ?params:Cycles.params -> unit -> world
+(** Boot the machine: physical memory, GDT/IDT, the int-0x80 syscall
+    gate, the Palladium fault policy and the three new system calls. *)
+
+val kernel : world -> Kernel.t
+
+val cpu : world -> Cpu.t
+
+val create_app : world -> name:string -> User_ext.t
+(** An extensible application, already promoted to SPL 2 and ready to
+    seg_dlopen extensions. *)
+
+val create_plain_process : world -> name:string -> Task.t * Runtime.t
+(** An ordinary (non-Palladium) SPL 3 process. *)
+
+val create_kernel_segment : ?size:int -> world -> Kernel_ext.t
+(** A kernel extension segment at SPL 1 (default
+    {!Pconfig.kernel_ext_segment_bytes}). *)

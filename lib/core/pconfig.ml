@@ -1,0 +1,23 @@
+(* Palladium configuration constants. *)
+
+(* Well-known symbol of the shared data area inside an extension
+   segment; the kernel "checks for existence at run time"
+   (section 4.3). *)
+let shared_area_symbol = "__palladium_shared"
+
+(* Default per-invocation CPU budget for extensions, a system
+   parameter set by the administrator (section 4.5.2). *)
+let default_time_limit_cycles = Watchdog.default_limit_cycles
+
+(* Extension stacks: one per extension segment (section 4.3). *)
+let ext_stack_pages = 4
+
+(* Size of the stub region holding generated Prepare/Transfer routines
+   for one application. *)
+let stub_region_pages = 4
+
+(* Default kernel extension segment size. *)
+let kernel_ext_segment_bytes = 256 * 1024
+
+(* Default shared-area size inside kernel extension segments. *)
+let kernel_shared_area_bytes = 8192

@@ -1,0 +1,220 @@
+(* Library of extension and shared-library images written in the
+   simulated instruction set: the workloads of the paper's evaluation
+   (null function, string reverse) plus libc-style routines and a set
+   of deliberately misbehaving extensions for fault-injection tests.
+
+   All functions follow the paper's extension ABI: one 4-byte argument
+   on the stack, result in EAX; larger data travels through shared
+   memory. *)
+
+open Asm
+
+let i x = I x
+
+let reg r = Operand.Reg r
+
+let imm v = Operand.Imm v
+
+let dref ?disp r = Operand.deref ?disp r
+
+(* The null function of Table 1: gcc prologue and epilogue only. *)
+let null_fn_body ~name =
+  [
+    L name;
+    i (Instr.Mark (name ^ ".body"));
+    i (Instr.Push (reg Reg.EBP));
+    i (Instr.Mov (reg Reg.EBP, reg Reg.ESP));
+    i (Instr.Pop (reg Reg.EBP));
+    i Instr.Ret;
+  ]
+
+let null_image =
+  Image.create ~name:"nullext" ~exports:[ "null_fn" ] (null_fn_body ~name:"null_fn")
+
+(* strrev: reverse the NUL-terminated string its argument points at
+   (the Table 2 workload).  In-place, two-pointer swap. *)
+let strrev_body ~name =
+  let len_loop = name ^ ".len" in
+  let rev = name ^ ".rev" in
+  let loop = name ^ ".loop" in
+  let done_ = name ^ ".done" in
+  [
+    L name;
+    i (Instr.Push (reg Reg.EBP));
+    i (Instr.Mov (reg Reg.EBP, reg Reg.ESP));
+    i (Instr.Push (reg Reg.ESI));
+    i (Instr.Push (reg Reg.EDI));
+    i (Instr.Mov (reg Reg.ESI, dref ~disp:8 Reg.EBP)); (* s *)
+    i (Instr.Mov (reg Reg.EDI, reg Reg.ESI));
+    (* strlen scan: EDI ends on the NUL *)
+    L len_loop;
+    i (Instr.Movb (reg Reg.EAX, dref Reg.EDI));
+    i (Instr.Cmp (reg Reg.EAX, imm 0));
+    i (Instr.Jcc (Instr.Eq, Instr.Label rev));
+    i (Instr.Inc (reg Reg.EDI));
+    i (Instr.Jmp (Instr.Label len_loop));
+    L rev;
+    i (Instr.Dec (reg Reg.EDI)); (* last character *)
+    L loop;
+    i (Instr.Cmp (reg Reg.ESI, reg Reg.EDI));
+    i (Instr.Jcc (Instr.Above_eq, Instr.Label done_));
+    i (Instr.Movb (reg Reg.EAX, dref Reg.ESI));
+    i (Instr.Movb (reg Reg.EDX, dref Reg.EDI));
+    i (Instr.Movb (dref Reg.ESI, reg Reg.EDX));
+    i (Instr.Movb (dref Reg.EDI, reg Reg.EAX));
+    i (Instr.Inc (reg Reg.ESI));
+    i (Instr.Dec (reg Reg.EDI));
+    i (Instr.Jmp (Instr.Label loop));
+    L done_;
+    i (Instr.Pop (reg Reg.EDI));
+    i (Instr.Pop (reg Reg.ESI));
+    i (Instr.Pop (reg Reg.EBP));
+    i Instr.Ret;
+  ]
+
+let strrev_image =
+  Image.create ~name:"strrev" ~exports:[ "strrev" ] (strrev_body ~name:"strrev")
+
+(* libc-style shared library: non-buffering routines extensions may
+   call directly (section 4.4.1). *)
+let libc_image =
+  let strlen =
+    [
+      L "strlen";
+      i (Instr.Mov (reg Reg.EDX, dref ~disp:4 Reg.ESP));
+      i (Instr.Mov (reg Reg.EAX, imm 0));
+      L "strlen.loop";
+      i (Instr.Movb (reg Reg.ECX, dref Reg.EDX));
+      i (Instr.Cmp (reg Reg.ECX, imm 0));
+      i (Instr.Jcc (Instr.Eq, Instr.Label "strlen.done"));
+      i (Instr.Inc (reg Reg.EAX));
+      i (Instr.Inc (reg Reg.EDX));
+      i (Instr.Jmp (Instr.Label "strlen.loop"));
+      L "strlen.done";
+      i Instr.Ret;
+    ]
+  in
+  let memset4 =
+    (* memset4(dst) with count in ECX and value in EDX: helper used by
+       tests; word-granular. *)
+    [
+      L "memset4";
+      i (Instr.Mov (reg Reg.EAX, dref ~disp:4 Reg.ESP));
+      L "memset4.loop";
+      i (Instr.Cmp (reg Reg.ECX, imm 0));
+      i (Instr.Jcc (Instr.Eq, Instr.Label "memset4.done"));
+      i (Instr.Mov (dref Reg.EAX, reg Reg.EDX));
+      i (Instr.Alu (Instr.Add, reg Reg.EAX, imm 4));
+      i (Instr.Dec (reg Reg.ECX));
+      i (Instr.Jmp (Instr.Label "memset4.loop"));
+      L "memset4.done";
+      i Instr.Ret;
+    ]
+  in
+  Image.create ~name:"libc" ~exports:[ "strlen"; "memset4" ] (strlen @ memset4)
+
+(* An extension that calls strlen from the shared libc through its
+   GOT/PLT (transparent shared-library use from an extension). *)
+let strlen_client_image =
+  Image.create ~name:"lenclient" ~imports:[ "strlen" ]
+    ~exports:[ "len_of" ]
+    [
+      L "len_of";
+      i (Instr.Push (dref ~disp:4 Reg.ESP)); (* forward the pointer *)
+      i (Instr.Call (Instr.Label "strlen"));
+      i (Instr.Alu (Instr.Add, reg Reg.ESP, imm 4));
+      i Instr.Ret;
+    ]
+
+(* Stateful extension: counts its invocations in its own data. *)
+let counter_image =
+  Image.create ~name:"counter"
+    ~data:[ Image.data_u32s "count" [ 0 ] ]
+    ~exports:[ "bump" ]
+    [
+      L "bump";
+      i (Instr.Mov (reg Reg.EDX, Operand.label "count"));
+      i (Instr.Inc (dref Reg.EDX));
+      i (Instr.Mov (reg Reg.EAX, dref Reg.EDX));
+      i Instr.Ret;
+    ]
+
+(* --- Misbehaving extensions for fault injection -------------------- *)
+
+(* Writes 0xdead to the address passed as its argument: used to show
+   that stores into the application's PPL 0 pages (or its read-only
+   GOT) raise SIGSEGV. *)
+let rogue_write_image =
+  Image.create ~name:"roguewrite" ~exports:[ "poke" ]
+    [
+      L "poke";
+      i (Instr.Mov (reg Reg.EAX, dref ~disp:4 Reg.ESP));
+      i (Instr.Mov (dref Reg.EAX, imm 0xdead));
+      i (Instr.Mov (reg Reg.EAX, imm 1));
+      i Instr.Ret;
+    ]
+
+(* Reads from the address passed as argument. *)
+let rogue_read_image =
+  Image.create ~name:"rogueread" ~exports:[ "peek" ]
+    [
+      L "peek";
+      i (Instr.Mov (reg Reg.EAX, dref ~disp:4 Reg.ESP));
+      i (Instr.Mov (reg Reg.EAX, dref Reg.EAX));
+      i Instr.Ret;
+    ]
+
+(* Spins forever: exercises the per-invocation CPU time limit. *)
+let rogue_loop_image =
+  Image.create ~name:"rogueloop" ~exports:[ "spin" ]
+    [ L "spin"; L "spin.loop"; i (Instr.Jmp (Instr.Label "spin.loop")) ]
+
+(* Attempts a direct system call (getpid): the kernel must reject it
+   with EPERM because the caller's SPL is 3 while taskSPL is 2. *)
+let rogue_syscall_image =
+  Image.create ~name:"roguesys" ~exports:[ "try_syscall" ]
+    [
+      L "try_syscall";
+      i (Instr.Mov (reg Reg.EAX, imm 20 (* getpid *)));
+      i (Instr.Int_ 0x80);
+      i Instr.Ret;
+    ]
+
+(* Attempts to jump into the kernel's address range: segment-level
+   limit check must stop it. *)
+let rogue_jump_kernel_image =
+  Image.create ~name:"roguejmp" ~exports:[ "jump_high" ]
+    [
+      L "jump_high";
+      i (Instr.Jmp (Instr.Abs X86.Layout.kernel_base));
+    ]
+
+(* Calls an application service through a call-gate selector stored in
+   a shared slot (the selector is written there by the application):
+   the legitimate way for an extension to obtain core services. *)
+let service_client_image ~slot_addr =
+  Image.create ~name:"svcclient" ~exports:[ "use_service" ]
+    [
+      L "use_service";
+      i (Instr.Push (dref ~disp:4 Reg.ESP)); (* service argument *)
+      i (Instr.Lcall_ind (Operand.absolute slot_addr));
+      i (Instr.Alu (Instr.Add, reg Reg.ESP, imm 4));
+      i Instr.Ret;
+    ]
+
+(* A compute kernel that spins for [n] abstract work units: used by
+   the SFI ablation benchmarks. *)
+let work_image ~units =
+  Image.create ~name:"work" ~exports:[ "work" ]
+    [
+      L "work";
+      i (Instr.Mov (reg Reg.ECX, imm units));
+      L "work.loop";
+      i (Instr.Cmp (reg Reg.ECX, imm 0));
+      i (Instr.Jcc (Instr.Eq, Instr.Label "work.done"));
+      i (Instr.Dec (reg Reg.ECX));
+      i (Instr.Jmp (Instr.Label "work.loop"));
+      L "work.done";
+      i (Instr.Mov (reg Reg.EAX, imm units));
+      i Instr.Ret;
+    ]

@@ -1,0 +1,42 @@
+(* Cost constants (microseconds on the paper's Pentium 200 MHz Linux
+   2.0 machine) for the IPC baselines.  The socket-RPC decomposition
+   is calibrated so that the end-to-end round trip reproduces the
+   Table 2 RPC column (349 us at 32 bytes, growing ~0.33 us/byte):
+   Linux RPC is socket-based and "not optimized for intra-machine
+   RPC". *)
+
+(* One process context switch (schedule + page-table switch + TLB
+   refill tail). *)
+let context_switch_usec = 25.0
+
+(* System-call entry/exit. *)
+let syscall_usec = 2.0
+
+(* UDP/IP protocol stack traversal for one message, one direction
+   (checksums, socket buffer management, loopback queueing). *)
+let stack_traversal_usec = 55.0
+
+(* RPC library marshalling layer per call (XDR encode/decode both
+   ends). *)
+let rpc_marshal_usec = 62.0
+
+(* Per-byte copy+checksum cost, applied once per direction per copy
+   (user->kernel, kernel->user). *)
+let per_byte_usec = 0.083
+
+(* sunrpc portmapper-style dispatch at the server. *)
+let rpc_dispatch_usec = 18.0
+
+(* L4 best-case IPC (request-reply, parameters in registers) on a
+   Pentium 166: 242 cycles, i.e. 1.46 us (section 5.1 / [16]). *)
+let l4_request_reply_cycles = 242
+
+let l4_domain_crossings = 4
+
+(* LRPC on a C-VAX Firefly: 125 us null call vs 464 us for
+   conventional RPC (section 2.2 / [5]). *)
+let lrpc_null_usec = 125.0
+
+let lrpc_conventional_rpc_usec = 464.0
+
+let palladium_domain_crossings = 2

@@ -1,0 +1,19 @@
+(* L4 IPC model (section 5.1 comparison): the fastest IPC on Pentium
+   machines the paper knew of — 242 cycles for a request-reply in the
+   best case on a Pentium 166, four protection-domain crossings, with
+   segment-register reloads instead of page-table switches when the
+   active address spaces fit in 4 GB. *)
+
+let best_case_cycles = Ipc_costs.l4_request_reply_cycles
+
+let domain_crossings = Ipc_costs.l4_domain_crossings
+
+(* When the combined virtual spaces exceed 4 GB, L4 falls back to a
+   page-table switch and pays the TLB refill. *)
+let with_page_table_switch_cycles ~tlb_refill = best_case_cycles + 2 * tlb_refill
+
+let usec_on_p166 = float_of_int best_case_cycles /. 166.0
+
+(* Normalised to the paper's comparison: cycles per request-reply vs
+   Palladium's protected call and return. *)
+let palladium_advantage ~palladium_cycles = best_case_cycles - palladium_cycles

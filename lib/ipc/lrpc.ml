@@ -1,0 +1,14 @@
+(* LRPC model (section 2.2): cross-domain calls on the C-VAX Firefly —
+   125 us for a null call vs 464 us for conventional RPC; a
+   request-reply still performs two context switches and four
+   protection-domain crossings. *)
+
+let null_call_usec = Ipc_costs.lrpc_null_usec
+
+let conventional_rpc_usec = Ipc_costs.lrpc_conventional_rpc_usec
+
+let speedup_vs_rpc = conventional_rpc_usec /. null_call_usec
+
+let domain_crossings = 4
+
+let context_switches = 2

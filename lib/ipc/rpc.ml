@@ -1,0 +1,77 @@
+(* Linux socket-based RPC between two local processes — the Table 2
+   baseline.  The round trip is simulated on the DES as a pipeline of
+   stages (marshal, syscall, copy, protocol stack, context switch,
+   wakeup, dispatch), each charged from {!Ipc_costs}; a closed-form
+   sum is provided for cross-checking.  Data is copied four times per
+   round trip (user->kernel and kernel->user in each direction). *)
+
+type breakdown = {
+  syscalls : float;
+  stack : float;
+  switches : float;
+  marshal : float;
+  dispatch : float;
+  wakeups : float;
+  copies : float;
+}
+
+let wakeup_usec = 16.0
+
+let marshal_usec = 60.0
+
+let breakdown ~bytes =
+  {
+    syscalls = 4.0 *. Ipc_costs.syscall_usec;
+    stack = 2.0 *. Ipc_costs.stack_traversal_usec;
+    switches = 2.0 *. Ipc_costs.context_switch_usec;
+    marshal = 2.0 *. marshal_usec;
+    dispatch = Ipc_costs.rpc_dispatch_usec;
+    wakeups = 2.0 *. wakeup_usec;
+    copies = 4.0 *. Ipc_costs.per_byte_usec *. float_of_int bytes;
+  }
+
+let round_trip_usec ~bytes =
+  let b = breakdown ~bytes in
+  b.syscalls +. b.stack +. b.switches +. b.marshal +. b.dispatch +. b.wakeups
+  +. b.copies
+
+(* DES simulation of one round trip; returns completion time.  The
+   staging exists so concurrent clients contend realistically on the
+   server CPU in other experiments. *)
+let simulate_round_trip des ~cpu ~bytes ~k =
+  let copy = Ipc_costs.per_byte_usec *. float_of_int bytes in
+  let stage service next = Resource.acquire cpu ~service next in
+  (* client side: marshal, send syscall, copy to kernel, stack *)
+  stage (marshal_usec +. Ipc_costs.syscall_usec +. copy) (fun () ->
+      stage Ipc_costs.stack_traversal_usec (fun () ->
+          (* switch to server, wake it, copy up, dispatch, decode *)
+          stage
+            (Ipc_costs.context_switch_usec +. wakeup_usec +. copy
+           +. Ipc_costs.rpc_dispatch_usec)
+            (fun () ->
+              (* server executes the call and replies symmetrically *)
+              stage
+                (marshal_usec +. Ipc_costs.syscall_usec +. copy)
+                (fun () ->
+                  stage Ipc_costs.stack_traversal_usec (fun () ->
+                      stage
+                        (Ipc_costs.context_switch_usec +. wakeup_usec +. copy
+                       +. (2.0 *. Ipc_costs.syscall_usec))
+                        (fun () -> k (Des.now des)))))))
+
+(* Measure [runs] sequential round trips; returns mean usec. *)
+let measure ?(runs = 10) ~bytes () =
+  let des = Des.create () in
+  let cpu = Resource.create des ~name:"cpu" in
+  let total = ref 0.0 in
+  let rec go n =
+    if n > 0 then begin
+      let started = Des.now des in
+      simulate_round_trip des ~cpu ~bytes ~k:(fun finished ->
+          total := !total +. (finished -. started);
+          go (n - 1))
+    end
+  in
+  go runs;
+  Des.run des;
+  !total /. float_of_int runs

@@ -1,0 +1,95 @@
+(** Per-process user address spaces (0-3 GByte), demand paged, with
+    the Palladium PPL policy: after promotion (init_PL), writable
+    application pages are supervisor (PPL 0); extension areas, shared
+    areas, the GOT/PLT and read-only pages stay user (PPL 1). *)
+
+type t
+
+val create : phys:X86.Phys_mem.t -> dir:X86.Paging.dir -> t
+
+val directory : t -> X86.Paging.dir
+
+val areas : t -> Vm_area.t list
+
+val is_promoted : t -> bool
+
+val marked_pages : t -> int
+(** Statistics: PPL-marking operations performed. *)
+
+val find_area : t -> int -> Vm_area.t option
+
+exception Overlap
+
+val add_area : t -> Vm_area.t -> unit
+(** Raises {!Overlap}. *)
+
+val default_ppl :
+  t -> perms:Vm_area.perms -> kind:Vm_area.kind -> X86.Privilege.page_level
+
+val map_area :
+  t ->
+  ?label:string ->
+  va_start:int ->
+  len:int ->
+  perms:Vm_area.perms ->
+  Vm_area.kind ->
+  Vm_area.t
+(** Fixed-address mapping (page-rounded); PPL follows the promotion
+    policy. *)
+
+val find_free : t -> len:int -> hint:int -> int
+
+val mmap :
+  t ->
+  ?addr:int ->
+  ?label:string ->
+  len:int ->
+  perms:Vm_area.perms ->
+  Vm_area.kind ->
+  Vm_area.t
+
+val munmap : t -> addr:int -> len:int -> int
+(** Unmap overlapping areas and free their frames; returns the number
+    of areas dropped. *)
+
+val demand_map : t -> addr:int -> access:X86.Fault.access -> bool
+(** Page-fault service: [true] when the page was validly missing and
+    is now mapped. *)
+
+val populate : t -> Vm_area.t -> unit
+(** Eagerly map every page of an area. *)
+
+val apply_ppl : t -> Vm_area.t -> X86.Privilege.page_level -> int
+(** Re-stamp an area's PPL; returns PTEs touched (for cycle
+    accounting).  Callers flush the TLB. *)
+
+val promote : t -> int
+(** init_PL's memory side: writable non-extension pages become
+    supervisor.  Returns PTEs touched. *)
+
+val set_range :
+  t -> addr:int -> len:int -> X86.Privilege.page_level -> (int, Errno.t) result
+
+val mprotect :
+  t -> addr:int -> len:int -> perms:Vm_area.perms -> (unit, Errno.t) result
+(** Whole-area permission change (areas are page-aligned by
+    construction). *)
+
+(** {2 Kernel-side byte access (bypasses the CPU, not the mapping)} *)
+
+val phys_of : t -> int -> int
+
+val poke_bytes : t -> int -> Bytes.t -> unit
+
+val poke_string : t -> int -> string -> unit
+
+val poke_u32 : t -> int -> int -> unit
+
+val peek_u32 : t -> int -> int
+
+val peek_bytes : t -> int -> int -> Bytes.t
+
+val clone : t -> t
+(** fork: copy areas and page tables; PPLs are inherited. *)
+
+val pp : t Fmt.t

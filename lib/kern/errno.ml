@@ -1,0 +1,72 @@
+(* Unix error numbers, Linux values.  Syscalls return [-errno] in EAX
+   like the real ABI. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | EINVAL
+  | ENOSYS
+  | ETIME
+
+let to_code = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | ESRCH -> 3
+  | EBADF -> 9
+  | EAGAIN -> 11
+  | ENOMEM -> 12
+  | EACCES -> 13
+  | EFAULT -> 14
+  | EBUSY -> 16
+  | EEXIST -> 17
+  | EINVAL -> 22
+  | ENOSYS -> 38
+  | ETIME -> 62
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EBADF -> "EBADF"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EBUSY -> "EBUSY"
+  | EEXIST -> "EEXIST"
+  | EINVAL -> "EINVAL"
+  | ENOSYS -> "ENOSYS"
+  | ETIME -> "ETIME"
+
+(* Syscall return encoding. *)
+let to_ret e = -to_code e
+
+let of_ret v =
+  if v >= 0 then None
+  else
+    Some
+      (match -v with
+      | 1 -> EPERM
+      | 2 -> ENOENT
+      | 3 -> ESRCH
+      | 9 -> EBADF
+      | 11 -> EAGAIN
+      | 12 -> ENOMEM
+      | 13 -> EACCES
+      | 14 -> EFAULT
+      | 16 -> EBUSY
+      | 17 -> EEXIST
+      | 22 -> EINVAL
+      | 38 -> ENOSYS
+      | 62 -> ETIME
+      | n -> invalid_arg (Printf.sprintf "Errno.of_ret: %d" n))
+
+let pp ppf e = Fmt.string ppf (to_string e)

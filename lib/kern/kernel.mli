@@ -1,0 +1,127 @@
+(** The kernel: boots the simulated machine, owns the GDT/IDT, creates
+    tasks, dispatches int-0x80 system calls, services faults with the
+    Palladium policy and implements the paper's new system calls
+    (init_PL, set_range, set_call_gate) plus the section 4.5.2 kernel
+    modifications. *)
+
+exception Panic of string
+
+type t
+
+val boot : ?params:Cycles.params -> unit -> t
+
+(** {2 Accessors} *)
+
+val cpu : t -> Cpu.t
+
+val gdt : t -> X86.Desc_table.t
+
+val code : t -> Code_mem.t
+
+val phys : t -> X86.Phys_mem.t
+
+val console_contents : t -> string
+
+val console_write : t -> string -> unit
+
+val watchdog : t -> Watchdog.t
+
+val kernel_code_selector : t -> X86.Selector.t
+
+val kernel_data_selector : t -> X86.Selector.t
+
+val user_code_selector : t -> X86.Selector.t
+
+val user_data_selector : t -> X86.Selector.t
+
+val segv_log : t -> (int * Signal.info) list
+(** (pid, info) of every SIGSEGV delivered, oldest first. *)
+
+val kernel_ext_faults : t -> string list
+
+val current : t -> Task.t option
+
+val current_exn : t -> Task.t
+
+val find_task : t -> int -> Task.t option
+
+val syscall_entry_offset : t -> int
+
+val invoke_entry_offset : t -> int
+
+(** {2 Kernel memory} *)
+
+val kalloc : t -> bytes:int -> int
+(** Allocate backed kernel memory, mapped supervisor in every address
+    space; returns the linear address. *)
+
+val koffset : int -> int
+(** Kernel-segment offset of a kernel linear address. *)
+
+val klinear : int -> int
+
+val kstore_program : t -> linear:int -> Instr.t array -> unit
+
+val kphys : t -> int -> int
+
+val kpoke_u32 : t -> int -> int -> unit
+
+val kpeek_u32 : t -> int -> int
+
+val kpoke_bytes : t -> int -> Bytes.t -> unit
+
+val kpeek_bytes : t -> int -> int -> Bytes.t
+
+(** {2 Tasks} *)
+
+val create_task : t -> name:string -> Task.t
+
+val fork_task : t -> Task.t -> Task.t
+(** fork: privilege levels and the memory map (with PPLs) are
+    inherited; the LDT content is copied. *)
+
+val exec_task : t -> Task.t -> unit
+(** exec: fresh address space and LDT; taskSPL resets to 3. *)
+
+val sys_fork : t -> Syscall.context -> int
+
+val sys_exec : t -> Syscall.context -> int
+
+val reg_syscall : t -> number:int -> name:string -> Syscall.fn -> unit
+
+(** {2 Running code} *)
+
+val view_for : t -> Task.t -> X86.Desc_table.view
+
+val switch_to : t -> Task.t -> unit
+(** Make [task] current; re-entering the current task does not reload
+    CR3 (no TLB flush). *)
+
+val enter_user : t -> Task.t -> eip:int -> esp:int -> unit
+(** Place the CPU in user mode using the task's current user segments
+    (DPL 3 before promotion, the DPL 2 LDT segments after). *)
+
+val enter_kernel : t -> Task.t -> entry_offset:int -> unit
+(** Run kernel code at CPL 0 on the task's kernel stack. *)
+
+type run_result =
+  | Completed
+  | Faulted of X86.Fault.t
+  | Timed_out of Watchdog.expiry
+  | Out_of_fuel
+
+val run : t -> ?max_instrs:int -> unit -> run_result
+
+val kernel_invoke :
+  t -> Task.t -> fn_offset:int -> arg:int -> run_result * int * int
+(** Call the kernel function at [fn_offset] with [arg] through the
+    invoke trampoline; returns (outcome, EAX, cycles). *)
+
+(** {2 User program loading helpers} *)
+
+val map_user_text : t -> Task.t -> Asm.assembled -> unit
+
+val map_user_stack : t -> Task.t -> pages:int -> int
+(** Returns the initial ESP. *)
+
+val map_user_data : t -> Task.t -> addr:int -> len:int -> label:string -> Vm_area.t

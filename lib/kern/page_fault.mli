@@ -1,0 +1,15 @@
+(** The Palladium-modified fault policy (paper section 4.5.2): demand
+    paging, SIGSEGV for user extensions straying outside their domain,
+    segment abort for kernel extensions, panic for core-kernel bugs. *)
+
+type outcome =
+  | Repaired  (** demand paging succeeded: retry the instruction *)
+  | Deliver_segv of Signal.info
+  | Kernel_ext_fault of string
+  | Panic of string
+
+val decide : cpl:X86.Privilege.ring -> task:Task.t -> X86.Fault.t -> outcome
+
+val software_cost : params:Cycles.params -> outcome -> int
+(** Handler-software cycles on top of the hardware fault transfer,
+    calibrated to the paper's measured totals ({!Kcosts}). *)

@@ -1,0 +1,59 @@
+(* Task (process) structures.  [task_spl] is the paper's taskSPL field
+   added to task_struct: it starts at 3 and becomes 2 when the process
+   promotes itself through init_PL; the syscall dispatcher uses it to
+   reject system calls made directly by SPL 3 extensions of a promoted
+   process. *)
+
+module P = X86.Privilege
+
+type t = {
+  pid : int;
+  name : string;
+  mutable task_spl : P.ring;
+  mutable asp : Address_space.t; (* replaced wholesale by exec *)
+  ldt : X86.Desc_table.t;
+  tss : Tss.t;
+  signals : Signal.state;
+  mutable kernel_stack_top : int; (* linear address in kernel space *)
+  mutable parent : int option;
+  mutable exit_code : int option;
+  (* Selectors describing how user code of this task runs.  Before
+     promotion these are the shared GDT user segments at DPL 3; after
+     init_PL the code/stack selectors point at DPL 2 LDT entries. *)
+  mutable user_cs : X86.Selector.t;
+  mutable user_ss : X86.Selector.t;
+  mutable user_ds : X86.Selector.t;
+  (* LDT slots created by init_PL (None before promotion). *)
+  mutable app_cs : X86.Selector.t option;
+  mutable app_ss : X86.Selector.t option;
+  mutable ext_cs : X86.Selector.t option;
+}
+
+let create ~pid ~name ~asp ~ldt ~tss ~kernel_stack_top ~user_cs ~user_ss
+    ~user_ds =
+  {
+    pid;
+    name;
+    task_spl = P.R3;
+    asp;
+    ldt;
+    tss;
+    signals = Signal.create_state ();
+    kernel_stack_top;
+    parent = None;
+    exit_code = None;
+    user_cs;
+    user_ss;
+    user_ds;
+    app_cs = None;
+    app_ss = None;
+    ext_cs = None;
+  }
+
+let is_promoted t = P.equal t.task_spl P.R2
+
+let pp ppf t =
+  Fmt.pf ppf "task %d (%s) taskSPL=%a%s" t.pid t.name P.pp t.task_spl
+    (match t.exit_code with
+    | Some c -> Printf.sprintf " exited=%d" c
+    | None -> "")

@@ -1,0 +1,39 @@
+(** Task (process) structures.  [task_spl] is the paper's taskSPL
+    field: 3 until the process promotes itself with init_PL, then 2;
+    the syscall dispatcher uses it to reject direct system calls from
+    SPL 3 extensions of promoted processes. *)
+
+type t = {
+  pid : int;
+  name : string;
+  mutable task_spl : X86.Privilege.ring;
+  mutable asp : Address_space.t;
+  ldt : X86.Desc_table.t;
+  tss : Tss.t;
+  signals : Signal.state;
+  mutable kernel_stack_top : int;
+  mutable parent : int option;
+  mutable exit_code : int option;
+  mutable user_cs : X86.Selector.t;
+  mutable user_ss : X86.Selector.t;
+  mutable user_ds : X86.Selector.t;
+  mutable app_cs : X86.Selector.t option;  (** DPL 2, set by init_PL *)
+  mutable app_ss : X86.Selector.t option;
+  mutable ext_cs : X86.Selector.t option;  (** DPL 3 extension code *)
+}
+
+val create :
+  pid:int ->
+  name:string ->
+  asp:Address_space.t ->
+  ldt:X86.Desc_table.t ->
+  tss:Tss.t ->
+  kernel_stack_top:int ->
+  user_cs:X86.Selector.t ->
+  user_ss:X86.Selector.t ->
+  user_ds:X86.Selector.t ->
+  t
+
+val is_promoted : t -> bool
+
+val pp : t Fmt.t

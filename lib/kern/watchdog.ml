@@ -1,0 +1,54 @@
+(* CPU-time limits on extension invocations ("to prevent infinite-loop
+   bugs in extension routines, Palladium sets a time limit on the
+   maximal amount of CPU time that a user/kernel extension module can
+   get in each invocation ... enforced through explicit checks at timer
+   interrupts", section 4.5.2).
+
+   The check runs every [tick_instrs] simulated instructions, standing
+   in for the periodic timer interrupt. *)
+
+type expiry = { wd_limit : int; wd_used : int }
+
+exception Expired of expiry
+
+type arm = { start_cycles : int; limit_cycles : int }
+
+type t = {
+  mutable armed : arm option;
+  mutable tick_instrs : int;
+  mutable countdown : int;
+  mutable expirations : int;
+}
+
+(* System-administrator parameter: default invocation budget. *)
+let default_limit_cycles = 2_000_000 (* 10 ms at 200 MHz *)
+
+let create ?(tick_instrs = 64) () =
+  { armed = None; tick_instrs; countdown = tick_instrs; expirations = 0 }
+
+let arm t ~now ?(limit = default_limit_cycles) () =
+  t.armed <- Some { start_cycles = now; limit_cycles = limit };
+  t.countdown <- t.tick_instrs
+
+let disarm t = t.armed <- None
+
+let is_armed t = t.armed <> None
+
+let expirations t = t.expirations
+
+(* Per-instruction hook body.  Raises {!Expired} when the armed budget
+   has been exceeded at a timer tick. *)
+let check t ~now =
+  match t.armed with
+  | None -> ()
+  | Some { start_cycles; limit_cycles } ->
+      t.countdown <- t.countdown - 1;
+      if t.countdown <= 0 then begin
+        t.countdown <- t.tick_instrs;
+        let used = now - start_cycles in
+        if used > limit_cycles then begin
+          t.expirations <- t.expirations + 1;
+          t.armed <- None;
+          raise (Expired { wd_limit = limit_cycles; wd_used = used })
+        end
+      end

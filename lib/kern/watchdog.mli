@@ -1,0 +1,26 @@
+(** Per-invocation CPU-time limits on extensions, enforced at
+    simulated timer ticks (paper section 4.5.2). *)
+
+type expiry = { wd_limit : int; wd_used : int }
+
+exception Expired of expiry
+
+type t
+
+val default_limit_cycles : int
+
+val create : ?tick_instrs:int -> unit -> t
+(** [tick_instrs] is the number of instructions between checks (the
+    timer-interrupt period). *)
+
+val arm : t -> now:int -> ?limit:int -> unit -> unit
+
+val disarm : t -> unit
+
+val is_armed : t -> bool
+
+val expirations : t -> int
+
+val check : t -> now:int -> unit
+(** Per-instruction hook body; raises {!Expired} when the armed budget
+    is exceeded at a tick. *)

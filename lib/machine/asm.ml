@@ -1,0 +1,95 @@
+(* Two-pass assembler for simulated programs.  Addresses produced are
+   *segment offsets*: a loader places the text at a linear address by
+   adding the code segment's base, but intra-program branch targets and
+   label symbols remain offsets (EIP values). *)
+
+type item = L of string | I of Instr.t
+
+type program = item list
+
+exception Unresolved of string
+
+type assembled = {
+  instrs : Instr.t array;
+  symbols : (string * int) list; (* label -> offset *)
+  org : int;
+  text_size : int; (* bytes *)
+}
+
+let layout ~org items =
+  let tbl = Hashtbl.create 16 in
+  let rec pass addr acc = function
+    | [] -> List.rev acc
+    | L name :: rest ->
+        if Hashtbl.mem tbl name then
+          invalid_arg (Printf.sprintf "Asm: duplicate label %s" name);
+        Hashtbl.replace tbl name addr;
+        pass addr acc rest
+    | I i :: rest -> pass (addr + Instr.size) (i :: acc) rest
+  in
+  let instrs = pass org [] items in
+  (tbl, instrs)
+
+let assemble ?(org = 0) ?(extern = fun _ -> None) items =
+  if org land (Instr.size - 1) <> 0 then invalid_arg "Asm.assemble: unaligned org";
+  let labels, instrs = layout ~org items in
+  let resolve_name name =
+    match Hashtbl.find_opt labels name with
+    | Some a -> a
+    | None -> ( match extern name with Some a -> a | None -> raise (Unresolved name))
+  in
+  let target = function
+    | Instr.Abs a -> Instr.Abs a
+    | Instr.Label l -> Instr.Abs (resolve_name l)
+  in
+  let operand = function
+    | Operand.Sym s -> Operand.Imm (resolve_name s)
+    | (Operand.Reg _ | Operand.Imm _ | Operand.Mem _) as o -> o
+  in
+  let instr : Instr.t -> Instr.t = function
+    | Instr.Mov (d, s) -> Instr.Mov (operand d, operand s)
+    | Instr.Movb (d, s) -> Instr.Movb (operand d, operand s)
+    | Instr.Push o -> Instr.Push (operand o)
+    | Instr.Pop o -> Instr.Pop (operand o)
+    | Instr.Mov_to_sreg (sr, o) -> Instr.Mov_to_sreg (sr, operand o)
+    | Instr.Mov_from_sreg (o, sr) -> Instr.Mov_from_sreg (operand o, sr)
+    | Instr.Alu (op, d, s) -> Instr.Alu (op, operand d, operand s)
+    | Instr.Cmp (a, b) -> Instr.Cmp (operand a, operand b)
+    | Instr.Test (a, b) -> Instr.Test (operand a, operand b)
+    | Instr.Inc o -> Instr.Inc (operand o)
+    | Instr.Dec o -> Instr.Dec (operand o)
+    | Instr.Neg o -> Instr.Neg (operand o)
+    | Instr.Not o -> Instr.Not (operand o)
+    | Instr.Shl (o, n) -> Instr.Shl (operand o, n)
+    | Instr.Shr (o, n) -> Instr.Shr (operand o, n)
+    | Instr.Imul (r, o) -> Instr.Imul (r, operand o)
+    | Instr.Xchg (a, b) -> Instr.Xchg (operand a, operand b)
+    | Instr.Call t -> Instr.Call (target t)
+    | Instr.Call_ind o -> Instr.Call_ind (operand o)
+    | Instr.Jmp t -> Instr.Jmp (target t)
+    | Instr.Jmp_ind o -> Instr.Jmp_ind (operand o)
+    | Instr.Jcc (c, t) -> Instr.Jcc (c, target t)
+    | Instr.Lcall_ind o -> Instr.Lcall_ind (operand o)
+    | ( Instr.Lea _ | Instr.Push_sreg _ | Instr.Ret | Instr.Ret_imm _
+      | Instr.Lcall _ | Instr.Lret | Instr.Lret_imm _ | Instr.Int_ _
+      | Instr.Iret | Instr.Hlt | Instr.Nop | Instr.Mark _ | Instr.Kcall _
+      | Instr.Work _ ) as i ->
+        i
+  in
+  let instrs = Array.of_list (List.map instr instrs) in
+  let symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [] in
+  { instrs; symbols; org; text_size = Array.length instrs * Instr.size }
+
+let symbol assembled name =
+  match List.assoc_opt name assembled.symbols with
+  | Some a -> a
+  | None -> raise (Unresolved name)
+
+let load assembled code ~seg_base =
+  Code_mem.store_program code ~addr:(seg_base + assembled.org) assembled.instrs
+
+(* Convenience for building programs in OCaml. *)
+let length_bytes items =
+  List.fold_left
+    (fun n -> function L _ -> n | I _ -> n + Instr.size)
+    0 items

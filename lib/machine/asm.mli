@@ -1,0 +1,27 @@
+(** Two-pass assembler.  Produced addresses are segment offsets. *)
+
+type item = L of string  (** label *) | I of Instr.t
+
+type program = item list
+
+exception Unresolved of string
+
+type assembled = {
+  instrs : Instr.t array;
+  symbols : (string * int) list;
+  org : int;
+  text_size : int;
+}
+
+val assemble :
+  ?org:int -> ?extern:(string -> int option) -> program -> assembled
+(** Resolve labels (and external symbols via [extern]); raises
+    {!Unresolved} for symbols neither local nor external. *)
+
+val symbol : assembled -> string -> int
+(** Offset of a label; raises {!Unresolved}. *)
+
+val load : assembled -> Code_mem.t -> seg_base:int -> unit
+(** Place the text at linear [seg_base + org]. *)
+
+val length_bytes : program -> int

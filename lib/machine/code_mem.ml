@@ -1,0 +1,27 @@
+(* Instruction store.  Instructions live at linear addresses in 4-byte
+   slots; instruction *fetch* still goes through the full segment and
+   page protection checks, only the bytes themselves are kept out of
+   the byte-level physical memory for simplicity. *)
+
+type t = { slots : (int, Instr.t) Hashtbl.t }
+
+let create () = { slots = Hashtbl.create 4096 }
+
+let store t ~addr instr =
+  if addr land (Instr.size - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Code_mem.store: unaligned %#x" addr);
+  Hashtbl.replace t.slots addr instr
+
+let store_program t ~addr instrs =
+  Array.iteri (fun i instr -> store t ~addr:(addr + (i * Instr.size)) instr) instrs
+
+let fetch t ~addr = Hashtbl.find_opt t.slots addr
+
+let remove_range t ~addr ~len =
+  let first = addr land lnot (Instr.size - 1) in
+  let n = (len + Instr.size - 1) / Instr.size in
+  for i = 0 to n - 1 do
+    Hashtbl.remove t.slots (first + (i * Instr.size))
+  done
+
+let count t = Hashtbl.length t.slots

@@ -1,0 +1,15 @@
+(** Instruction store: 4-byte slots at linear addresses. *)
+
+type t
+
+val create : unit -> t
+
+val store : t -> addr:int -> Instr.t -> unit
+
+val store_program : t -> addr:int -> Instr.t array -> unit
+
+val fetch : t -> addr:int -> Instr.t option
+
+val remove_range : t -> addr:int -> len:int -> unit
+
+val count : t -> int

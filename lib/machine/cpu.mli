@@ -1,0 +1,114 @@
+(** The simulated CPU: executes {!Instr.t} programs under the full x86
+    segment- and page-level protection checks with Pentium cycle
+    accounting. *)
+
+type flags = { mutable zf : bool; mutable cf : bool; mutable lt : bool }
+
+type fault_action = Fault_continue | Fault_stop
+
+type stop = Halted | Max_instructions | Fault_abort of X86.Fault.t
+
+type t
+
+val create :
+  mmu:X86.Mmu.t ->
+  code:Code_mem.t ->
+  view:X86.Desc_table.view ->
+  idt:X86.Desc_table.t ->
+  tss:Tss.t ->
+  ?params:Cycles.params ->
+  unit ->
+  t
+
+(** {2 State access} *)
+
+val cycles : t -> int
+
+val charge : t -> int -> unit
+
+val instructions : t -> int
+
+val fault_count : t -> int
+
+val cpl : t -> X86.Privilege.ring
+
+val get_reg : t -> Reg.t -> int
+
+val set_reg : t -> Reg.t -> int -> unit
+
+val eip : t -> int
+
+val set_eip : t -> int -> unit
+
+val halted : t -> bool
+
+val set_halted : t -> bool -> unit
+
+val view : t -> X86.Desc_table.view
+
+val set_view : t -> X86.Desc_table.view -> unit
+
+val tss : t -> Tss.t
+
+val mmu : t -> X86.Mmu.t
+
+val code : t -> Code_mem.t
+
+val params : t -> Cycles.params
+
+val seg_reg : t -> Reg.sreg -> X86.Segmentation.loaded
+
+val force_seg : t -> Reg.sreg -> X86.Segmentation.loaded -> unit
+(** Set a segment register without checks (boot / task-switch only). *)
+
+val null_loaded : X86.Segmentation.loaded
+
+(** {2 Phase marks (cycle attribution)} *)
+
+val marks : t -> (string * int) list
+(** [(name, cycle-count-at-mark)] in program order. *)
+
+val clear_marks : t -> unit
+
+(** {2 Hooks} *)
+
+val register_handler : t -> string -> (t -> unit) -> unit
+(** Target of the [Kcall] pseudo-instruction. *)
+
+val set_on_fault : t -> (t -> X86.Fault.t -> fault_action) option -> unit
+
+val set_on_instr : t -> (t -> unit) option -> unit
+
+val set_tracing : t -> bool -> unit
+
+val recent_trace : ?n:int -> t -> (int * Instr.t) list
+
+(** {2 Memory and stack helpers (respecting all protection checks)} *)
+
+val read_mem : t -> X86.Segmentation.loaded -> offset:int -> size:int -> int
+
+val write_mem :
+  t -> X86.Segmentation.loaded -> offset:int -> size:int -> int -> unit
+
+val push_u32 : t -> int -> unit
+
+val pop_u32 : t -> int
+
+(** {2 Execution} *)
+
+val step : t -> unit
+(** Execute one instruction; raises {!X86.Fault.Fault}. *)
+
+val run : ?max_instrs:int -> t -> stop
+
+(** {2 State capture and task switch} *)
+
+type saved_state
+
+val save_state : t -> saved_state
+
+val restore_state : t -> saved_state -> unit
+
+val switch_task : t -> view:X86.Desc_table.view -> tss:Tss.t -> unit
+
+val pp_state : t Fmt.t

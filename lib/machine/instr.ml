@@ -1,0 +1,135 @@
+(* The instruction set the simulator executes: the IA-32 subset needed
+   by Palladium's stubs, the BPF interpreter, extension bodies and the
+   micro-benchmarks, plus three simulator pseudo-instructions:
+
+   - [Mark]  zero-cost phase marker for cycle attribution (Table 1);
+   - [Kcall] upcall into an OCaml-implemented kernel service, used at
+     the far end of interrupt gates so kernel logic can live in OCaml
+     while all protection checks and control transfers stay simulated;
+   - [Work]  abstract computation charging a fixed number of cycles,
+     for modelled (non-simulated) code bodies. *)
+
+type alu = Add | Sub | And | Or | Xor
+
+type cond =
+  | Eq
+  | Ne
+  | Lt (* signed *)
+  | Le
+  | Gt
+  | Ge
+  | Below (* unsigned < *)
+  | Below_eq
+  | Above
+  | Above_eq
+
+type target = Abs of int | Label of string
+
+type t =
+  | Mov of Operand.t * Operand.t (* dst, src *)
+  | Movb of Operand.t * Operand.t (* byte-sized: loads zero-extend *)
+  | Lea of Reg.t * Operand.mem
+  | Push of Operand.t
+  | Pop of Operand.t
+  | Push_sreg of Reg.sreg
+  | Mov_to_sreg of Reg.sreg * Operand.t
+  | Mov_from_sreg of Operand.t * Reg.sreg
+  | Alu of alu * Operand.t * Operand.t (* op dst, src *)
+  | Cmp of Operand.t * Operand.t
+  | Test of Operand.t * Operand.t
+  | Inc of Operand.t
+  | Dec of Operand.t
+  | Neg of Operand.t
+  | Not of Operand.t
+  | Shl of Operand.t * int
+  | Shr of Operand.t * int
+  | Imul of Reg.t * Operand.t
+  | Xchg of Operand.t * Operand.t
+  | Call of target
+  | Call_ind of Operand.t
+  | Ret
+  | Ret_imm of int
+  | Jmp of target
+  | Jmp_ind of Operand.t
+  | Jcc of cond * target
+  | Lcall of int (* selector (call gate) as encoded by X86.Selector.encode *)
+  | Lcall_ind of Operand.t (* far indirect: operand holds the selector *)
+  | Lret
+  | Lret_imm of int
+  | Int_ of int
+  | Iret
+  | Hlt
+  | Nop
+  | Mark of string
+  | Kcall of string
+  | Work of int
+
+(* Every instruction occupies one 4-byte slot in the simulated code
+   space; EIP advances in units of [size]. *)
+let size = 4
+
+let pp_cond ppf c =
+  Fmt.string ppf
+    (match c with
+    | Eq -> "e"
+    | Ne -> "ne"
+    | Lt -> "l"
+    | Le -> "le"
+    | Gt -> "g"
+    | Ge -> "ge"
+    | Below -> "b"
+    | Below_eq -> "be"
+    | Above -> "a"
+    | Above_eq -> "ae")
+
+let pp_target ppf = function
+  | Abs a -> Fmt.pf ppf "%#x" a
+  | Label l -> Fmt.string ppf l
+
+let pp_alu ppf a =
+  Fmt.string ppf
+    (match a with
+    | Add -> "add"
+    | Sub -> "sub"
+    | And -> "and"
+    | Or -> "or"
+    | Xor -> "xor")
+
+let pp ppf = function
+  | Mov (d, s) -> Fmt.pf ppf "mov %a, %a" Operand.pp d Operand.pp s
+  | Movb (d, s) -> Fmt.pf ppf "movb %a, %a" Operand.pp d Operand.pp s
+  | Lea (r, m) -> Fmt.pf ppf "lea %a, %a" Reg.pp r Operand.pp_mem m
+  | Push o -> Fmt.pf ppf "push %a" Operand.pp o
+  | Pop o -> Fmt.pf ppf "pop %a" Operand.pp o
+  | Push_sreg s -> Fmt.pf ppf "push %a" Reg.pp_sreg s
+  | Mov_to_sreg (s, o) -> Fmt.pf ppf "mov %a, %a" Reg.pp_sreg s Operand.pp o
+  | Mov_from_sreg (o, s) -> Fmt.pf ppf "mov %a, %a" Operand.pp o Reg.pp_sreg s
+  | Alu (a, d, s) -> Fmt.pf ppf "%a %a, %a" pp_alu a Operand.pp d Operand.pp s
+  | Cmp (a, b) -> Fmt.pf ppf "cmp %a, %a" Operand.pp a Operand.pp b
+  | Test (a, b) -> Fmt.pf ppf "test %a, %a" Operand.pp a Operand.pp b
+  | Inc o -> Fmt.pf ppf "inc %a" Operand.pp o
+  | Dec o -> Fmt.pf ppf "dec %a" Operand.pp o
+  | Neg o -> Fmt.pf ppf "neg %a" Operand.pp o
+  | Not o -> Fmt.pf ppf "not %a" Operand.pp o
+  | Shl (o, n) -> Fmt.pf ppf "shl %a, %d" Operand.pp o n
+  | Shr (o, n) -> Fmt.pf ppf "shr %a, %d" Operand.pp o n
+  | Imul (r, o) -> Fmt.pf ppf "imul %a, %a" Reg.pp r Operand.pp o
+  | Xchg (a, b) -> Fmt.pf ppf "xchg %a, %a" Operand.pp a Operand.pp b
+  | Call t -> Fmt.pf ppf "call %a" pp_target t
+  | Call_ind o -> Fmt.pf ppf "call *%a" Operand.pp o
+  | Ret -> Fmt.string ppf "ret"
+  | Ret_imm n -> Fmt.pf ppf "ret %d" n
+  | Jmp t -> Fmt.pf ppf "jmp %a" pp_target t
+  | Jmp_ind o -> Fmt.pf ppf "jmp *%a" Operand.pp o
+  | Jcc (c, t) -> Fmt.pf ppf "j%a %a" pp_cond c pp_target t
+  | Lcall sel -> Fmt.pf ppf "lcall %a" X86.Selector.pp (X86.Selector.decode sel)
+  | Lcall_ind o -> Fmt.pf ppf "lcall *%a" Operand.pp o
+  | Lret -> Fmt.string ppf "lret"
+  | Lret_imm n -> Fmt.pf ppf "lret %d" n
+  | Int_ v -> Fmt.pf ppf "int %#x" v
+  | Iret -> Fmt.string ppf "iret"
+  | Hlt -> Fmt.string ppf "hlt"
+  | Nop -> Fmt.string ppf "nop"
+  | Mark s -> Fmt.pf ppf "@%s" s
+  | Kcall s -> Fmt.pf ppf "kcall %s" s
+  | Work n -> Fmt.pf ppf "work %d" n

@@ -1,0 +1,53 @@
+(* Instruction operands.  Memory operands carry an optional segment
+   override; without one the CPU uses SS when the base register is ESP
+   or EBP and DS otherwise, like the hardware's default-segment rule. *)
+
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option; (* register and scale (1,2,4,8) *)
+  disp : int;
+  seg_override : Reg.sreg option;
+}
+
+type t =
+  | Reg of Reg.t
+  | Imm of int
+  | Mem of mem
+  | Sym of string
+      (* absolute address of a label/symbol; resolved to [Imm] at
+         assembly or load time *)
+
+let mem ?base ?index ?seg ?(disp = 0) () =
+  (match index with
+  | Some (_, s) when s <> 1 && s <> 2 && s <> 4 && s <> 8 ->
+      invalid_arg "Operand.mem: scale must be 1, 2, 4 or 8"
+  | Some _ | None -> ());
+  Mem { base; index; disp; seg_override = seg }
+
+let deref ?(disp = 0) r = mem ~base:r ~disp ()
+
+let absolute ?seg addr = mem ?seg ~disp:addr ()
+
+let label s = Sym s
+
+let is_memory = function Mem _ -> true | Reg _ | Imm _ | Sym _ -> false
+
+let pp_mem ppf m =
+  let pp_seg ppf = function
+    | Some s -> Fmt.pf ppf "%a:" Reg.pp_sreg s
+    | None -> ()
+  in
+  Fmt.pf ppf "%a[" pp_seg m.seg_override;
+  (match m.base with Some b -> Reg.pp ppf b | None -> ());
+  (match m.index with
+  | Some (r, s) -> Fmt.pf ppf "+%a*%d" Reg.pp r s
+  | None -> ());
+  if m.disp <> 0 || (m.base = None && m.index = None) then
+    Fmt.pf ppf "%s%#x" (if m.disp < 0 then "-" else "+") (abs m.disp);
+  Fmt.string ppf "]"
+
+let pp ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm i -> Fmt.pf ppf "$%#x" i
+  | Mem m -> pp_mem ppf m
+  | Sym s -> Fmt.pf ppf "$%s" s

@@ -1,0 +1,26 @@
+(** Instruction operands. *)
+
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option;
+  disp : int;
+  seg_override : Reg.sreg option;
+}
+
+type t = Reg of Reg.t | Imm of int | Mem of mem | Sym of string
+
+val mem :
+  ?base:Reg.t -> ?index:Reg.t * int -> ?seg:Reg.sreg -> ?disp:int -> unit -> t
+
+val deref : ?disp:int -> Reg.t -> t
+(** [deref ~disp r] is the memory operand [disp(r)]. *)
+
+val absolute : ?seg:Reg.sreg -> int -> t
+
+val label : string -> t
+
+val is_memory : t -> bool
+
+val pp_mem : mem Fmt.t
+
+val pp : t Fmt.t

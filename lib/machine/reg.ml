@@ -1,0 +1,36 @@
+(* General-purpose and segment registers of the IA-32 subset the
+   simulator executes. *)
+
+type t = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+
+type sreg = CS | DS | SS | ES
+
+let all = [ EAX; EBX; ECX; EDX; ESI; EDI; EBP; ESP ]
+
+let index = function
+  | EAX -> 0
+  | EBX -> 1
+  | ECX -> 2
+  | EDX -> 3
+  | ESI -> 4
+  | EDI -> 5
+  | EBP -> 6
+  | ESP -> 7
+
+let count = 8
+
+let name = function
+  | EAX -> "eax"
+  | EBX -> "ebx"
+  | ECX -> "ecx"
+  | EDX -> "edx"
+  | ESI -> "esi"
+  | EDI -> "edi"
+  | EBP -> "ebp"
+  | ESP -> "esp"
+
+let sreg_name = function CS -> "cs" | DS -> "ds" | SS -> "ss" | ES -> "es"
+
+let pp ppf r = Fmt.string ppf (name r)
+
+let pp_sreg ppf r = Fmt.string ppf (sreg_name r)

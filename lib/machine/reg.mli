@@ -1,0 +1,19 @@
+(** General-purpose and segment registers. *)
+
+type t = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+
+type sreg = CS | DS | SS | ES
+
+val all : t list
+
+val index : t -> int
+
+val count : int
+
+val name : t -> string
+
+val sreg_name : sreg -> string
+
+val pp : t Fmt.t
+
+val pp_sreg : sreg Fmt.t

@@ -1,0 +1,59 @@
+(* Task State Segment.  Holds the per-ring stack pointers used by
+   inter-privilege control transfers (there is no ring-3 slot: x86
+   never transfers *into* ring 3 through a gate — which is exactly the
+   mismatch Palladium's lret trick works around) and the page table
+   loaded into CR3 on a task switch. *)
+
+type stack = { stack_selector : X86.Selector.t; stack_pointer : int }
+
+type t = {
+  tss_id : int;
+  mutable sp0 : stack option;
+  mutable sp1 : stack option;
+  mutable sp2 : stack option;
+  mutable dir : X86.Paging.dir;
+  mutable ldt : X86.Desc_table.t option;
+}
+
+let next_id = ref 0
+
+let create ~dir ?ldt () =
+  incr next_id;
+  { tss_id = !next_id; sp0 = None; sp1 = None; sp2 = None; dir; ldt }
+
+let id t = t.tss_id
+
+let set_stack t ring stack =
+  match ring with
+  | X86.Privilege.R0 -> t.sp0 <- Some stack
+  | X86.Privilege.R1 -> t.sp1 <- Some stack
+  | X86.Privilege.R2 -> t.sp2 <- Some stack
+  | X86.Privilege.R3 ->
+      invalid_arg "Tss.set_stack: the TSS has no ring-3 stack slot"
+
+let stack_for t ring =
+  let slot =
+    match ring with
+    | X86.Privilege.R0 -> t.sp0
+    | X86.Privilege.R1 -> t.sp1
+    | X86.Privilege.R2 -> t.sp2
+    | X86.Privilege.R3 -> None
+  in
+  match slot with
+  | Some s -> s
+  | None ->
+      X86.Fault.raise_
+        (X86.Fault.Invalid_transfer
+           {
+             reason =
+               Printf.sprintf "TSS#%d has no stack for ring %d" t.tss_id
+                 (X86.Privilege.to_int ring);
+           })
+
+let directory t = t.dir
+
+let set_directory t dir = t.dir <- dir
+
+let ldt t = t.ldt
+
+let set_ldt t ldt = t.ldt <- ldt

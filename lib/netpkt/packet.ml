@@ -1,0 +1,115 @@
+(* Network packet construction and field offsets: Ethernet II + IPv4 +
+   UDP/TCP headers, enough for the packet-filtering experiments.
+   Multi-byte fields are big-endian (network order), which is what BPF
+   absolute loads expect. *)
+
+(* Field offsets from the start of the frame (no IP options). *)
+let off_ether_dst = 0
+
+let off_ether_src = 6
+
+let off_ether_type = 12
+
+let off_ip_start = 14
+
+let off_ip_len = 16
+
+let off_ip_proto = 23
+
+let off_ip_src = 26
+
+let off_ip_dst = 30
+
+let off_src_port = 34
+
+let off_dst_port = 36
+
+let ethertype_ip = 0x0800
+
+let ethertype_arp = 0x0806
+
+let proto_tcp = 6
+
+let proto_udp = 17
+
+let proto_icmp = 1
+
+type t = {
+  ether_dst : int array; (* 6 bytes *)
+  ether_src : int array;
+  ether_type : int;
+  ip_proto : int;
+  ip_src : int; (* 32-bit, host int *)
+  ip_dst : int;
+  src_port : int;
+  dst_port : int;
+  payload : Bytes.t;
+}
+
+let mac a b c d e f = [| a; b; c; d; e; f |]
+
+let default_mac = mac 0 1 2 3 4 5
+
+let ip a b c d =
+  ((a land 0xFF) lsl 24) lor ((b land 0xFF) lsl 16) lor ((c land 0xFF) lsl 8)
+  lor (d land 0xFF)
+
+let udp ?(ether_dst = default_mac) ?(ether_src = default_mac)
+    ?(src = ip 10 0 0 1) ?(dst = ip 10 0 0 2) ?(src_port = 1234)
+    ?(dst_port = 80) ?(payload = Bytes.create 18) () =
+  {
+    ether_dst;
+    ether_src;
+    ether_type = ethertype_ip;
+    ip_proto = proto_udp;
+    ip_src = src;
+    ip_dst = dst;
+    src_port;
+    dst_port;
+    payload;
+  }
+
+let tcp ?ether_dst ?ether_src ?src ?dst ?src_port ?dst_port ?payload () =
+  { (udp ?ether_dst ?ether_src ?src ?dst ?src_port ?dst_port ?payload ()) with
+    ip_proto = proto_tcp }
+
+let arp () =
+  { (udp ()) with ether_type = ethertype_arp }
+
+let header_bytes = 42 (* 14 + 20 + 8 *)
+
+let length t = header_bytes + Bytes.length t.payload
+
+(* Serialise to wire format. *)
+let to_bytes t =
+  let len = length t in
+  let b = Bytes.make len '\000' in
+  let set8 off v = Bytes.set b off (Char.chr (v land 0xFF)) in
+  let set16 off v =
+    set8 off (v lsr 8);
+    set8 (off + 1) v
+  in
+  let set32 off v =
+    set16 off (v lsr 16);
+    set16 (off + 2) v
+  in
+  Array.iteri (fun i v -> set8 (off_ether_dst + i) v) t.ether_dst;
+  Array.iteri (fun i v -> set8 (off_ether_src + i) v) t.ether_src;
+  set16 off_ether_type t.ether_type;
+  set8 off_ip_start 0x45; (* version 4, ihl 5 *)
+  set16 off_ip_len (len - 14);
+  set8 22 64; (* ttl *)
+  set8 off_ip_proto t.ip_proto;
+  set32 off_ip_src t.ip_src;
+  set32 off_ip_dst t.ip_dst;
+  set16 off_src_port t.src_port;
+  set16 off_dst_port t.dst_port;
+  Bytes.blit t.payload 0 b header_bytes (Bytes.length t.payload);
+  b
+
+(* Big-endian field accessors over wire bytes (mirror of BPF loads). *)
+let get8 b off = Char.code (Bytes.get b off)
+
+let get16 b off = (get8 b off lsl 8) lor get8 b (off + 1)
+
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)

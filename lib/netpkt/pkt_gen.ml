@@ -1,0 +1,48 @@
+(* Deterministic packet workload generation (seeded LCG, no ambient
+   randomness) for the packet-filter experiments. *)
+
+type t = { mutable state : int }
+
+let create ?(seed = 0x5EED) () = { state = seed land 0x3FFF_FFFF }
+
+let next t =
+  (* Numerical Recipes LCG, 31-bit *)
+  t.state <- ((t.state * 1664525) + 1013904223) land 0x3FFF_FFFF;
+  t.state
+
+let next_below t n = if n <= 0 then 0 else next t mod n
+
+let next_bool t ~percent = next_below t 100 < percent
+
+(* A stream of UDP/TCP packets in which [match_percent] of packets
+   match the canonical filter target (UDP, 10.0.0.1 -> 10.0.0.2, port
+   80 -> 7777). *)
+let target_src = Packet.ip 10 0 0 1
+
+let target_dst = Packet.ip 10 0 0 2
+
+let target_src_port = 80
+
+let target_dst_port = 7777
+
+let matching_packet ?(payload_len = 18) () =
+  Packet.udp ~src:target_src ~dst:target_dst ~src_port:target_src_port
+    ~dst_port:target_dst_port
+    ~payload:(Bytes.create payload_len) ()
+
+let random_packet t ~match_percent =
+  if next_bool t ~percent:match_percent then matching_packet ()
+  else
+    match next_below t 4 with
+    | 0 -> Packet.arp ()
+    | 1 -> Packet.tcp ~src_port:(1024 + next_below t 60000) ()
+    | 2 ->
+        Packet.udp
+          ~src:(Packet.ip 192 168 (next_below t 256) (next_below t 256))
+          ~dst_port:(next_below t 1024) ()
+    | _ ->
+        Packet.udp ~src:target_src ~dst:target_dst ~src_port:target_src_port
+          ~dst_port:(7778 + next_below t 100) ()
+
+let stream t ~count ~match_percent =
+  List.init count (fun _ -> random_packet t ~match_percent)

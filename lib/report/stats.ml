@@ -1,0 +1,31 @@
+(* Small statistics helpers for repeated-run measurements. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let relative_stddev xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else stddev xs /. m
+
+let min_max = function
+  | [] -> (nan, nan)
+  | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+
+(* Repeat a measurement [runs] times and return (mean, stddev). *)
+let sample ~runs f =
+  let xs = List.init runs (fun _ -> f ()) in
+  (mean xs, stddev xs)

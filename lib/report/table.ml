@@ -1,0 +1,49 @@
+(* ASCII table rendering for the benchmark harness: every paper table
+   and figure series is printed through this so the output is easy to
+   diff against EXPERIMENTS.md. *)
+
+type align = L | R
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | L -> s ^ String.make (width - n) ' '
+    | R -> String.make (width - n) ' ' ^ s
+
+let render ?(aligns = []) ~headers rows =
+  let ncols = List.length headers in
+  let align_of i =
+    match List.nth_opt aligns i with Some a -> a | None -> R
+  in
+  let widths = Array.make ncols 0 in
+  let consider row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  consider headers;
+  List.iter consider rows;
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (align_of i) widths.(i) cell) row)
+  in
+  let sep =
+    String.concat "  "
+      (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  String.concat "\n" ((line headers :: sep :: List.map line rows) @ [])
+
+let print ?aligns ~title ~headers rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ?aligns ~headers rows)
+
+let cell_int v = string_of_int v
+
+let cell_float ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+let cell_usec v = Printf.sprintf "%.2f" v
+
+let cell_ratio ?(digits = 2) a b =
+  if b = 0.0 then "-" else Printf.sprintf "%.*fx" digits (a /. b)

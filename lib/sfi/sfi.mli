@@ -1,0 +1,29 @@
+(** Software fault isolation (Wahbe et al., SOSP '93): the
+    software-only sandboxing baseline of paper sections 2.1/2.3.
+    Guarded accesses are address-coerced into a power-of-two-aligned
+    region via and/or masking around a spilled scratch register. *)
+
+type policy = Write_only | Read_write
+
+type region = { base : int; size : int }
+
+val check_region : region -> unit
+(** Raises [Invalid_argument] unless [size] is a power of two and
+    [base] is size-aligned. *)
+
+val mask : region -> int
+
+val scratch : Reg.t
+(** The register spilled around each guarded access. *)
+
+val rewrite_instr : policy -> region -> Instr.t -> Asm.item list
+(** Raises [Invalid_argument] on indirect control flow (not
+    sandboxable in this scheme). *)
+
+val rewrite_program : policy -> region -> Asm.program -> Asm.program
+
+val sandbox_image : policy -> region -> Image.t -> Image.t
+(** Rewrite an image's text; data/exports unchanged. *)
+
+val inserted_instructions : policy -> Asm.program -> int
+(** Static guard-instruction overhead, for reporting. *)

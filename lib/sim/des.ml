@@ -1,0 +1,93 @@
+(* Discrete-event simulator: a binary-heap event queue over simulated
+   time in microseconds.  Drives the web-server (Table 3) and RPC
+   (Table 2) experiments. *)
+
+type event = { at : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable now : float;
+  mutable next_seq : int; (* FIFO tie-break for simultaneous events *)
+  mutable executed : int;
+}
+
+let create () =
+  {
+    heap = Array.make 64 { at = 0.0; seq = 0; action = ignore };
+    size = 0;
+    now = 0.0;
+    next_seq = 0;
+    executed = 0;
+  }
+
+let now t = t.now
+
+let executed t = t.executed
+
+let earlier a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Des.schedule: negative delay";
+  if t.size = Array.length t.heap then begin
+    let bigger =
+      Array.make (2 * t.size) { at = 0.0; seq = 0; action = ignore }
+    in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <-
+    { at = t.now +. delay; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0;
+    Some top
+  end
+
+let run ?until t =
+  let continue_at at = match until with None -> true | Some u -> at <= u in
+  let rec loop () =
+    match pop t with
+    | None -> ()
+    | Some ev ->
+        if continue_at ev.at then begin
+          t.now <- ev.at;
+          t.executed <- t.executed + 1;
+          ev.action ();
+          loop ()
+        end
+        else t.now <- Option.value until ~default:t.now
+  in
+  loop ()

@@ -1,0 +1,17 @@
+(** Discrete-event simulator: a binary-heap event queue over simulated
+    time in microseconds, with FIFO tie-breaking at equal times. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+
+val executed : t -> int
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] on negative delays. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the queue drains or the
+    horizon is reached. *)

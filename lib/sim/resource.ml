@@ -1,0 +1,51 @@
+(* FCFS single-server resource (a CPU, a network link): requests queue
+   and are served one at a time; completion fires a callback.  Tracks
+   utilisation for reporting. *)
+
+type request = { service : float; k : unit -> unit }
+
+type t = {
+  des : Des.t;
+  name : string;
+  queue : request Queue.t;
+  mutable busy : bool;
+  mutable busy_time : float;
+  mutable served : int;
+  mutable started_at : float;
+}
+
+let create des ~name =
+  {
+    des;
+    name;
+    queue = Queue.create ();
+    busy = false;
+    busy_time = 0.0;
+    served = 0;
+    started_at = 0.0;
+  }
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some { service; k } ->
+      t.busy <- true;
+      t.started_at <- Des.now t.des;
+      Des.schedule t.des ~delay:service (fun () ->
+          t.busy_time <- t.busy_time +. service;
+          t.served <- t.served + 1;
+          k ();
+          start_next t)
+
+(* Acquire the resource for [service] time units; [k] runs at
+   completion. *)
+let acquire t ~service k =
+  Queue.add { service; k } t.queue;
+  if not t.busy then start_next t
+
+let served t = t.served
+
+let utilisation t ~horizon =
+  if horizon <= 0.0 then 0.0 else t.busy_time /. horizon
+
+let queue_length t = Queue.length t.queue

@@ -1,0 +1,15 @@
+(** FCFS single-server resource (a CPU, a network link) on the DES. *)
+
+type t
+
+val create : Des.t -> name:string -> t
+
+val acquire : t -> service:float -> (unit -> unit) -> unit
+(** Queue a request for [service] time units; the callback fires when
+    service completes. *)
+
+val served : t -> int
+
+val utilisation : t -> horizon:float -> float
+
+val queue_length : t -> int

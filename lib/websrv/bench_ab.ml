@@ -1,0 +1,37 @@
+(* ApacheBench-style driver: the Table 3 sweep (four file sizes, five
+   invocation models, 1000 requests, 30 concurrent). *)
+
+let sizes = [ ("28 Bytes", 28); ("1 KBytes", 1024); ("10 KBytes", 10_240); ("100 KBytes", 102_400) ]
+
+let invocations =
+  [
+    Cgi_model.Cgi;
+    Cgi_model.Fast_cgi;
+    Cgi_model.Libcgi_protected;
+    Cgi_model.Libcgi;
+    Cgi_model.Static;
+  ]
+
+type row = {
+  size_label : string;
+  size_bytes : int;
+  by_invocation : (Cgi_model.invocation * Server.result) list;
+}
+
+let sweep ~protected_call_usec =
+  List.map
+    (fun (size_label, size_bytes) ->
+      let by_invocation =
+        List.map
+          (fun invocation ->
+            ( invocation,
+              Server.run ~invocation ~bytes:size_bytes ~protected_call_usec () ))
+          invocations
+      in
+      { size_label; size_bytes; by_invocation })
+    sizes
+
+let throughput row invocation =
+  match List.assoc_opt invocation row.by_invocation with
+  | Some r -> r.Server.throughput_rps
+  | None -> nan

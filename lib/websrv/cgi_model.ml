@@ -1,0 +1,84 @@
+(* Per-request server CPU cost model for the Table 3 experiment: an
+   Apache-class server on a Pentium 200 MHz / 64 MB machine serving a
+   memory-resident file over 100 Mbps Ethernet under five CGI
+   execution models.
+
+   Calibration: the static-file ("Web Server") column of Table 3 pins
+   the base HTTP cost and the per-byte copy cost (with a cache-
+   locality knee past ~10 KB); the *differences* between columns pin
+   each invocation model's overhead:
+     - CGI: fork + exec + pipe set-up + process teardown per request;
+     - FastCGI: socket IPC round trip to a persistent CGI process,
+       plus per-byte copying of the response through the socket;
+     - LibCGI: an ordinary function call plus framework bookkeeping;
+     - protected LibCGI: LibCGI plus Palladium's protected call —
+       whose cost is *measured on the simulated CPU* and passed in —
+       plus per-request shared-area management.  *)
+
+type invocation =
+  | Static (* the server reads and writes the file itself *)
+  | Cgi
+  | Fast_cgi
+  | Libcgi
+  | Libcgi_protected
+
+let name = function
+  | Static -> "Web Server"
+  | Cgi -> "CGI"
+  | Fast_cgi -> "FastCGI"
+  | Libcgi -> "LibCGI (unprotected)"
+  | Libcgi_protected -> "LibCGI (protected)"
+
+(* --- Calibrated constants (microseconds) --------------------------- *)
+
+(* Base HTTP handling: accept, parse, open, headers, close. *)
+let http_base_usec = 2170.0
+
+(* Copy/checksum per byte; larger files fall out of the L2 cache. *)
+let per_byte_usec bytes = if bytes <= 10_240 then 0.100 else 0.155
+
+(* fork + exec + pipe + wait for a fresh CGI process. *)
+let fork_exec_usec = 8_030.0
+
+(* Extra copy of the script output through the CGI pipe. *)
+let cgi_per_byte_usec = 0.05
+
+(* FastCGI socket round trip to the persistent process. *)
+let fastcgi_ipc_usec = 3_000.0
+
+(* Response copy through the FastCGI socket (bounded by the socket
+   buffer; beyond it the copy overlaps with transmission). *)
+let fastcgi_per_byte_usec = 0.145
+
+let fastcgi_copy_cap_bytes = 16_384
+
+(* LibCGI dispatch and framework bookkeeping. *)
+let libcgi_usec = 58.0
+
+(* Palladium per-request shared-area management (argument staging in
+   PPL 1 pages), beyond the protected call itself. *)
+let palladium_shared_usec = 50.0
+
+(* --- The model ------------------------------------------------------ *)
+
+let static_usec ~bytes = http_base_usec +. (per_byte_usec bytes *. float_of_int bytes)
+
+(* CPU time consumed at the server per request.
+   [protected_call_usec] is the measured cost of one Palladium
+   protected procedure call (Table 1 gives 142 cycles = 0.71 us). *)
+let request_usec ~invocation ~bytes ~protected_call_usec =
+  let base = static_usec ~bytes in
+  match invocation with
+  | Static -> base
+  | Cgi -> base +. fork_exec_usec +. (cgi_per_byte_usec *. float_of_int bytes)
+  | Fast_cgi ->
+      base +. fastcgi_ipc_usec
+      +. (fastcgi_per_byte_usec *. float_of_int (min bytes fastcgi_copy_cap_bytes))
+  | Libcgi -> base +. libcgi_usec
+  | Libcgi_protected ->
+      base +. libcgi_usec +. palladium_shared_usec +. protected_call_usec
+
+(* 100 Mbps Ethernet: transmission time of the response. *)
+let link_bytes_per_usec = 12.5
+
+let transmit_usec ~bytes = float_of_int bytes /. link_bytes_per_usec

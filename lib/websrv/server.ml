@@ -1,0 +1,45 @@
+(* Discrete-event web-server experiment: [concurrency] closed-loop
+   clients issue [total] requests against one server CPU and one
+   100 Mbps link; each request consumes model-dependent CPU time and
+   then transmits the response. *)
+
+type result = {
+  requests : int;
+  elapsed_usec : float;
+  throughput_rps : float;
+  cpu_utilisation : float;
+  link_utilisation : float;
+}
+
+let run ?(concurrency = 30) ?(total = 1000) ~invocation ~bytes
+    ~protected_call_usec () =
+  let des = Des.create () in
+  let cpu = Resource.create des ~name:"cpu" in
+  let link = Resource.create des ~name:"link" in
+  let issued = ref 0 in
+  let completed = ref 0 in
+  let cpu_time =
+    Cgi_model.request_usec ~invocation ~bytes ~protected_call_usec
+  in
+  let tx_time = Cgi_model.transmit_usec ~bytes in
+  let rec submit () =
+    if !issued < total then begin
+      incr issued;
+      Resource.acquire cpu ~service:cpu_time (fun () ->
+          Resource.acquire link ~service:tx_time (fun () ->
+              incr completed;
+              submit ()))
+    end
+  in
+  for _ = 1 to concurrency do
+    submit ()
+  done;
+  Des.run des;
+  let elapsed = Des.now des in
+  {
+    requests = !completed;
+    elapsed_usec = elapsed;
+    throughput_rps = float_of_int !completed /. (elapsed /. 1_000_000.0);
+    cpu_utilisation = Resource.utilisation cpu ~horizon:elapsed;
+    link_utilisation = Resource.utilisation link ~horizon:elapsed;
+  }

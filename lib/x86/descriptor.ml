@@ -1,0 +1,166 @@
+(* Segment and gate descriptors, the 8-byte GDT/LDT entries of Figure 1
+   in the paper.  We keep them as structured values rather than packed
+   bytes; [encode]/[decode] provide the hardware bit layout for tests
+   and for programs that inspect descriptor tables. *)
+
+type code_attr = { conforming : bool; readable : bool }
+
+type data_attr = { writable : bool; expand_down : bool }
+
+type gate = {
+  gate_dpl : Privilege.ring;
+  target : Selector.t; (* code segment the gate transfers to *)
+  entry : int; (* offset of the entry point in the target segment *)
+  param_count : int; (* dwords copied between stacks on a PL change *)
+}
+
+type kind =
+  | Code of code_attr
+  | Data of data_attr
+  | Call_gate of gate
+  | Interrupt_gate of gate
+  | Trap_gate of gate
+  | Tss_desc of { tss_id : int; busy : bool }
+
+type seg = {
+  base : int;
+  limit : int; (* highest valid offset, i.e. size - 1 *)
+  dpl : Privilege.ring;
+  present : bool;
+  kind : kind;
+}
+
+type t = seg
+
+let max_limit = 0xFFFF_FFFF
+
+let check_range ~base ~limit =
+  if base < 0 || base > max_limit then
+    invalid_arg (Printf.sprintf "Descriptor: base %#x out of range" base);
+  if limit < 0 || limit > max_limit then
+    invalid_arg (Printf.sprintf "Descriptor: limit %#x out of range" limit)
+
+let code ?(conforming = false) ?(readable = true) ~base ~limit ~dpl () =
+  check_range ~base ~limit;
+  { base; limit; dpl; present = true; kind = Code { conforming; readable } }
+
+let data ?(writable = true) ?(expand_down = false) ~base ~limit ~dpl () =
+  check_range ~base ~limit;
+  { base; limit; dpl; present = true; kind = Data { writable; expand_down } }
+
+let call_gate ~dpl ~target ~entry ?(param_count = 0) () =
+  {
+    base = 0;
+    limit = 0;
+    dpl;
+    present = true;
+    kind = Call_gate { gate_dpl = dpl; target; entry; param_count };
+  }
+
+let interrupt_gate ~dpl ~target ~entry () =
+  {
+    base = 0;
+    limit = 0;
+    dpl;
+    present = true;
+    kind = Interrupt_gate { gate_dpl = dpl; target; entry; param_count = 0 };
+  }
+
+let trap_gate ~dpl ~target ~entry () =
+  {
+    base = 0;
+    limit = 0;
+    dpl;
+    present = true;
+    kind = Trap_gate { gate_dpl = dpl; target; entry; param_count = 0 };
+  }
+
+let tss ~tss_id ~dpl =
+  { base = 0; limit = 0x67; dpl; present = true; kind = Tss_desc { tss_id; busy = false } }
+
+let not_present t = { t with present = false }
+
+let is_code t = match t.kind with Code _ -> true | _ -> false
+
+let is_data t = match t.kind with Data _ -> true | _ -> false
+
+let is_gate t =
+  match t.kind with
+  | Call_gate _ | Interrupt_gate _ | Trap_gate _ -> true
+  | Code _ | Data _ | Tss_desc _ -> false
+
+let is_writable t =
+  match t.kind with Data { writable; _ } -> writable | _ -> false
+
+let is_readable t =
+  match t.kind with
+  | Data _ -> true
+  | Code { readable; _ } -> readable
+  | Call_gate _ | Interrupt_gate _ | Trap_gate _ | Tss_desc _ -> false
+
+let is_conforming t =
+  match t.kind with Code { conforming; _ } -> conforming | _ -> false
+
+(* Limit check.  For expand-down data segments valid offsets lie
+   *above* the limit (stack segments); everything else is the ordinary
+   [offset + size - 1 <= limit] check. *)
+let offset_valid t ~offset ~size =
+  if size <= 0 then invalid_arg "Descriptor.offset_valid: size";
+  match t.kind with
+  | Data { expand_down = true; _ } ->
+      offset > t.limit && offset + size - 1 <= max_limit
+  | Code _ | Data _ -> offset >= 0 && offset + size - 1 <= t.limit
+  | Call_gate _ | Interrupt_gate _ | Trap_gate _ | Tss_desc _ -> false
+
+(* Hardware encoding (Figure 1): two 32-bit words.  We encode enough of
+   the real layout to make encode/decode a faithful round trip: base
+   (32 bits split 16/8/8), limit (20 bits split 16/4, G=1 page
+   granularity when limit doesn't fit), type bits, S, DPL, P. *)
+let encode t =
+  let granular = t.limit > 0xFFFFF in
+  let limit = if granular then t.limit lsr 12 else t.limit in
+  let type_bits, s_bit =
+    match t.kind with
+    | Code { conforming; readable } ->
+        (0b1000 lor (if conforming then 0b100 else 0) lor (if readable then 0b10 else 0), 1)
+    | Data { writable; expand_down } ->
+        ((if expand_down then 0b100 else 0) lor (if writable then 0b10 else 0), 1)
+    | Call_gate _ -> (0b1100, 0)
+    | Interrupt_gate _ -> (0b1110, 0)
+    | Trap_gate _ -> (0b1111, 0)
+    | Tss_desc { busy; _ } -> ((if busy then 0b1011 else 0b1001), 0)
+  in
+  let lo = (t.base land 0xFFFF) lsl 16 lor (limit land 0xFFFF) in
+  let hi =
+    (t.base lsr 16 land 0xFF)
+    lor (type_bits lsl 8)
+    lor (s_bit lsl 12)
+    lor (Privilege.to_int t.dpl lsl 13)
+    lor ((if t.present then 1 else 0) lsl 15)
+    lor (limit lsr 16 land 0xF) lsl 16
+    lor ((if granular then 1 else 0) lsl 23)
+    lor (t.base lsr 24 land 0xFF) lsl 24
+  in
+  (lo, hi)
+
+let pp_kind ppf = function
+  | Code { conforming; readable } ->
+      Fmt.pf ppf "code%s%s"
+        (if conforming then "+conf" else "")
+        (if readable then "+r" else "")
+  | Data { writable; expand_down } ->
+      Fmt.pf ppf "data%s%s"
+        (if writable then "+w" else "")
+        (if expand_down then "+down" else "")
+  | Call_gate g ->
+      Fmt.pf ppf "callgate->%a:%#x" Selector.pp g.target g.entry
+  | Interrupt_gate g ->
+      Fmt.pf ppf "intgate->%a:%#x" Selector.pp g.target g.entry
+  | Trap_gate g -> Fmt.pf ppf "trapgate->%a:%#x" Selector.pp g.target g.entry
+  | Tss_desc { tss_id; busy } ->
+      Fmt.pf ppf "tss#%d%s" tss_id (if busy then "(busy)" else "")
+
+let pp ppf t =
+  Fmt.pf ppf "{%a base=%#x limit=%#x dpl=%a%s}" pp_kind t.kind t.base t.limit
+    Privilege.pp t.dpl
+    (if t.present then "" else " !present")

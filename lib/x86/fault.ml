@@ -1,0 +1,98 @@
+(* Protection faults raised by the simulated MMU and CPU.
+
+   These map onto the x86 exception vectors the paper's mechanisms rely
+   on: general-protection faults (#GP, vector 13) for segment-limit,
+   segment-privilege and gate violations, and page faults (#PF, vector
+   14) for page-level violations.  Palladium's kernel-extension
+   confinement manifests as #GP; its user-extension confinement
+   manifests as #PF followed by SIGSEGV delivery. *)
+
+type access = Read | Write | Execute
+
+type t =
+  | Null_selector
+      (* Memory reference through the null selector. *)
+  | Descriptor_missing of { selector : Selector.t }
+      (* Selector indexes an empty descriptor-table slot. *)
+  | Segment_not_present of { selector : Selector.t }
+  | Limit_violation of {
+      selector : Selector.t;
+      offset : int;
+      limit : int;
+      access : access;
+    }
+      (* Offset beyond the segment limit: the check that confines a
+         kernel extension to its extension segment. *)
+  | Segment_privilege of {
+      selector : Selector.t;
+      cpl : Privilege.ring;
+      rpl : Privilege.ring;
+      dpl : Privilege.ring;
+    }
+      (* max(CPL, RPL) > DPL on a segment-register load. *)
+  | Segment_type of { selector : Selector.t; expected : string }
+      (* e.g. write through a code segment, execute through data. *)
+  | Gate_privilege of {
+      selector : Selector.t;
+      cpl : Privilege.ring;
+      gate_dpl : Privilege.ring;
+    }
+      (* Caller not privileged enough to pass through a gate. *)
+  | Invalid_transfer of { reason : string }
+      (* lcall/lret semantics violation, e.g. far return to a more
+         privileged level. *)
+  | Page_not_present of { linear : int; access : access }
+  | Page_privilege of { linear : int; access : access; cpl : Privilege.ring }
+      (* User-mode access to a supervisor (PPL 0) page: the check that
+         protects an extensible application from its extensions. *)
+  | Page_readonly of { linear : int }
+      (* User-mode write to a read-only page (e.g. the protected GOT). *)
+
+type access_t = access
+
+exception Fault of t
+
+let raise_ t = raise (Fault t)
+
+let pp_access ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Execute -> Fmt.string ppf "execute"
+
+let vector = function
+  | Null_selector | Descriptor_missing _ | Limit_violation _
+  | Segment_privilege _ | Segment_type _ | Gate_privilege _
+  | Invalid_transfer _ ->
+      13 (* #GP *)
+  | Segment_not_present _ -> 11 (* #NP *)
+  | Page_not_present _ | Page_privilege _ | Page_readonly _ -> 14 (* #PF *)
+
+let is_page_fault t = vector t = 14
+
+let pp ppf = function
+  | Null_selector -> Fmt.string ppf "#GP: null selector"
+  | Descriptor_missing { selector } ->
+      Fmt.pf ppf "#GP: no descriptor at %a" Selector.pp selector
+  | Segment_not_present { selector } ->
+      Fmt.pf ppf "#NP: segment %a not present" Selector.pp selector
+  | Limit_violation { selector; offset; limit; access } ->
+      Fmt.pf ppf "#GP: %a offset %#x beyond limit %#x of %a" pp_access access
+        offset limit Selector.pp selector
+  | Segment_privilege { selector; cpl; rpl; dpl } ->
+      Fmt.pf ppf "#GP: %a needs DPL>=max(%a,rpl%d) but DPL=%a" Selector.pp
+        selector Privilege.pp cpl (Privilege.to_int rpl) Privilege.pp dpl
+  | Segment_type { selector; expected } ->
+      Fmt.pf ppf "#GP: %a is not %s" Selector.pp selector expected
+  | Gate_privilege { selector; cpl; gate_dpl } ->
+      Fmt.pf ppf "#GP: gate %a DPL=%a below caller %a" Selector.pp selector
+        Privilege.pp gate_dpl Privilege.pp cpl
+  | Invalid_transfer { reason } -> Fmt.pf ppf "#GP: %s" reason
+  | Page_not_present { linear; access } ->
+      Fmt.pf ppf "#PF: %a at %#x (not present)" pp_access access linear
+  | Page_privilege { linear; access; cpl } ->
+      Fmt.pf ppf "#PF: %a at %#x from %a hits supervisor page" pp_access access
+        linear Privilege.pp cpl
+  | Page_readonly { linear } ->
+      Fmt.pf ppf "#PF: write to read-only page at %#x" linear
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,129 @@
+(* The full translation pipeline of Figure 1: segment-level checks
+   produce a linear address (done by [Segmentation]); this module
+   performs the page-level checks and the linear-to-physical
+   translation through the TLB and, on a miss, the page walk.
+
+   The WP bit of CR0 is modelled as clear, matching the Linux 2.0
+   kernels the prototype ran on: supervisor-mode writes ignore the
+   page-level read-only bit, user-mode writes do not.  The paper's GOT
+   write protection targets SPL 3 extensions, which are user mode, so
+   the read-only check applies to exactly the accesses it must. *)
+
+type t = {
+  phys : Phys_mem.t;
+  tlb : Tlb.t;
+  mutable dir : Paging.dir;
+  mutable walks : int;
+}
+
+let create ?tlb phys ~dir =
+  let tlb = match tlb with Some t -> t | None -> Tlb.create () in
+  { phys; tlb; dir; walks = 0 }
+
+let phys t = t.phys
+
+let tlb t = t.tlb
+
+let directory t = t.dir
+
+(* Loading CR3 switches the page table and flushes the TLB, as the
+   hardware does on a task switch. *)
+let load_cr3 t dir =
+  t.dir <- dir;
+  Tlb.flush t.tlb
+
+let flush_tlb t = Tlb.flush t.tlb
+
+let page_walks t = t.walks
+
+(* True when the access runs with user-mode page privileges.  Only
+   ring 3 is user mode; rings 0-2 are supervisor — this is precisely
+   why Palladium puts extensible applications at SPL 2. *)
+let user_mode cpl = Privilege.equal cpl Privilege.R3
+
+type translation = { phys_addr : int; walked : bool }
+
+let check_pte ~cpl ~(access : Fault.access) ~linear (pte : Paging.pte) =
+  if user_mode cpl && not pte.Paging.user then
+    Fault.raise_ (Fault.Page_privilege { linear; access; cpl });
+  match access with
+  | Fault.Write ->
+      if (not pte.Paging.writable) && user_mode cpl then
+        Fault.raise_ (Fault.Page_readonly { linear })
+  | Fault.Read | Fault.Execute -> ()
+
+let translate t ~cpl ~(access : Fault.access) linear =
+  let vpn = Paging.vpn_of_linear linear in
+  let off = linear land Phys_mem.page_mask in
+  match Tlb.lookup t.tlb ~vpn with
+  | Some e ->
+      (* TLB entries cache the U/S and W bits, so protection checks are
+         performed on hits too (as the hardware does). *)
+      if user_mode cpl && not e.Tlb.e_user then
+        Fault.raise_ (Fault.Page_privilege { linear; access; cpl });
+      (match access with
+      | Fault.Write ->
+          if (not e.Tlb.e_writable) && user_mode cpl then
+            Fault.raise_ (Fault.Page_readonly { linear })
+      | Fault.Read | Fault.Execute -> ());
+      { phys_addr = Paging.linear_of_vpn e.Tlb.e_pfn lor off; walked = false }
+  | None -> (
+      t.walks <- t.walks + 1;
+      match Paging.lookup t.dir ~vpn with
+      | None -> Fault.raise_ (Fault.Page_not_present { linear; access })
+      | Some pte ->
+          check_pte ~cpl ~access ~linear pte;
+          pte.Paging.accessed <- true;
+          if access = Fault.Write then pte.Paging.dirty <- true;
+          Tlb.insert t.tlb ~vpn ~pfn:pte.Paging.pfn ~user:pte.Paging.user
+            ~writable:pte.Paging.writable;
+          { phys_addr = Paging.linear_of_vpn pte.Paging.pfn lor off; walked = true })
+
+(* Multi-byte accesses that straddle a page boundary translate each
+   page; we translate the first and last byte, which covers the 1/2/4
+   byte sizes used by the CPU model. *)
+let translate_range t ~cpl ~access linear size =
+  let first = translate t ~cpl ~access linear in
+  if (linear land Phys_mem.page_mask) + size > Phys_mem.page_size then
+    ignore (translate t ~cpl ~access (linear + size - 1));
+  first
+
+let read_u8 t ~cpl linear =
+  let { phys_addr; _ } = translate t ~cpl ~access:Fault.Read linear in
+  Phys_mem.read_u8 t.phys phys_addr
+
+let write_u8 t ~cpl linear v =
+  let { phys_addr; _ } = translate t ~cpl ~access:Fault.Write linear in
+  Phys_mem.write_u8 t.phys phys_addr v
+
+let read_u32 t ~cpl linear =
+  if linear land Phys_mem.page_mask <= Phys_mem.page_size - 4 then
+    let { phys_addr; _ } = translate t ~cpl ~access:Fault.Read linear in
+    Phys_mem.read_u32 t.phys phys_addr
+  else
+    (* straddles a page: byte-by-byte *)
+    read_u8 t ~cpl linear
+    lor (read_u8 t ~cpl (linear + 1) lsl 8)
+    lor (read_u8 t ~cpl (linear + 2) lsl 16)
+    lor (read_u8 t ~cpl (linear + 3) lsl 24)
+
+let write_u32 t ~cpl linear v =
+  if linear land Phys_mem.page_mask <= Phys_mem.page_size - 4 then
+    let { phys_addr; _ } = translate t ~cpl ~access:Fault.Write linear in
+    Phys_mem.write_u32 t.phys phys_addr v
+  else begin
+    write_u8 t ~cpl linear (v land 0xFF);
+    write_u8 t ~cpl (linear + 1) ((v lsr 8) land 0xFF);
+    write_u8 t ~cpl (linear + 2) ((v lsr 16) land 0xFF);
+    write_u8 t ~cpl (linear + 3) ((v lsr 24) land 0xFF)
+  end
+
+let read_bytes t ~cpl linear len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (read_u8 t ~cpl (linear + i)))
+  done;
+  out
+
+let write_bytes t ~cpl linear src =
+  Bytes.iteri (fun i c -> write_u8 t ~cpl (linear + i) (Char.code c)) src

@@ -1,0 +1,43 @@
+(** Linear-to-physical translation with page-level protection checks
+    (TLB + page walk). *)
+
+type t
+
+val create : ?tlb:Tlb.t -> Phys_mem.t -> dir:Paging.dir -> t
+
+val phys : t -> Phys_mem.t
+
+val tlb : t -> Tlb.t
+
+val directory : t -> Paging.dir
+
+val load_cr3 : t -> Paging.dir -> unit
+(** Switch page tables and flush the TLB (task switch). *)
+
+val flush_tlb : t -> unit
+
+val page_walks : t -> int
+
+val user_mode : Privilege.ring -> bool
+(** Only ring 3 runs with user-mode page privileges. *)
+
+type translation = { phys_addr : int; walked : bool }
+
+val translate : t -> cpl:Privilege.ring -> access:Fault.access -> int -> translation
+(** Raises {!Fault.Fault} on page-not-present, user access to a
+    supervisor (PPL 0) page, or user write to a read-only page. *)
+
+val translate_range :
+  t -> cpl:Privilege.ring -> access:Fault.access -> int -> int -> translation
+
+val read_u8 : t -> cpl:Privilege.ring -> int -> int
+
+val write_u8 : t -> cpl:Privilege.ring -> int -> int -> unit
+
+val read_u32 : t -> cpl:Privilege.ring -> int -> int
+
+val write_u32 : t -> cpl:Privilege.ring -> int -> int -> unit
+
+val read_bytes : t -> cpl:Privilege.ring -> int -> int -> Bytes.t
+
+val write_bytes : t -> cpl:Privilege.ring -> int -> Bytes.t -> unit

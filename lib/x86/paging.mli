@@ -1,0 +1,49 @@
+(** Two-level page tables; the entry's user/supervisor bit is the
+    paper's PPL (user = PPL 1). *)
+
+val entries_per_table : int
+
+val vpn_of_linear : int -> int
+
+val linear_of_vpn : int -> int
+
+type pte = {
+  mutable pfn : int;
+  mutable present : bool;
+  mutable writable : bool;
+  mutable user : bool;
+  mutable accessed : bool;
+  mutable dirty : bool;
+}
+
+type dir
+
+val create : unit -> dir
+
+val id : dir -> int
+(** Stand-in for the physical address loaded into CR3. *)
+
+val mapped_pages : dir -> int
+
+val lookup : dir -> vpn:int -> pte option
+
+val walk_length : int
+(** Memory references of a hardware page walk (charged on TLB miss). *)
+
+val map : dir -> vpn:int -> pfn:int -> writable:bool -> user:bool -> unit
+
+val unmap : dir -> vpn:int -> int option
+(** Returns the frame that was mapped, if any. *)
+
+val set_user : dir -> vpn:int -> bool -> bool
+(** PPL marking; returns false when the page is not mapped.  Callers
+    must flush the TLB. *)
+
+val set_writable : dir -> vpn:int -> bool -> bool
+
+val iter : dir -> (int -> pte -> unit) -> unit
+
+val clone : dir -> dir
+(** Copy all mappings (fork); PPL bits are inherited verbatim. *)
+
+val pp_pte : pte Fmt.t

@@ -1,0 +1,59 @@
+(* Privilege rings of the x86 architecture.
+
+   The paper uses the terms SPL (segment privilege level) and PPL (page
+   privilege level).  SPL is a ring 0..3 stored in a descriptor's DPL
+   field; PPL is the single user/supervisor bit of a page-table entry.
+   Ring 0 is the most privileged. *)
+
+type ring = R0 | R1 | R2 | R3
+
+type t = ring
+
+let to_int = function R0 -> 0 | R1 -> 1 | R2 -> 2 | R3 -> 3
+
+let of_int = function
+  | 0 -> R0
+  | 1 -> R1
+  | 2 -> R2
+  | 3 -> R3
+  | n -> invalid_arg (Printf.sprintf "Privilege.of_int: %d" n)
+
+let compare a b = Int.compare (to_int a) (to_int b)
+
+let equal a b = compare a b = 0
+
+(* [is_at_least_as_privileged a b] is true when ring [a] is numerically
+   less than or equal to ring [b], i.e. [a] may access resources guarded
+   at level [b]. *)
+let is_at_least_as_privileged a b = to_int a <= to_int b
+
+let more_privileged a b = to_int a < to_int b
+
+let less_privileged a b = to_int a > to_int b
+
+(* The numerically larger (less privileged) of two rings; used for the
+   effective privilege level max(CPL, RPL) of a data-segment access. *)
+let weakest a b = if to_int a >= to_int b then a else b
+
+type page_level = Supervisor | User
+
+(* Default page privilege for a segment at a given ring: pages of
+   segments at SPL 0..2 are supervisor (PPL 0); SPL 3 pages are user
+   (PPL 1).  Section 3.1 of the paper. *)
+let default_page_level = function
+  | R0 | R1 | R2 -> Supervisor
+  | R3 -> User
+
+let page_level_to_int = function Supervisor -> 0 | User -> 1
+
+(* A ring may touch a page iff the ring is supervisor (0..2) or the page
+   is a user page.  This is the x86 U/S check. *)
+let may_access_page ring page =
+  match (ring, page) with
+  | (R0 | R1 | R2), _ -> true
+  | R3, User -> true
+  | R3, Supervisor -> false
+
+let pp ppf r = Fmt.pf ppf "SPL%d" (to_int r)
+
+let pp_page ppf p = Fmt.pf ppf "PPL%d" (page_level_to_int p)

@@ -1,0 +1,89 @@
+(* Segment registers and segment-level protection checks.
+
+   A loaded segment register keeps the descriptor it was loaded with
+   (the hardware's hidden descriptor cache), so per-access checks do
+   not re-read the descriptor table — only segment loads do.  This is
+   what makes cross-segment references cost extra cycles in the paper
+   (the 12-cycle segment-register reload of section 5.1). *)
+
+type loaded = { selector : Selector.t; cache : Descriptor.seg }
+
+(* Data-segment load check: max(CPL, RPL) must be at least as
+   privileged as the segment's DPL.  Conforming code segments may also
+   be loaded for reading. *)
+let load_data view ~cpl selector =
+  let d = Desc_table.resolve view selector in
+  let rpl = Selector.rpl selector in
+  (match d.Descriptor.kind with
+  | Descriptor.Data _ -> ()
+  | Descriptor.Code { readable = true; _ } -> ()
+  | Descriptor.Code _ | Descriptor.Call_gate _ | Descriptor.Interrupt_gate _
+  | Descriptor.Trap_gate _ | Descriptor.Tss_desc _ ->
+      Fault.raise_ (Fault.Segment_type { selector; expected = "data segment" }));
+  let effective = Privilege.weakest cpl rpl in
+  if
+    (not (Descriptor.is_conforming d))
+    && not (Privilege.is_at_least_as_privileged effective d.Descriptor.dpl)
+  then
+    Fault.raise_
+      (Fault.Segment_privilege { selector; cpl; rpl; dpl = d.Descriptor.dpl });
+  { selector; cache = d }
+
+(* Stack-segment load: must be writable data with DPL = CPL exactly. *)
+let load_stack view ~cpl selector =
+  let d = Desc_table.resolve view selector in
+  (match d.Descriptor.kind with
+  | Descriptor.Data { writable = true; _ } -> ()
+  | Descriptor.Data _ | Descriptor.Code _ | Descriptor.Call_gate _
+  | Descriptor.Interrupt_gate _ | Descriptor.Trap_gate _ | Descriptor.Tss_desc _
+    ->
+      Fault.raise_
+        (Fault.Segment_type { selector; expected = "writable stack segment" }));
+  if not (Privilege.equal d.Descriptor.dpl cpl) then
+    Fault.raise_
+      (Fault.Segment_privilege
+         { selector; cpl; rpl = Selector.rpl selector; dpl = d.Descriptor.dpl });
+  { selector; cache = d }
+
+(* Code-segment load for a far transfer that has already passed gate /
+   privilege-transition checks; the caller supplies the CPL that will
+   be in force after the transfer. *)
+let load_code view ~new_cpl selector =
+  let d = Desc_table.resolve view selector in
+  (match d.Descriptor.kind with
+  | Descriptor.Code _ -> ()
+  | Descriptor.Data _ | Descriptor.Call_gate _ | Descriptor.Interrupt_gate _
+  | Descriptor.Trap_gate _ | Descriptor.Tss_desc _ ->
+      Fault.raise_ (Fault.Segment_type { selector; expected = "code segment" }));
+  { selector = Selector.with_rpl selector new_cpl; cache = d }
+
+let cpl_of_code loaded = Selector.rpl loaded.selector
+
+(* Per-access segment check: limit and read/write permission.  Returns
+   the linear address. *)
+let linear loaded ~offset ~size ~(access : Fault.access) =
+  let d = loaded.cache in
+  if not (Descriptor.offset_valid d ~offset ~size) then
+    Fault.raise_
+      (Fault.Limit_violation
+         { selector = loaded.selector; offset; limit = d.Descriptor.limit; access });
+  (match access with
+  | Fault.Write ->
+      if not (Descriptor.is_writable d) then
+        Fault.raise_
+          (Fault.Segment_type
+             { selector = loaded.selector; expected = "writable segment" })
+  | Fault.Read ->
+      if not (Descriptor.is_readable d) then
+        Fault.raise_
+          (Fault.Segment_type
+             { selector = loaded.selector; expected = "readable segment" })
+  | Fault.Execute ->
+      if not (Descriptor.is_code d) then
+        Fault.raise_
+          (Fault.Segment_type
+             { selector = loaded.selector; expected = "code segment" }));
+  d.Descriptor.base + offset
+
+let pp ppf l =
+  Fmt.pf ppf "%a=%a" Selector.pp l.selector Descriptor.pp l.cache

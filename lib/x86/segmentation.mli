@@ -1,0 +1,23 @@
+(** Segment registers (with the hardware's hidden descriptor cache) and
+    segment-level protection checks. *)
+
+type loaded = { selector : Selector.t; cache : Descriptor.seg }
+
+val load_data :
+  Desc_table.view -> cpl:Privilege.ring -> Selector.t -> loaded
+(** Data-segment register load; checks max(CPL, RPL) <= DPL. *)
+
+val load_stack :
+  Desc_table.view -> cpl:Privilege.ring -> Selector.t -> loaded
+(** Stack-segment load; requires writable data with DPL = CPL. *)
+
+val load_code : Desc_table.view -> new_cpl:Privilege.ring -> Selector.t -> loaded
+(** Code-segment load for a far transfer whose privilege checks have
+    already been made; stamps the new CPL into the selector RPL. *)
+
+val cpl_of_code : loaded -> Privilege.ring
+
+val linear : loaded -> offset:int -> size:int -> access:Fault.access -> int
+(** Segment-limit and R/W check; returns the linear address. *)
+
+val pp : loaded Fmt.t

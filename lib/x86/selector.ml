@@ -1,0 +1,46 @@
+(* 16-bit segment selectors: 13-bit descriptor-table index, a table
+   indicator bit (GDT vs the current task's LDT), and a 2-bit requested
+   privilege level (RPL). *)
+
+type table = Gdt | Ldt
+
+type t = { index : int; table : table; rpl : Privilege.ring }
+
+let make ?(table = Gdt) ~rpl index =
+  if index < 0 || index > 0x1FFF then
+    invalid_arg (Printf.sprintf "Selector.make: index %d out of range" index);
+  { index; table; rpl }
+
+let null = { index = 0; table = Gdt; rpl = Privilege.R0 }
+
+let is_null t = t.index = 0 && t.table = Gdt
+
+let index t = t.index
+
+let table t = t.table
+
+let rpl t = t.rpl
+
+let with_rpl t rpl = { t with rpl }
+
+let encode t =
+  let ti = match t.table with Gdt -> 0 | Ldt -> 1 in
+  (t.index lsl 3) lor (ti lsl 2) lor Privilege.to_int t.rpl
+
+let decode v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg (Printf.sprintf "Selector.decode: %#x" v);
+  {
+    index = v lsr 3;
+    table = (if v land 0b100 = 0 then Gdt else Ldt);
+    rpl = Privilege.of_int (v land 0b11);
+  }
+
+let equal a b = a.index = b.index && a.table = b.table && Privilege.equal a.rpl b.rpl
+
+let compare a b = Int.compare (encode a) (encode b)
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%d]:rpl%d"
+    (match t.table with Gdt -> "gdt" | Ldt -> "ldt")
+    t.index (Privilege.to_int t.rpl)

@@ -1,0 +1,35 @@
+(** 16-bit x86 segment selectors: descriptor index, table indicator
+    (GDT/LDT) and requested privilege level. *)
+
+type table = Gdt | Ldt
+
+type t = private { index : int; table : table; rpl : Privilege.ring }
+
+val make : ?table:table -> rpl:Privilege.ring -> int -> t
+(** [make ~table ~rpl index]; raises [Invalid_argument] when [index]
+    does not fit in 13 bits.  [table] defaults to [Gdt]. *)
+
+val null : t
+(** The null selector (GDT index 0). *)
+
+val is_null : t -> bool
+
+val index : t -> int
+
+val table : t -> table
+
+val rpl : t -> Privilege.ring
+
+val with_rpl : t -> Privilege.ring -> t
+
+val encode : t -> int
+(** 16-bit hardware encoding: [index lsl 3 | ti lsl 2 | rpl]. *)
+
+val decode : int -> t
+(** Inverse of [encode]; raises [Invalid_argument] outside 16 bits. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,58 @@
+(* Translation lookaside buffer.  Modelled after the Pentium data TLB:
+   64 entries, 4-way set associative collapsed here to direct-mapped on
+   the low bits of the VPN with one victim slot per set, which is close
+   enough for cycle accounting.  The TLB is flushed whenever CR3 is
+   loaded (task switch), which is where the paper's IPC baselines pay
+   their page-table-switch cost. *)
+
+type entry = {
+  e_vpn : int;
+  e_pfn : int;
+  e_user : bool;
+  e_writable : bool;
+}
+
+type t = {
+  slots : entry option array;
+  sets : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let create ?(sets = 64) () =
+  if sets <= 0 then invalid_arg "Tlb.create: sets";
+  { slots = Array.make sets None; sets; hits = 0; misses = 0; flushes = 0 }
+
+let slot t vpn = vpn mod t.sets
+
+let lookup t ~vpn =
+  match t.slots.(slot t vpn) with
+  | Some e when e.e_vpn = vpn ->
+      t.hits <- t.hits + 1;
+      Some e
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t ~vpn ~pfn ~user ~writable =
+  t.slots.(slot t vpn) <-
+    Some { e_vpn = vpn; e_pfn = pfn; e_user = user; e_writable = writable }
+
+let invalidate t ~vpn =
+  match t.slots.(slot t vpn) with
+  | Some e when e.e_vpn = vpn -> t.slots.(slot t vpn) <- None
+  | Some _ | None -> ()
+
+let flush t =
+  Array.fill t.slots 0 t.sets None;
+  t.flushes <- t.flushes + 1
+
+type stats = { tlb_hits : int; tlb_misses : int; tlb_flushes : int }
+
+let stats t = { tlb_hits = t.hits; tlb_misses = t.misses; tlb_flushes = t.flushes }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.flushes <- 0

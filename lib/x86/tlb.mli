@@ -1,0 +1,26 @@
+(** Translation lookaside buffer, flushed on CR3 load. *)
+
+type entry = {
+  e_vpn : int;
+  e_pfn : int;
+  e_user : bool;
+  e_writable : bool;
+}
+
+type t
+
+val create : ?sets:int -> unit -> t
+
+val lookup : t -> vpn:int -> entry option
+
+val insert : t -> vpn:int -> pfn:int -> user:bool -> writable:bool -> unit
+
+val invalidate : t -> vpn:int -> unit
+
+val flush : t -> unit
+
+type stats = { tlb_hits : int; tlb_misses : int; tlb_flushes : int }
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

@@ -1,0 +1,401 @@
+(* Tests for the BPF substrate: validator, reference VM semantics, a
+   differential property test between the OCaml reference interpreter
+   and the interpreter written in simulated assembly, filter-compiler
+   agreement, and the native compiled filter. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* --- Validator ----------------------------------------------------------- *)
+
+let test_validator () =
+  let ok prog =
+    match Bpf_insn.validate prog with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "expected valid: %s" e
+  in
+  let bad prog =
+    match Bpf_insn.validate prog with
+    | Ok () -> Alcotest.fail "expected invalid"
+    | Error _ -> ()
+  in
+  ok [| Bpf_insn.Ret_k 1 |];
+  ok [| Bpf_insn.Ld_abs (Bpf_insn.H, 12); Bpf_insn.Ret_a |];
+  bad [||];
+  (* falls off the end *)
+  bad [| Bpf_insn.Ld_imm 3 |];
+  (* out-of-bounds jump *)
+  bad [| Bpf_insn.Jmp (Bpf_insn.Jeq, Bpf_insn.K, 0, 5, 0); Bpf_insn.Ret_a |];
+  bad [| Bpf_insn.Ja 9; Bpf_insn.Ret_a |];
+  (* scratch slot out of range *)
+  bad [| Bpf_insn.St 16; Bpf_insn.Ret_a |];
+  (* division by constant zero *)
+  bad [| Bpf_insn.Alu (Bpf_insn.Div, Bpf_insn.K, 0); Bpf_insn.Ret_a |]
+
+(* --- Reference VM semantics ---------------------------------------------- *)
+
+let pkt = Packet.to_bytes (Pkt_gen.matching_packet ())
+
+let test_vm_loads () =
+  let run prog = Bpf_vm.run (Array.of_list prog) ~packet:pkt in
+  check_int "ldh ethertype" Packet.ethertype_ip
+    (run [ Bpf_insn.Ld_abs (Bpf_insn.H, Packet.off_ether_type); Bpf_insn.Ret_a ]);
+  check_int "ldb proto" Packet.proto_udp
+    (run [ Bpf_insn.Ld_abs (Bpf_insn.B, Packet.off_ip_proto); Bpf_insn.Ret_a ]);
+  check_int "ld word src ip" Pkt_gen.target_src
+    (run [ Bpf_insn.Ld_abs (Bpf_insn.W, Packet.off_ip_src); Bpf_insn.Ret_a ]);
+  check_int "len" (Bytes.length pkt) (run [ Bpf_insn.Ld_len; Bpf_insn.Ret_a ]);
+  (* msh: IP header length (0x45 -> 20 bytes) *)
+  check_int "msh" 20
+    (run [ Bpf_insn.Ldx_msh Packet.off_ip_start; Bpf_insn.Txa; Bpf_insn.Ret_a ]);
+  (* indexed load: src port at [x+14] *)
+  check_int "ld_ind src port" Pkt_gen.target_src_port
+    (run
+       [
+         Bpf_insn.Ldx_msh Packet.off_ip_start;
+         Bpf_insn.Ld_ind (Bpf_insn.H, Packet.off_ip_start);
+         Bpf_insn.Ret_a;
+       ])
+
+let test_vm_alu_and_scratch () =
+  let run prog = Bpf_vm.run (Array.of_list prog) ~packet:pkt in
+  check_int "alu chain" ((((5 + 3) * 4) - 2) lsr 1)
+    (run
+       [
+         Bpf_insn.Ld_imm 5;
+         Bpf_insn.Alu (Bpf_insn.Add, Bpf_insn.K, 3);
+         Bpf_insn.Alu (Bpf_insn.Mul, Bpf_insn.K, 4);
+         Bpf_insn.Alu (Bpf_insn.Sub, Bpf_insn.K, 2);
+         Bpf_insn.Alu (Bpf_insn.Rsh, Bpf_insn.K, 1);
+         Bpf_insn.Ret_a;
+       ]);
+  check_int "scratch memory" 99
+    (run
+       [
+         Bpf_insn.Ld_imm 99;
+         Bpf_insn.St 3;
+         Bpf_insn.Ld_imm 0;
+         Bpf_insn.Ld_mem 3;
+         Bpf_insn.Ret_a;
+       ]);
+  check_int "x alu source" 30
+    (run
+       [
+         Bpf_insn.Ldx_imm 10;
+         Bpf_insn.Ld_imm 20;
+         Bpf_insn.Alu (Bpf_insn.Add, Bpf_insn.X, 0);
+         Bpf_insn.Ret_a;
+       ])
+
+let test_vm_jumps () =
+  let run prog = Bpf_vm.run (Array.of_list prog) ~packet:pkt in
+  check_int "jeq taken" 1
+    (run
+       [
+         Bpf_insn.Ld_imm 7;
+         Bpf_insn.Jmp (Bpf_insn.Jeq, Bpf_insn.K, 7, 1, 0);
+         Bpf_insn.Ret_k 0;
+         Bpf_insn.Ret_k 1;
+       ]);
+  check_int "jgt not taken" 0
+    (run
+       [
+         Bpf_insn.Ld_imm 7;
+         Bpf_insn.Jmp (Bpf_insn.Jgt, Bpf_insn.K, 9, 1, 0);
+         Bpf_insn.Ret_k 0;
+         Bpf_insn.Ret_k 1;
+       ]);
+  check_int "ja" 5 (run [ Bpf_insn.Ja 1; Bpf_insn.Ret_k 9; Bpf_insn.Ret_k 5 ])
+
+let test_vm_out_of_bounds () =
+  match Bpf_vm.run [| Bpf_insn.Ld_abs (Bpf_insn.W, 4000); Bpf_insn.Ret_a |] ~packet:pkt with
+  | _ -> Alcotest.fail "expected out-of-bounds"
+  | exception Bpf_vm.Bpf_error (Bpf_vm.Out_of_bounds _) -> ()
+
+(* --- Differential test: OCaml VM vs simulated-assembly interpreter ------- *)
+
+(* Generator for valid programs whose packet accesses stay within a
+   42-byte header (so both interpreters see in-bounds loads). *)
+let gen_program =
+  let open QCheck.Gen in
+  let gen_insn remaining =
+    frequency
+      [
+        (3, map2 (fun s k ->
+                 let size = match s with 0 -> Bpf_insn.B | 1 -> Bpf_insn.H | _ -> Bpf_insn.W in
+                 Bpf_insn.Ld_abs (size, k))
+               (int_bound 2) (int_bound 38));
+        (2, map (fun k -> Bpf_insn.Ld_imm k) (int_bound 0xFFFF));
+        (1, map (fun k -> Bpf_insn.Ldx_imm k) (int_bound 0xFF));
+        (2, map2 (fun op k ->
+                 let o = match op with
+                   | 0 -> Bpf_insn.Add | 1 -> Bpf_insn.Sub
+                   | 2 -> Bpf_insn.And | _ -> Bpf_insn.Or
+                 in
+                 Bpf_insn.Alu (o, Bpf_insn.K, k))
+               (int_bound 3) (int_bound 0xFFFF));
+        (1, return Bpf_insn.Tax);
+        (1, return Bpf_insn.Txa);
+        (1, map (fun s -> Bpf_insn.St s) (int_bound 15));
+        (1, map (fun s -> Bpf_insn.Ld_mem s) (int_bound 15));
+        ( 2,
+          if remaining <= 1 then return Bpf_insn.Tax
+          else
+            map2 (fun c (k, (jt, jf)) ->
+                let cond = match c with
+                  | 0 -> Bpf_insn.Jeq | 1 -> Bpf_insn.Jgt | _ -> Bpf_insn.Jset
+                in
+                Bpf_insn.Jmp (cond, Bpf_insn.K, k,
+                              jt mod remaining, jf mod remaining))
+              (int_bound 2)
+              (pair (int_bound 0xFFFF)
+                 (pair (int_bound 20) (int_bound 20))) );
+      ]
+  in
+  let* n = int_range 1 14 in
+  let rec build i acc =
+    if i >= n then return (List.rev acc)
+    else
+      let remaining = n - i in
+      let* insn = gen_insn remaining in
+      build (i + 1) (insn :: acc)
+  in
+  let* body = build 0 [] in
+  let* ret = frequency [ (3, return Bpf_insn.Ret_a); (1, map (fun k -> Bpf_insn.Ret_k k) (int_bound 0xFFFF)) ] in
+  return (Array.of_list (body @ [ ret ]))
+
+let arbitrary_program =
+  QCheck.make ~print:(fun prog ->
+      String.concat "; "
+        (Array.to_list (Array.map (Fmt.str "%a" Bpf_insn.pp) prog)))
+    gen_program
+
+(* A shared interpreter world, reused across qcheck cases to keep the
+   property test fast. *)
+let interp_world =
+  lazy
+    (let k = Kernel.boot () in
+     let task = Kernel.create_task k ~name:"diff" in
+     let interp = Bpf_asm_interp.load k in
+     (task, interp))
+
+let prop_vm_vs_asm_interp =
+  QCheck.Test.make ~count:60 ~name:"reference VM agrees with simulated interpreter"
+    arbitrary_program
+    (fun prog ->
+      match Bpf_insn.validate prog with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let task, interp = Lazy.force interp_world in
+          let expected = Bpf_vm.run prog ~packet:pkt in
+          Bpf_asm_interp.set_program interp prog;
+          Bpf_asm_interp.set_packet interp pkt;
+          let got, _cycles = Bpf_asm_interp.run interp task in
+          got = expected)
+
+(* --- Filter compilation ---------------------------------------------------- *)
+
+let prop_filter_compilers_agree =
+  QCheck.Test.make ~count:40
+    ~name:"optimised and tcpdump-style BPF agree with the direct oracle"
+    QCheck.(pair (int_range 0 6) (int_bound 1_000_000))
+    (fun (nterms, seed) ->
+      let terms = Filter_expr.canonical nterms in
+      let gen = Pkt_gen.create ~seed () in
+      let packet =
+        Packet.to_bytes (Pkt_gen.random_packet gen ~match_percent:50)
+      in
+      let oracle = Filter_expr.matches terms ~packet in
+      let opt = Bpf_vm.accepts (Filter_expr.to_bpf terms) ~packet in
+      let tcpd = Bpf_vm.accepts (Filter_expr.to_bpf_tcpdump terms) ~packet in
+      opt = oracle && tcpd = oracle)
+
+let test_native_filter_agrees () =
+  let w = Palladium.boot () in
+  let kernel = Palladium.kernel w in
+  let task = Kernel.create_task kernel ~name:"t" in
+  let terms = Filter_expr.canonical 4 in
+  let seg = Palladium.create_kernel_segment w in
+  let nf = Native_compile.load seg terms in
+  let gen = Pkt_gen.create () in
+  let packets =
+    Packet.to_bytes (Pkt_gen.matching_packet ())
+    :: List.map Packet.to_bytes (Pkt_gen.stream gen ~count:6 ~match_percent:30)
+  in
+  List.iter
+    (fun packet ->
+      let oracle = Filter_expr.matches terms ~packet in
+      match Native_compile.run nf task ~packet with
+      | Ok (v, _) -> check_bool "native agrees with oracle" oracle (v = 1)
+      | Error e -> Alcotest.failf "native run failed: %a" Kernel_ext.pp_invoke_error e)
+    packets
+
+(* The Figure 7 headline, locked in as a regression test: interpreter
+   cost grows with terms, compiled cost is nearly flat, and the
+   compiled filter wins by >= 2x at 4 terms. *)
+let test_figure7_shape () =
+  let w = Palladium.boot () in
+  let kernel = Palladium.kernel w in
+  let task = Kernel.create_task kernel ~name:"t" in
+  let interp = Bpf_asm_interp.load kernel in
+  let measure n =
+    let terms = Filter_expr.canonical n in
+    Bpf_asm_interp.set_program interp (Filter_expr.to_bpf_tcpdump terms);
+    Bpf_asm_interp.set_packet interp pkt;
+    ignore (Bpf_asm_interp.run interp task);
+    let _, bpf = Bpf_asm_interp.run interp task in
+    let seg = Palladium.create_kernel_segment w in
+    let nf = Native_compile.load seg terms in
+    ignore (Native_compile.run nf task ~packet:pkt);
+    match Native_compile.run nf task ~packet:pkt with
+    | Ok (_, native) -> (bpf, native)
+    | Error e -> Alcotest.failf "native: %a" Kernel_ext.pp_invoke_error e
+  in
+  let b0, n0 = measure 0 in
+  let b4, n4 = measure 4 in
+  check_bool "interpreter grows with terms" true (b4 > 4 * b0);
+  check_bool "compiled nearly flat" true (n4 - n0 < 60);
+  check_bool "compiled >= 2x faster at 4 terms" true (b4 >= 2 * n4)
+
+let test_interpreter_rejects_oob () =
+  let task, interp = Lazy.force interp_world in
+  (* load beyond a short packet: safely rejected, not a fault *)
+  Bpf_asm_interp.set_program interp
+    [| Bpf_insn.Ld_abs (Bpf_insn.W, 100); Bpf_insn.Ret_a |];
+  Bpf_asm_interp.set_packet interp (Bytes.create 20);
+  let v, _ = Bpf_asm_interp.run interp task in
+  check_int "oob load rejects packet" 0 v
+
+let test_encode_distinct () =
+  let codes =
+    List.map
+      (fun insn ->
+        let c, _, _, _ = Bpf_insn.encode insn in
+        c)
+      [
+        Bpf_insn.Ld_abs (Bpf_insn.W, 0);
+        Bpf_insn.Ld_abs (Bpf_insn.H, 0);
+        Bpf_insn.Ld_abs (Bpf_insn.B, 0);
+        Bpf_insn.Ld_ind (Bpf_insn.H, 0);
+        Bpf_insn.Ld_imm 0;
+        Bpf_insn.Ldx_imm 0;
+        Bpf_insn.Ldx_msh 0;
+        Bpf_insn.St 0;
+        Bpf_insn.Ja 0;
+        Bpf_insn.Jmp (Bpf_insn.Jeq, Bpf_insn.K, 0, 0, 0);
+        Bpf_insn.Jmp (Bpf_insn.Jgt, Bpf_insn.K, 0, 0, 0);
+        Bpf_insn.Ret_k 0;
+        Bpf_insn.Ret_a;
+        Bpf_insn.Tax;
+        Bpf_insn.Txa;
+      ]
+  in
+  check_int "all opcodes distinct"
+    (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
+(* The classic encodings from net/bpf.h. *)
+let test_encode_classic_values () =
+  let code insn =
+    let c, _, _, _ = Bpf_insn.encode insn in
+    c
+  in
+  check_int "ldh abs" 0x28 (code (Bpf_insn.Ld_abs (Bpf_insn.H, 0)));
+  check_int "ld abs" 0x20 (code (Bpf_insn.Ld_abs (Bpf_insn.W, 0)));
+  check_int "ldb abs" 0x30 (code (Bpf_insn.Ld_abs (Bpf_insn.B, 0)));
+  check_int "jeq" 0x15 (code (Bpf_insn.Jmp (Bpf_insn.Jeq, Bpf_insn.K, 0, 0, 0)));
+  check_int "ret k" 0x06 (code (Bpf_insn.Ret_k 0));
+  check_int "ldx msh" 0xB1 (code (Bpf_insn.Ldx_msh 0))
+
+(* --- Packet substrate ------------------------------------------------------ *)
+
+let test_packet_wire_format () =
+  let p =
+    Packet.udp ~src:(Packet.ip 1 2 3 4) ~dst:(Packet.ip 5 6 7 8) ~src_port:80
+      ~dst_port:443 ()
+  in
+  let b = Packet.to_bytes p in
+  check_int "ethertype big-endian" Packet.ethertype_ip
+    (Packet.get16 b Packet.off_ether_type);
+  check_int "proto" Packet.proto_udp (Packet.get8 b Packet.off_ip_proto);
+  check_int "src ip" (Packet.ip 1 2 3 4) (Packet.get32 b Packet.off_ip_src);
+  check_int "dst ip" (Packet.ip 5 6 7 8) (Packet.get32 b Packet.off_ip_dst);
+  check_int "src port" 80 (Packet.get16 b Packet.off_src_port);
+  check_int "dst port" 443 (Packet.get16 b Packet.off_dst_port);
+  check_int "ihl nibble" 0x45 (Packet.get8 b Packet.off_ip_start);
+  check_int "length" (42 + 18) (Bytes.length b)
+
+let test_pkt_gen_deterministic () =
+  let s1 = Pkt_gen.stream (Pkt_gen.create ~seed:7 ()) ~count:20 ~match_percent:30 in
+  let s2 = Pkt_gen.stream (Pkt_gen.create ~seed:7 ()) ~count:20 ~match_percent:30 in
+  check_bool "same seed, same stream" true
+    (List.for_all2 (fun a b -> Packet.to_bytes a = Packet.to_bytes b) s1 s2);
+  let s3 = Pkt_gen.stream (Pkt_gen.create ~seed:8 ()) ~count:20 ~match_percent:30 in
+  check_bool "different seed differs" false
+    (List.for_all2 (fun a b -> Packet.to_bytes a = Packet.to_bytes b) s1 s3)
+
+let test_pkt_gen_match_fraction () =
+  let full = Filter_expr.canonical 6 in
+  let count p =
+    List.length
+      (List.filter
+         (fun pkt -> Filter_expr.matches full ~packet:(Packet.to_bytes pkt))
+         (Pkt_gen.stream (Pkt_gen.create ()) ~count:400 ~match_percent:p))
+  in
+  check_int "0%% never matches" 0 (count 0);
+  check_int "100%% always matches" 400 (count 100);
+  let half = count 50 in
+  check_bool "50%% roughly half" true (half > 120 && half < 280)
+
+let prop_packet_fields_roundtrip =
+  QCheck.Test.make ~name:"packet builder/accessor roundtrip"
+    QCheck.(
+      quad (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 0xFFFFFFF)
+        (int_bound 0xFFFFFFF))
+    (fun (sp, dp, src, dst) ->
+      let b =
+        Packet.to_bytes (Packet.udp ~src ~dst ~src_port:sp ~dst_port:dp ())
+      in
+      Packet.get16 b Packet.off_src_port = sp
+      && Packet.get16 b Packet.off_dst_port = dp
+      && Packet.get32 b Packet.off_ip_src = src
+      && Packet.get32 b Packet.off_ip_dst = dst)
+
+let () =
+  Alcotest.run "bpf"
+    [
+      ( "packets",
+        [
+          Alcotest.test_case "wire format" `Quick test_packet_wire_format;
+          Alcotest.test_case "generator determinism" `Quick
+            test_pkt_gen_deterministic;
+          Alcotest.test_case "match fraction" `Quick test_pkt_gen_match_fraction;
+          QCheck_alcotest.to_alcotest prop_packet_fields_roundtrip;
+        ] );
+      ("validator", [ Alcotest.test_case "accept/reject" `Quick test_validator ]);
+      ( "reference-vm",
+        [
+          Alcotest.test_case "packet loads" `Quick test_vm_loads;
+          Alcotest.test_case "alu and scratch" `Quick test_vm_alu_and_scratch;
+          Alcotest.test_case "jumps" `Quick test_vm_jumps;
+          Alcotest.test_case "out of bounds" `Quick test_vm_out_of_bounds;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_vm_vs_asm_interp;
+          Alcotest.test_case "interpreter rejects OOB" `Quick
+            test_interpreter_rejects_oob;
+        ] );
+      ( "filters",
+        [
+          QCheck_alcotest.to_alcotest prop_filter_compilers_agree;
+          Alcotest.test_case "native filter agrees" `Quick test_native_filter_agrees;
+          Alcotest.test_case "figure 7 shape holds" `Quick test_figure7_shape;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "distinct" `Quick test_encode_distinct;
+          Alcotest.test_case "classic values" `Quick test_encode_classic_values;
+        ] );
+    ]

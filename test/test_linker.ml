@@ -1,0 +1,165 @@
+(* Tests for the dynamic loader: images, symbol resolution, GOT/PLT
+   indirection, eager binding and unloading. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let i x = Asm.I x
+
+let reg r = Operand.Reg r
+
+let world () =
+  let k = Kernel.boot () in
+  let task = Kernel.create_task k ~name:"t" in
+  let rt = Runtime.install k task in
+  let env = Dyld.create_env () in
+  (k, task, rt, env)
+
+(* --- Image construction ------------------------------------------------ *)
+
+let test_image_duplicate_symbol () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Image x: duplicate symbol d") (fun () ->
+      ignore
+        (Image.create ~name:"x"
+           ~data:[ Image.data_u32s "d" [ 1 ]; Image.data_u32s "d" [ 2 ] ]
+           []))
+
+let test_image_layout_alignment () =
+  let img =
+    Image.create ~name:"x"
+      ~data:
+        [
+          Image.data_string "a" "xyz"; (* 3 bytes *)
+          Image.data_u32s "b" [ 1 ] (* must be 4-aligned *);
+        ]
+      ~bss:[ Image.bss_item ~align:16 "c" 8 ]
+      []
+  in
+  match Image.layout_data img ~base:0x1000 with
+  | [ ("a", a, Some _); ("b", b, Some _); ("c", c, None) ] ->
+      check_int "a at base" 0x1000 a;
+      check_int "b aligned" 0x1004 b;
+      check_int "c aligned to 16" 0x1010 c
+  | _ -> Alcotest.fail "unexpected layout"
+
+(* --- Loading ------------------------------------------------------------ *)
+
+let adder_image =
+  Image.create ~name:"adder"
+    ~data:[ Image.data_u32s "bias" [ 100 ] ]
+    ~exports:[ "add_bias" ]
+    [
+      Asm.L "add_bias";
+      i (Instr.Mov (reg Reg.EDX, Operand.label "bias"));
+      i (Instr.Mov (reg Reg.EAX, Operand.deref Reg.EDX));
+      i (Instr.Alu (Instr.Add, reg Reg.EAX, Operand.deref ~disp:4 Reg.ESP));
+      i Instr.Ret;
+    ]
+
+let test_dlopen_and_call () =
+  let k, task, rt, env = world () in
+  let h = Dyld.dlopen ~kernel:k ~task ~env adder_image in
+  let fn = Dyld.dlsym h "add_bias" in
+  let o = Runtime.invoke1 rt ~fn ~arg:23 in
+  check_bool "completed" true (o.Runtime.result = Kernel.Completed);
+  check_int "data + arg" 123 o.Runtime.value;
+  (* exports are published to the environment *)
+  check_bool "env export" true (Dyld.lookup env "add_bias" <> None)
+
+let test_dlsym_missing () =
+  let k, task, _rt, env = world () in
+  let h = Dyld.dlopen ~kernel:k ~task ~env adder_image in
+  match Dyld.dlsym h "nope" with
+  | _ -> Alcotest.fail "expected Missing_symbol"
+  | exception Dyld.Missing_symbol "nope" -> ()
+
+let test_got_plt_indirection () =
+  let k, task, rt, env = world () in
+  ignore (Dyld.dlopen ~kernel:k ~task ~env Ulib.libc_image);
+  (* client imports strlen through its GOT *)
+  let h = Dyld.dlopen ~kernel:k ~task ~env Ulib.strlen_client_image in
+  check_bool "has a GOT" true (h.Dyld.h_got_base <> None);
+  let got = Option.get h.Dyld.h_got_base in
+  (* eager binding filled the slot with strlen's address *)
+  let bound = Address_space.peek_u32 task.Task.asp got in
+  check_int "GOT slot bound eagerly"
+    (match Dyld.lookup env "strlen" with Some (a, _) -> a | None -> -1)
+    bound;
+  (* and the call works end to end *)
+  let buf =
+    Address_space.mmap task.Task.asp ~len:4096 ~perms:Vm_area.rw Vm_area.Data
+  in
+  Address_space.populate task.Task.asp buf;
+  Address_space.poke_string task.Task.asp buf.Vm_area.va_start "four\000";
+  let fn = Dyld.dlsym h "len_of" in
+  let o = Runtime.invoke1 rt ~fn ~arg:buf.Vm_area.va_start in
+  check_int "strlen via PLT" 4 o.Runtime.value
+
+let test_missing_import_fails () =
+  let k, task, _rt, env = world () in
+  match Dyld.dlopen ~kernel:k ~task ~env Ulib.strlen_client_image with
+  | _ -> Alcotest.fail "expected Missing_symbol"
+  | exception Dyld.Missing_symbol "strlen" -> ()
+
+let test_dlclose_unloads () =
+  let k, task, rt, env = world () in
+  let h = Dyld.dlopen ~kernel:k ~task ~env adder_image in
+  let fn = Dyld.dlsym h "add_bias" in
+  Dyld.dlclose ~kernel:k ~task ~env h;
+  check_bool "export removed" true (Dyld.lookup env "add_bias" = None);
+  (* the text page is gone: calling it faults *)
+  let o = Runtime.invoke1 rt ~fn ~arg:1 in
+  check_bool "unloaded code faults" true
+    (match o.Runtime.result with Kernel.Faulted _ -> true | _ -> false)
+
+let test_fixed_address_executable () =
+  let k, task, _rt, env = world () in
+  let h =
+    Dyld.dlopen ~placement:Dyld.executable ~kernel:k ~task ~env adder_image
+  in
+  check_int "loaded at the classic text base" X86.Layout.text_base
+    h.Dyld.h_text_base
+
+let test_cross_image_calls () =
+  let k, task, rt, env = world () in
+  ignore (Dyld.dlopen ~kernel:k ~task ~env adder_image);
+  let caller =
+    Image.create ~name:"caller" ~imports:[ "add_bias" ] ~exports:[ "twice" ]
+      [
+        Asm.L "twice";
+        i (Instr.Push (Operand.deref ~disp:4 Reg.ESP));
+        i (Instr.Call (Instr.Label "add_bias"));
+        i (Instr.Alu (Instr.Add, reg Reg.ESP, Operand.Imm 4));
+        i (Instr.Push (reg Reg.EAX));
+        i (Instr.Call (Instr.Label "add_bias"));
+        i (Instr.Alu (Instr.Add, reg Reg.ESP, Operand.Imm 4));
+        i Instr.Ret;
+      ]
+  in
+  let h = Dyld.dlopen ~kernel:k ~task ~env caller in
+  let o = Runtime.invoke1 rt ~fn:(Dyld.dlsym h "twice") ~arg:5 in
+  check_int "two hops through the GOT" 205 o.Runtime.value
+
+let () =
+  Alcotest.run "linker"
+    [
+      ( "image",
+        [
+          Alcotest.test_case "duplicate symbol" `Quick test_image_duplicate_symbol;
+          Alcotest.test_case "data layout alignment" `Quick
+            test_image_layout_alignment;
+        ] );
+      ( "dyld",
+        [
+          Alcotest.test_case "dlopen + call + data" `Quick test_dlopen_and_call;
+          Alcotest.test_case "dlsym missing" `Quick test_dlsym_missing;
+          Alcotest.test_case "GOT/PLT eager binding" `Quick test_got_plt_indirection;
+          Alcotest.test_case "missing import" `Quick test_missing_import_fails;
+          Alcotest.test_case "dlclose unloads" `Quick test_dlclose_unloads;
+          Alcotest.test_case "fixed-address executable" `Quick
+            test_fixed_address_executable;
+          Alcotest.test_case "cross-image calls" `Quick test_cross_image_calls;
+        ] );
+    ]

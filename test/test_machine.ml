@@ -1,0 +1,625 @@
+(* Tests for the CPU simulator: instruction semantics, cycle
+   accounting, and the far control transfers Palladium depends on. *)
+
+module P = X86.Privilege
+module Sel = X86.Selector
+module Desc = X86.Descriptor
+module DT = X86.Desc_table
+module PM = X86.Phys_mem
+module Pg = X86.Paging
+module Seg = X86.Segmentation
+module F = X86.Fault
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* A flat little machine: 32 identity-ish mapped pages, kernel and
+   user segments over the whole range, ring-0 stack in the TSS. *)
+type world = {
+  cpu : Cpu.t;
+  gdt : DT.t;
+  idt : DT.t;
+  view : DT.view;
+  kcs : Sel.t;
+  kds : Sel.t;
+  ucs : Sel.t;
+  uds : Sel.t;
+}
+
+let make_world () =
+  let phys = PM.create () in
+  let dir = Pg.create () in
+  for vpn = 0 to 31 do
+    let pfn = PM.alloc_frame phys in
+    Pg.map dir ~vpn ~pfn ~writable:true ~user:true
+  done;
+  let gdt = DT.gdt () in
+  let lim = 0x1F_FFFF in
+  DT.set gdt 1 (Desc.code ~base:0 ~limit:lim ~dpl:P.R0 ());
+  DT.set gdt 2 (Desc.data ~base:0 ~limit:lim ~dpl:P.R0 ());
+  DT.set gdt 3 (Desc.code ~base:0 ~limit:lim ~dpl:P.R3 ());
+  DT.set gdt 4 (Desc.data ~base:0 ~limit:lim ~dpl:P.R3 ());
+  let kcs = Sel.make ~rpl:P.R0 1 in
+  let kds = Sel.make ~rpl:P.R0 2 in
+  let ucs = Sel.make ~rpl:P.R3 3 in
+  let uds = Sel.make ~rpl:P.R3 4 in
+  let idt = DT.create ~capacity:64 ~name:"idt" ~is_gdt:false () in
+  let tss = Tss.create ~dir () in
+  Tss.set_stack tss P.R0 { Tss.stack_selector = kds; stack_pointer = 0x8000 };
+  let mmu = X86.Mmu.create phys ~dir in
+  let code = Code_mem.create () in
+  let view = DT.view gdt in
+  let cpu = Cpu.create ~mmu ~code ~view ~idt ~tss () in
+  { cpu; gdt; idt; view; kcs; kds; ucs; uds }
+
+let enter_kernel_mode w ~eip ~esp =
+  Cpu.force_seg w.cpu Reg.CS (Seg.load_code w.view ~new_cpl:P.R0 w.kcs);
+  Cpu.force_seg w.cpu Reg.SS (Seg.load_stack w.view ~cpl:P.R0 w.kds);
+  Cpu.force_seg w.cpu Reg.DS (Seg.load_data w.view ~cpl:P.R0 w.kds);
+  Cpu.force_seg w.cpu Reg.ES (Seg.load_data w.view ~cpl:P.R0 w.kds);
+  Cpu.set_eip w.cpu eip;
+  Cpu.set_reg w.cpu Reg.ESP esp;
+  Cpu.set_halted w.cpu false
+
+let enter_user_mode w ~eip ~esp =
+  Cpu.force_seg w.cpu Reg.CS (Seg.load_code w.view ~new_cpl:P.R3 w.ucs);
+  Cpu.force_seg w.cpu Reg.SS (Seg.load_stack w.view ~cpl:P.R3 w.uds);
+  Cpu.force_seg w.cpu Reg.DS (Seg.load_data w.view ~cpl:P.R3 w.uds);
+  Cpu.force_seg w.cpu Reg.ES (Seg.load_data w.view ~cpl:P.R3 w.uds);
+  Cpu.set_eip w.cpu eip;
+  Cpu.set_reg w.cpu Reg.ESP esp;
+  Cpu.set_halted w.cpu false
+
+let load_at w ~org prog =
+  let asm = Asm.assemble ~org prog in
+  Code_mem.store_program (Cpu.code w.cpu) ~addr:org asm.Asm.instrs;
+  asm
+
+(* Run a kernel-mode program and return the CPU. *)
+let run_prog ?(esp = 0x8000) prog =
+  let w = make_world () in
+  ignore (load_at w ~org:0x1000 prog);
+  enter_kernel_mode w ~eip:0x1000 ~esp;
+  match Cpu.run w.cpu with
+  | Cpu.Halted -> w
+  | Cpu.Max_instructions -> Alcotest.fail "program ran away"
+  | Cpu.Fault_abort f -> Alcotest.failf "program faulted: %a" F.pp f
+
+let i x = Asm.I x
+
+let reg r = Operand.Reg r
+
+let imm v = Operand.Imm v
+
+(* --- Basic instruction semantics ------------------------------------- *)
+
+let test_mov_alu () =
+  let w =
+    run_prog
+      [
+        i (Instr.Mov (reg Reg.EAX, imm 40));
+        i (Instr.Alu (Instr.Add, reg Reg.EAX, imm 2));
+        i (Instr.Mov (reg Reg.EBX, reg Reg.EAX));
+        i (Instr.Alu (Instr.Sub, reg Reg.EBX, imm 12));
+        i (Instr.Alu (Instr.And, reg Reg.EBX, imm 0xFF));
+        i (Instr.Alu (Instr.Or, reg Reg.EBX, imm 0x100));
+        i (Instr.Alu (Instr.Xor, reg Reg.EBX, imm 0x0F0));
+        i Instr.Hlt;
+      ]
+  in
+  check_int "eax" 42 (Cpu.get_reg w.cpu Reg.EAX);
+  check_int "ebx" ((30 lor 0x100) lxor 0xF0) (Cpu.get_reg w.cpu Reg.EBX)
+
+let test_wraparound () =
+  let w =
+    run_prog
+      [
+        i (Instr.Mov (reg Reg.EAX, imm 0xFFFF_FFFF));
+        i (Instr.Alu (Instr.Add, reg Reg.EAX, imm 2));
+        i Instr.Hlt;
+      ]
+  in
+  check_int "32-bit wrap" 1 (Cpu.get_reg w.cpu Reg.EAX)
+
+let test_memory_roundtrip () =
+  let w =
+    run_prog
+      [
+        i (Instr.Mov (reg Reg.EAX, imm 0x1234_5678));
+        i (Instr.Mov (Operand.absolute 0x5000, reg Reg.EAX));
+        i (Instr.Mov (reg Reg.EBX, Operand.absolute 0x5000));
+        i (Instr.Mov (reg Reg.ECX, imm 0x5000));
+        i (Instr.Mov (reg Reg.EDX, Operand.deref Reg.ECX));
+        i Instr.Hlt;
+      ]
+  in
+  check_int "absolute" 0x1234_5678 (Cpu.get_reg w.cpu Reg.EBX);
+  check_int "indirect" 0x1234_5678 (Cpu.get_reg w.cpu Reg.EDX)
+
+let test_indexed_addressing () =
+  let w =
+    run_prog
+      [
+        i (Instr.Mov (reg Reg.EBX, imm 0x5000));
+        i (Instr.Mov (reg Reg.ECX, imm 3));
+        i (Instr.Mov (reg Reg.EAX, imm 77));
+        i
+          (Instr.Mov
+             (Operand.mem ~base:Reg.EBX ~index:(Reg.ECX, 4) ~disp:8 (), reg Reg.EAX));
+        i (Instr.Mov (reg Reg.EDX, Operand.absolute (0x5000 + 12 + 8)));
+        i Instr.Hlt;
+      ]
+  in
+  check_int "base+index*scale+disp" 77 (Cpu.get_reg w.cpu Reg.EDX)
+
+let test_movb_zero_extends () =
+  let w =
+    run_prog
+      [
+        i (Instr.Mov (reg Reg.EAX, imm 0xFFFF_FFFF));
+        i (Instr.Mov (Operand.absolute 0x5000, imm 0x42));
+        i (Instr.Movb (reg Reg.EAX, Operand.absolute 0x5000));
+        i Instr.Hlt;
+      ]
+  in
+  check_int "zero extended" 0x42 (Cpu.get_reg w.cpu Reg.EAX)
+
+let test_push_pop () =
+  let w =
+    run_prog
+      [
+        i (Instr.Push (imm 0xAA));
+        i (Instr.Push (imm 0xBB));
+        i (Instr.Pop (reg Reg.EAX));
+        i (Instr.Pop (reg Reg.EBX));
+        i Instr.Hlt;
+      ]
+  in
+  check_int "lifo a" 0xBB (Cpu.get_reg w.cpu Reg.EAX);
+  check_int "lifo b" 0xAA (Cpu.get_reg w.cpu Reg.EBX);
+  check_int "esp restored" 0x8000 (Cpu.get_reg w.cpu Reg.ESP)
+
+let test_xchg () =
+  let w =
+    run_prog
+      [
+        i (Instr.Mov (reg Reg.EAX, imm 1));
+        i (Instr.Mov (reg Reg.EBX, imm 2));
+        i (Instr.Xchg (reg Reg.EAX, reg Reg.EBX));
+        i Instr.Hlt;
+      ]
+  in
+  check_int "eax" 2 (Cpu.get_reg w.cpu Reg.EAX);
+  check_int "ebx" 1 (Cpu.get_reg w.cpu Reg.EBX)
+
+let test_conditions () =
+  (* For several (a, b) pairs, take each branch and record a bitmask
+     of conditions that held. *)
+  let conds =
+    [
+      (Instr.Eq, 1); (Instr.Ne, 2); (Instr.Lt, 4); (Instr.Ge, 8);
+      (Instr.Below, 16); (Instr.Above_eq, 32); (Instr.Le, 64); (Instr.Gt, 128);
+    ]
+  in
+  let mask_for a b =
+    let prog =
+      [ i (Instr.Mov (reg Reg.EDI, imm 0)) ]
+      @ List.concat_map
+          (fun (c, bit) ->
+            let lbl = Printf.sprintf "c%d" bit in
+            [
+              i (Instr.Mov (reg Reg.EAX, imm a));
+              i (Instr.Cmp (reg Reg.EAX, imm b));
+              i (Instr.Jcc (c, Instr.Label lbl));
+              i (Instr.Jmp (Instr.Label (lbl ^ "e")));
+              Asm.L lbl;
+              i (Instr.Alu (Instr.Or, reg Reg.EDI, imm bit));
+              Asm.L (lbl ^ "e");
+            ])
+          conds
+      @ [ i Instr.Hlt ]
+    in
+    let w = run_prog prog in
+    Cpu.get_reg w.cpu Reg.EDI
+  in
+  (* 5 vs 5: eq, ge, ae, le *)
+  check_int "5 cmp 5" (1 lor 8 lor 32 lor 64) (mask_for 5 5);
+  (* 3 vs 7: ne, lt, below, le *)
+  check_int "3 cmp 7" (2 lor 4 lor 16 lor 64) (mask_for 3 7);
+  (* -1 (unsigned max) vs 1: ne, signed lt is false (-1 < 1 true!) ...
+     0xFFFFFFFF as signed is -1 so lt holds; unsigned it is above. *)
+  check_int "-1 cmp 1" (2 lor 4 lor 32 lor 64) (mask_for 0xFFFF_FFFF 1)
+
+let test_call_ret () =
+  let w =
+    run_prog
+      [
+        i (Instr.Call (Instr.Label "f"));
+        i (Instr.Mov (reg Reg.EBX, imm 9));
+        i Instr.Hlt;
+        Asm.L "f";
+        i (Instr.Mov (reg Reg.EAX, imm 7));
+        i Instr.Ret;
+      ]
+  in
+  check_int "callee ran" 7 (Cpu.get_reg w.cpu Reg.EAX);
+  check_int "fell back to caller" 9 (Cpu.get_reg w.cpu Reg.EBX)
+
+let test_loop_countdown () =
+  let w =
+    run_prog
+      [
+        i (Instr.Mov (reg Reg.ECX, imm 10));
+        i (Instr.Mov (reg Reg.EAX, imm 0));
+        Asm.L "top";
+        i (Instr.Cmp (reg Reg.ECX, imm 0));
+        i (Instr.Jcc (Instr.Eq, Instr.Label "done"));
+        i (Instr.Alu (Instr.Add, reg Reg.EAX, reg Reg.ECX));
+        i (Instr.Dec (reg Reg.ECX));
+        i (Instr.Jmp (Instr.Label "top"));
+        Asm.L "done";
+        i Instr.Hlt;
+      ]
+  in
+  check_int "sum 1..10" 55 (Cpu.get_reg w.cpu Reg.EAX)
+
+let test_cycle_accounting () =
+  let p = Cycles.pentium in
+  let fetch_walk = p.Cycles.tlb_walk * Pg.walk_length in
+  (* one cold TLB walk for the code page, then 1 cycle per nop/hlt *)
+  let w = run_prog [ i Instr.Nop; i Instr.Nop; i Instr.Hlt ] in
+  check_int "2 nops + hlt" (fetch_walk + 3) (Cpu.cycles w.cpu);
+  let w2 =
+    run_prog [ i (Instr.Mov (reg Reg.EAX, Operand.absolute 0x5000)); i Instr.Hlt ]
+  in
+  (* code walk + mov + read extra + data-page walk + hlt *)
+  check_int "mem read cost incl walks"
+    (fetch_walk + p.Cycles.mov + p.Cycles.mem_read_extra + fetch_walk
+   + p.Cycles.hlt)
+    (Cpu.cycles w2.cpu)
+
+let test_marks () =
+  let w =
+    run_prog
+      [ i (Instr.Mark "a"); i Instr.Nop; i (Instr.Mark "b"); i Instr.Hlt ]
+  in
+  match Cpu.marks w.cpu with
+  | [ ("a", ca); ("b", cb) ] -> check_int "nop between marks" 1 (cb - ca)
+  | _ -> Alcotest.fail "expected two marks"
+
+(* --- Faults ------------------------------------------------------------ *)
+
+let test_fetch_unmapped_faults () =
+  let w = make_world () in
+  (* within the segment limit but on an unmapped page *)
+  enter_kernel_mode w ~eip:0x30000 ~esp:0x8000;
+  (match Cpu.run w.cpu with
+  | Cpu.Fault_abort f -> check_bool "page fault" true (F.is_page_fault f)
+  | _ -> Alcotest.fail "expected page fault");
+  (* beyond the code segment limit: the segment check fires first *)
+  enter_kernel_mode w ~eip:0x40_0000 ~esp:0x8000;
+  match Cpu.run w.cpu with
+  | Cpu.Fault_abort (F.Limit_violation _) -> ()
+  | _ -> Alcotest.fail "expected limit violation"
+
+let test_user_cannot_touch_supervisor_page () =
+  let w = make_world () in
+  (* make page 20 supervisor *)
+  ignore (Pg.set_user (X86.Mmu.directory (Cpu.mmu w.cpu)) ~vpn:20 false);
+  X86.Mmu.flush_tlb (Cpu.mmu w.cpu);
+  ignore
+    (load_at w ~org:0x1000
+       [ i (Instr.Mov (reg Reg.EAX, Operand.absolute (20 * 4096))); i Instr.Hlt ]);
+  enter_user_mode w ~eip:0x1000 ~esp:0x7000;
+  (match Cpu.run w.cpu with
+  | Cpu.Fault_abort (F.Page_privilege _) -> ()
+  | _ -> Alcotest.fail "expected page-privilege fault");
+  (* same access from ring 0 succeeds *)
+  enter_kernel_mode w ~eip:0x1000 ~esp:0x8000;
+  match Cpu.run w.cpu with
+  | Cpu.Halted -> ()
+  | _ -> Alcotest.fail "supervisor access should succeed"
+
+let test_kcall_handler () =
+  let w = make_world () in
+  Cpu.register_handler w.cpu "probe" (fun cpu -> Cpu.set_reg cpu Reg.EDX 99);
+  ignore (load_at w ~org:0x1000 [ i (Instr.Kcall "probe"); i Instr.Hlt ]);
+  enter_kernel_mode w ~eip:0x1000 ~esp:0x8000;
+  (match Cpu.run w.cpu with Cpu.Halted -> () | _ -> Alcotest.fail "run failed");
+  check_int "handler ran" 99 (Cpu.get_reg w.cpu Reg.EDX)
+
+(* --- Far control transfers --------------------------------------------- *)
+
+(* User code calls through a gate into ring 0, the handler returns
+   with lret; verifies CPL changes and the stack switch. *)
+let test_gate_privilege_raise_and_return () =
+  let w = make_world () in
+  ignore
+    (load_at w ~org:0x2000
+       [
+         (* inside ring 0: note the switched stack, mark, return *)
+         i (Instr.Mov (reg Reg.EDX, reg Reg.ESP));
+         i Instr.Lret;
+       ]);
+  let gate = Desc.call_gate ~dpl:P.R3 ~target:w.kcs ~entry:0x2000 () in
+  let gate_idx = DT.alloc w.gdt gate in
+  let gate_sel = Sel.encode (Sel.make ~rpl:P.R3 gate_idx) in
+  ignore
+    (load_at w ~org:0x1000
+       [
+         i (Instr.Lcall gate_sel);
+         i (Instr.Mov (reg Reg.EBX, imm 5));
+         i Instr.Hlt;
+       ]);
+  enter_user_mode w ~eip:0x1000 ~esp:0x7000;
+  (match Cpu.run w.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fault_abort f -> Alcotest.failf "faulted: %a" F.pp f
+  | _ -> Alcotest.fail "did not halt");
+  check_int "continued after return" 5 (Cpu.get_reg w.cpu Reg.EBX);
+  check_int "back at CPL3" 3 (P.to_int (Cpu.cpl w.cpu));
+  (* the ring-0 stack pointer observed inside the gate is below the
+     TSS SP0 (frame pushed) *)
+  let sp_inside = Cpu.get_reg w.cpu Reg.EDX in
+  check_bool "switched to TSS stack" true
+    (sp_inside < 0x8000 && sp_inside >= 0x8000 - 32);
+  check_int "user esp restored" 0x7000 (Cpu.get_reg w.cpu Reg.ESP)
+
+let test_gate_dpl_blocks_user () =
+  let w = make_world () in
+  ignore (load_at w ~org:0x2000 [ i Instr.Lret ]);
+  let gate = Desc.call_gate ~dpl:P.R0 ~target:w.kcs ~entry:0x2000 () in
+  let gate_idx = DT.alloc w.gdt gate in
+  let gate_sel = Sel.encode (Sel.make ~rpl:P.R3 gate_idx) in
+  ignore (load_at w ~org:0x1000 [ i (Instr.Lcall gate_sel); i Instr.Hlt ]);
+  enter_user_mode w ~eip:0x1000 ~esp:0x7000;
+  match Cpu.run w.cpu with
+  | Cpu.Fault_abort (F.Gate_privilege _) -> ()
+  | _ -> Alcotest.fail "expected gate-privilege fault"
+
+(* The Palladium trick: ring 0 synthesises a frame and lrets into
+   ring-3 code, which comes back via a call gate. *)
+let test_lret_descends_privilege () =
+  let w = make_world () in
+  (* ring-3 target: set EAX and halt (halting at CPL3 is fine here;
+     no confinement in this toy world) *)
+  ignore
+    (load_at w ~org:0x3000
+       [ i (Instr.Mov (reg Reg.EAX, imm 0x33)); i Instr.Hlt ]);
+  let ucs3 = Sel.encode w.ucs in
+  let uds3 = Sel.encode w.uds in
+  ignore
+    (load_at w ~org:0x1000
+       [
+         i (Instr.Push (imm uds3)); (* SS *)
+         i (Instr.Push (imm 0x7000)); (* ESP *)
+         i (Instr.Push (imm ucs3)); (* CS *)
+         i (Instr.Push (imm 0x3000)); (* EIP *)
+         i Instr.Lret;
+       ]);
+  enter_kernel_mode w ~eip:0x1000 ~esp:0x8000;
+  (match Cpu.run w.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fault_abort f -> Alcotest.failf "faulted: %a" F.pp f
+  | _ -> Alcotest.fail "did not halt");
+  check_int "ring-3 code ran" 0x33 (Cpu.get_reg w.cpu Reg.EAX);
+  check_int "CPL lowered" 3 (P.to_int (Cpu.cpl w.cpu));
+  check_int "stack switched" 0x7000 (Cpu.get_reg w.cpu Reg.ESP)
+
+let test_lret_to_more_privileged_faults () =
+  let w = make_world () in
+  let kcs0 = Sel.encode w.kcs in
+  ignore
+    (load_at w ~org:0x1000
+       [ i (Instr.Push (imm kcs0)); i (Instr.Push (imm 0x2000)); i Instr.Lret ]);
+  enter_user_mode w ~eip:0x1000 ~esp:0x7000;
+  match Cpu.run w.cpu with
+  | Cpu.Fault_abort (F.Invalid_transfer _) -> ()
+  | _ -> Alcotest.fail "expected invalid-transfer fault"
+
+let test_lret_invalidates_privileged_ds () =
+  let w = make_world () in
+  (* ring-3 code immediately reads through DS, which the hardware
+     nulled on the way down (it held a DPL0 segment). *)
+  ignore
+    (load_at w ~org:0x3000
+       [ i (Instr.Mov (reg Reg.EAX, Operand.absolute 0x5000)); i Instr.Hlt ]);
+  ignore
+    (load_at w ~org:0x1000
+       [
+         i (Instr.Push (imm (Sel.encode w.uds)));
+         i (Instr.Push (imm 0x7000));
+         i (Instr.Push (imm (Sel.encode w.ucs)));
+         i (Instr.Push (imm 0x3000));
+         i Instr.Lret;
+       ]);
+  enter_kernel_mode w ~eip:0x1000 ~esp:0x8000;
+  match Cpu.run w.cpu with
+  | Cpu.Fault_abort F.Null_selector -> ()
+  | Cpu.Halted -> Alcotest.fail "DS should have been invalidated"
+  | r ->
+      ignore r;
+      Alcotest.fail "unexpected outcome"
+
+let test_int_iret_roundtrip () =
+  let w = make_world () in
+  Cpu.register_handler w.cpu "svc" (fun cpu ->
+      Cpu.set_reg cpu Reg.EDX (Cpu.get_reg cpu Reg.EAX * 2));
+  ignore (load_at w ~org:0x2000 [ i (Instr.Kcall "svc"); i Instr.Iret ]);
+  DT.set w.idt 0x40 (Desc.interrupt_gate ~dpl:P.R3 ~target:w.kcs ~entry:0x2000 ());
+  ignore
+    (load_at w ~org:0x1000
+       [
+         i (Instr.Mov (reg Reg.EAX, imm 21));
+         i (Instr.Int_ 0x40);
+         i (Instr.Mov (reg Reg.EBX, reg Reg.EDX));
+         i Instr.Hlt;
+       ]);
+  enter_user_mode w ~eip:0x1000 ~esp:0x7000;
+  (match Cpu.run w.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fault_abort f -> Alcotest.failf "faulted: %a" F.pp f
+  | _ -> Alcotest.fail "did not halt");
+  check_int "service result" 42 (Cpu.get_reg w.cpu Reg.EBX);
+  check_int "back at CPL3" 3 (P.to_int (Cpu.cpl w.cpu))
+
+let test_int_missing_vector () =
+  let w = make_world () in
+  ignore (load_at w ~org:0x1000 [ i (Instr.Int_ 0x41); i Instr.Hlt ]);
+  enter_user_mode w ~eip:0x1000 ~esp:0x7000;
+  match Cpu.run w.cpu with
+  | Cpu.Fault_abort (F.Descriptor_missing _) -> ()
+  | _ -> Alcotest.fail "expected missing-descriptor fault"
+
+let test_save_restore_state () =
+  let w = make_world () in
+  ignore (load_at w ~org:0x1000 [ i (Instr.Mov (reg Reg.EAX, imm 1)); i Instr.Hlt ]);
+  enter_kernel_mode w ~eip:0x1000 ~esp:0x8000;
+  Cpu.set_reg w.cpu Reg.EAX 1234;
+  let saved = Cpu.save_state w.cpu in
+  ignore (Cpu.run w.cpu);
+  check_int "ran" 1 (Cpu.get_reg w.cpu Reg.EAX);
+  Cpu.restore_state w.cpu saved;
+  check_int "restored eax" 1234 (Cpu.get_reg w.cpu Reg.EAX);
+  check_int "restored eip" 0x1000 (Cpu.eip w.cpu)
+
+(* --- Debugging aids ------------------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_debug_explain_and_trace () =
+  let w = make_world () in
+  Cpu.set_tracing w.cpu true;
+  ignore
+    (load_at w ~org:0x1000
+       [ i (Instr.Mov (reg Reg.EAX, imm 1)); i Instr.Nop; i Instr.Hlt ]);
+  enter_kernel_mode w ~eip:0x1000 ~esp:0x8000;
+  ignore (Cpu.run w.cpu);
+  let listing = Debug.trace_listing w.cpu in
+  check_bool "trace shows the mov" true (contains ~sub:"mov" listing);
+  (* fault explanation names the right boundary *)
+  let msg =
+    Debug.explain_fault ~cpl:P.R3
+      (F.Page_privilege { linear = 0x1234; access = F.Write; cpl = P.R3 })
+  in
+  check_bool "mentions user-extension confinement" true
+    (contains ~sub:"user-extension" msg);
+  let kmsg =
+    Debug.explain_fault ~cpl:P.R1
+      (F.Limit_violation
+         { selector = Sel.make ~rpl:P.R1 5; offset = 0; limit = 0; access = F.Read })
+  in
+  check_bool "mentions kernel-extension confinement" true
+    (contains ~sub:"kernel-extension" kmsg)
+
+let test_debug_disassemble () =
+  let w = make_world () in
+  ignore (load_at w ~org:0x1000 [ i Instr.Nop; i Instr.Hlt ]);
+  let listing = Debug.disassemble w.cpu ~addr:0x1000 ~count:3 in
+  check_bool "shows nop, hlt and a hole" true
+    (contains ~sub:"nop" listing && contains ~sub:"hlt" listing
+    && contains ~sub:"(no code)" listing)
+
+(* --- Assembler ---------------------------------------------------------- *)
+
+let test_asm_duplicate_label () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Asm: duplicate label x") (fun () ->
+      ignore (Asm.assemble [ Asm.L "x"; i Instr.Nop; Asm.L "x" ]))
+
+let test_asm_unresolved () =
+  match Asm.assemble [ i (Instr.Jmp (Instr.Label "nowhere")) ] with
+  | _ -> Alcotest.fail "expected Unresolved"
+  | exception Asm.Unresolved "nowhere" -> ()
+
+let test_asm_extern_and_symbols () =
+  let extern = function "ext" -> Some 0x4242 | _ -> None in
+  let asm =
+    Asm.assemble ~org:0x100 ~extern
+      [
+        Asm.L "start";
+        i (Instr.Mov (reg Reg.EAX, Operand.label "ext"));
+        i (Instr.Jmp (Instr.Label "start"));
+      ]
+  in
+  check_int "local symbol" 0x100 (Asm.symbol asm "start");
+  check_int "text size" 8 asm.Asm.text_size;
+  match asm.Asm.instrs.(0) with
+  | Instr.Mov (_, Operand.Imm 0x4242) -> ()
+  | _ -> Alcotest.fail "extern not resolved"
+
+let prop_alu_add =
+  QCheck.Test.make ~name:"simulated add matches OCaml add (mod 2^32)"
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (a, b) ->
+      let w =
+        run_prog
+          [
+            i (Instr.Mov (reg Reg.EAX, imm a));
+            i (Instr.Alu (Instr.Add, reg Reg.EAX, imm b));
+            i Instr.Hlt;
+          ]
+      in
+      Cpu.get_reg w.cpu Reg.EAX = (a + b) land 0xFFFF_FFFF)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "instructions",
+        [
+          Alcotest.test_case "mov and alu" `Quick test_mov_alu;
+          Alcotest.test_case "32-bit wraparound" `Quick test_wraparound;
+          Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
+          Alcotest.test_case "indexed addressing" `Quick test_indexed_addressing;
+          Alcotest.test_case "movb zero-extends" `Quick test_movb_zero_extends;
+          Alcotest.test_case "push/pop" `Quick test_push_pop;
+          Alcotest.test_case "xchg" `Quick test_xchg;
+          Alcotest.test_case "condition codes" `Quick test_conditions;
+          Alcotest.test_case "call/ret" `Quick test_call_ret;
+          Alcotest.test_case "loop" `Quick test_loop_countdown;
+          QCheck_alcotest.to_alcotest prop_alu_add;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "cycle charges" `Quick test_cycle_accounting;
+          Alcotest.test_case "marks" `Quick test_marks;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fetch unmapped" `Quick test_fetch_unmapped_faults;
+          Alcotest.test_case "user vs supervisor page" `Quick
+            test_user_cannot_touch_supervisor_page;
+          Alcotest.test_case "kcall handler" `Quick test_kcall_handler;
+        ] );
+      ( "far-transfers",
+        [
+          Alcotest.test_case "gate raise + lret return" `Quick
+            test_gate_privilege_raise_and_return;
+          Alcotest.test_case "gate DPL blocks user" `Quick test_gate_dpl_blocks_user;
+          Alcotest.test_case "lret descends privilege (Palladium)" `Quick
+            test_lret_descends_privilege;
+          Alcotest.test_case "lret cannot ascend" `Quick
+            test_lret_to_more_privileged_faults;
+          Alcotest.test_case "lret nulls privileged DS" `Quick
+            test_lret_invalidates_privileged_ds;
+          Alcotest.test_case "int/iret roundtrip" `Quick test_int_iret_roundtrip;
+          Alcotest.test_case "missing IDT vector" `Quick test_int_missing_vector;
+          Alcotest.test_case "save/restore" `Quick test_save_restore_state;
+        ] );
+      ( "debug",
+        [
+          Alcotest.test_case "fault explanation + trace" `Quick
+            test_debug_explain_and_trace;
+          Alcotest.test_case "disassemble" `Quick test_debug_disassemble;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "unresolved symbol" `Quick test_asm_unresolved;
+          Alcotest.test_case "extern resolution" `Quick test_asm_extern_and_symbols;
+        ] );
+    ]

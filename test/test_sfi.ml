@@ -1,0 +1,174 @@
+(* Tests for the SFI baseline rewriter: coercion semantics, overhead
+   accounting and the containment guarantee. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let i x = Asm.I x
+
+let reg r = Operand.Reg r
+
+let world () =
+  let k = Kernel.boot () in
+  let task = Kernel.create_task k ~name:"t" in
+  (k, task)
+
+let test_region_validation () =
+  Alcotest.check_raises "size not a power of two"
+    (Invalid_argument "Sfi: region size must be a power of two") (fun () ->
+      ignore (Sfi.rewrite_program Sfi.Write_only { Sfi.base = 0; size = 3000 } []));
+  Alcotest.check_raises "misaligned base"
+    (Invalid_argument "Sfi: region base must be size-aligned") (fun () ->
+      ignore
+        (Sfi.rewrite_program Sfi.Write_only { Sfi.base = 100; size = 4096 } []))
+
+let test_inserted_instruction_counts () =
+  let prog =
+    [
+      i (Instr.Mov (Operand.absolute 0x100, reg Reg.EAX)); (* store: guarded *)
+      i (Instr.Mov (reg Reg.EAX, Operand.absolute 0x100)); (* load *)
+      i (Instr.Mov (reg Reg.EAX, reg Reg.EBX)); (* register only *)
+    ]
+  in
+  (* each guard adds push/lea/and/or/pop = 5 instructions *)
+  check_int "write-only guards stores" 5
+    (Sfi.inserted_instructions Sfi.Write_only prog);
+  check_int "read-write guards both" 10
+    (Sfi.inserted_instructions Sfi.Read_write prog)
+
+let test_indirect_control_flow_rejected () =
+  Alcotest.check_raises "indirect jump"
+    (Invalid_argument "Sfi: indirect control flow is not sandboxable") (fun () ->
+      ignore
+        (Sfi.rewrite_program Sfi.Write_only
+           { Sfi.base = 0; size = 4096 }
+           [ i (Instr.Jmp_ind (reg Reg.EAX)) ]))
+
+(* Legal accesses within the region are unchanged by the coercion. *)
+let test_semantics_preserved_inside_region () =
+  let k, task = world () in
+  let image =
+    Image.create ~name:"inreg"
+      ~bss:[ Image.bss_item ~align:4096 "buf" 4096 ]
+      ~exports:[ "touch" ]
+      [
+        Asm.L "touch";
+        i (Instr.Mov (reg Reg.EAX, Operand.deref ~disp:4 Reg.ESP));
+        i (Instr.Mov (Operand.deref Reg.EAX, Operand.Imm 0x5A5A));
+        i (Instr.Mov (reg Reg.EAX, Operand.deref Reg.EAX));
+        i Instr.Ret;
+      ]
+  in
+  (* full-width region: coercion is the identity *)
+  let sandboxed =
+    Sfi.sandbox_image Sfi.Read_write { Sfi.base = 0; size = 1 lsl 30 } image
+  in
+  let km = Kmod.insmod k sandboxed in
+  let buf = Kmod.symbol km "buf" in
+  match Kmod.invoke km task ~fn:"touch" ~arg:buf with
+  | Kernel.Completed, v, _ -> check_int "write+read through guards" 0x5A5A v
+  | _ -> Alcotest.fail "sandboxed run failed"
+
+(* An escaping store is *coerced* into the region (SFI semantics: no
+   trap, the extension can only hurt itself). *)
+let test_escaping_store_coerced () =
+  let k, task = world () in
+  let image =
+    Image.create ~name:"escape"
+      ~bss:[ Image.bss_item ~align:4096 "buf" 4096 ]
+      ~exports:[ "poke"; "probe" ]
+      [
+        Asm.L "poke";
+        i (Instr.Mov (reg Reg.EAX, Operand.deref ~disp:4 Reg.ESP));
+        i (Instr.Mov (Operand.deref Reg.EAX, Operand.Imm 0xBEEF));
+        i Instr.Ret;
+        Asm.L "probe";
+        i (Instr.Mov (reg Reg.EAX, Operand.deref ~disp:4 Reg.ESP));
+        i (Instr.Mov (reg Reg.EAX, Operand.deref Reg.EAX));
+        i Instr.Ret;
+      ]
+  in
+  (* Sandbox only "poke": probe stays raw so we can inspect memory.
+     The region is the page at the buffer. *)
+  let km_raw = Kmod.insmod k image in
+  let buf = Kmod.symbol km_raw "buf" in
+  let region = { Sfi.base = buf land lnot 4095; size = 4096 } in
+  let sandboxed = Sfi.sandbox_image Sfi.Write_only region image in
+  let km = Kmod.insmod k sandboxed in
+  (* poke a mapped kernel address outside the region (the sandboxed
+     module's own buffer page): the store must be coerced into the
+     region — which is the *raw* module's buffer page — instead *)
+  let outside = Kmod.symbol km "buf" + 0x24 in
+  check_bool "outside really is outside" true
+    (outside land lnot 4095 <> region.Sfi.base);
+  (match Kmod.invoke km task ~fn:"poke" ~arg:outside with
+  | Kernel.Completed, _, _ -> ()
+  | _ -> Alcotest.fail "sandboxed poke failed");
+  (* the coerced address is (outside & 0xFFF) | base *)
+  let coerced = (outside land 4095) lor region.Sfi.base in
+  (match Kmod.invoke km task ~fn:"probe" ~arg:coerced with
+  | Kernel.Completed, v, _ -> check_int "store landed inside region" 0xBEEF v
+  | _ -> Alcotest.fail "probe failed");
+  (* and the outside location is untouched *)
+  match Kmod.invoke km task ~fn:"probe" ~arg:outside with
+  | Kernel.Completed, v, _ -> check_int "outside untouched" 0 v
+  | _ -> Alcotest.fail "probe outside failed"
+
+let test_overhead_scales_with_code () =
+  let k, task = world () in
+  let variant name sandbox n =
+    let image =
+      Image.create ~name
+        ~bss:[ Image.bss_item ~align:4096 "buf" 4096 ]
+        ~exports:[ "strrev" ]
+        (Ulib.strrev_body ~name:"strrev")
+    in
+    let image =
+      if sandbox then
+        Sfi.sandbox_image Sfi.Write_only { Sfi.base = 0; size = 1 lsl 30 } image
+      else image
+    in
+    let km = Kmod.insmod k image in
+    let s = Bytes.cat (Bytes.make (n - 1) 'q') (Bytes.of_string "\000") in
+    Kmod.poke km ~symbol:"buf" ~off:0 s;
+    match Kmod.invoke km task ~fn:"strrev" ~arg:(Kmod.symbol km "buf") with
+    | Kernel.Completed, _, cycles -> cycles
+    | _ -> Alcotest.fail "variant run failed"
+  in
+  let nat32 = variant "n32" false 32 in
+  let sfi32 = variant "s32" true 32 in
+  let nat256 = variant "n256" false 256 in
+  let sfi256 = variant "s256" true 256 in
+  check_bool "overhead positive" true (sfi32 > nat32);
+  (* absolute overhead grows with the work done, unlike Palladium's
+     fixed crossing cost *)
+  check_bool "absolute overhead grows" true (sfi256 - nat256 > sfi32 - nat32);
+  let pct a b = float_of_int (a - b) /. float_of_int b in
+  check_bool "within published SFI range (<=220%)" true
+    (pct sfi256 nat256 <= 2.2)
+
+let () =
+  Alcotest.run "sfi"
+    [
+      ( "rewriter",
+        [
+          Alcotest.test_case "region validation" `Quick test_region_validation;
+          Alcotest.test_case "inserted instruction counts" `Quick
+            test_inserted_instruction_counts;
+          Alcotest.test_case "indirect control flow rejected" `Quick
+            test_indirect_control_flow_rejected;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "identity inside region" `Quick
+            test_semantics_preserved_inside_region;
+          Alcotest.test_case "escaping store coerced" `Quick
+            test_escaping_store_coerced;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "scales with code, unlike Palladium" `Quick
+            test_overhead_scales_with_code;
+        ] );
+    ]

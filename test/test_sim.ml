@@ -1,0 +1,108 @@
+(* Tests for the discrete-event simulator and FCFS resources. *)
+
+let check_int = Alcotest.(check int)
+
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_event_ordering () =
+  let des = Des.create () in
+  let log = ref [] in
+  Des.schedule des ~delay:3.0 (fun () -> log := 3 :: !log);
+  Des.schedule des ~delay:1.0 (fun () -> log := 1 :: !log);
+  Des.schedule des ~delay:2.0 (fun () -> log := 2 :: !log);
+  Des.run des;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last event" 3.0 (Des.now des)
+
+let test_fifo_tie_break () =
+  let des = Des.create () in
+  let log = ref [] in
+  for k = 1 to 5 do
+    Des.schedule des ~delay:1.0 (fun () -> log := k :: !log)
+  done;
+  Des.run des;
+  Alcotest.(check (list int)) "insertion order at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_nested_scheduling () =
+  let des = Des.create () in
+  let fired = ref 0.0 in
+  Des.schedule des ~delay:1.0 (fun () ->
+      Des.schedule des ~delay:2.5 (fun () -> fired := Des.now des));
+  Des.run des;
+  check_float "relative delay" 3.5 !fired
+
+let test_until () =
+  let des = Des.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Des.schedule des ~delay:1.0 tick
+  in
+  Des.schedule des ~delay:1.0 tick;
+  Des.run ~until:10.5 des;
+  check_int "stopped at horizon" 10 !count
+
+let test_negative_delay_rejected () =
+  let des = Des.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Des.schedule: negative delay") (fun () ->
+      Des.schedule des ~delay:(-1.0) ignore)
+
+let prop_sorted_firing =
+  QCheck.Test.make ~name:"random delays fire in sorted order"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range 0.0 1000.0))
+    (fun delays ->
+      let des = Des.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d -> Des.schedule des ~delay:d (fun () -> fired := Des.now des :: !fired))
+        delays;
+      Des.run des;
+      let order = List.rev !fired in
+      List.sort compare order = order
+      && List.length order = List.length delays)
+
+let test_resource_fcfs () =
+  let des = Des.create () in
+  let r = Resource.create des ~name:"cpu" in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Resource.acquire r ~service:10.0 (fun () ->
+        done_at := Des.now des :: !done_at)
+  done;
+  check_int "queued behind the busy server" 2 (Resource.queue_length r);
+  Des.run des;
+  Alcotest.(check (list (float 1e-9)))
+    "serialised completions" [ 10.0; 20.0; 30.0 ]
+    (List.rev !done_at);
+  check_int "served" 3 (Resource.served r);
+  check_float "fully utilised" 1.0 (Resource.utilisation r ~horizon:30.0)
+
+let test_resource_idle_gap () =
+  let des = Des.create () in
+  let r = Resource.create des ~name:"cpu" in
+  Resource.acquire r ~service:5.0 ignore;
+  Des.schedule des ~delay:20.0 (fun () -> Resource.acquire r ~service:5.0 ignore);
+  Des.run des;
+  check_float "utilisation with gap" 0.4 (Resource.utilisation r ~horizon:25.0)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "des",
+        [
+          Alcotest.test_case "event ordering" `Quick test_event_ordering;
+          Alcotest.test_case "fifo tie break" `Quick test_fifo_tie_break;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_until;
+          Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+          QCheck_alcotest.to_alcotest prop_sorted_firing;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "fcfs service" `Quick test_resource_fcfs;
+          Alcotest.test_case "idle gaps" `Quick test_resource_idle_gap;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the web-server experiment (Table 3) and the IPC
+   baselines (Table 2's RPC column). *)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let run inv bytes =
+  Server.run ~invocation:inv ~bytes ~protected_call_usec:0.72 ()
+
+(* --- CGI cost model ------------------------------------------------------- *)
+
+let test_model_ordering () =
+  (* Per-request CPU cost must order CGI > FastCGI > protected LibCGI >
+     LibCGI > static, at every size. *)
+  List.iter
+    (fun bytes ->
+      let c inv = Cgi_model.request_usec ~invocation:inv ~bytes ~protected_call_usec:0.72 in
+      check_bool "cgi most expensive" true (c Cgi_model.Cgi > c Cgi_model.Fast_cgi);
+      check_bool "fastcgi above libcgi" true
+        (c Cgi_model.Fast_cgi > c Cgi_model.Libcgi_protected);
+      check_bool "protection costs something" true
+        (c Cgi_model.Libcgi_protected > c Cgi_model.Libcgi);
+      check_bool "libcgi above static" true
+        (c Cgi_model.Libcgi > c Cgi_model.Static))
+    [ 28; 1024; 10_240; 102_400 ]
+
+let test_model_monotone_in_size () =
+  List.iter
+    (fun inv ->
+      let c bytes = Cgi_model.request_usec ~invocation:inv ~bytes ~protected_call_usec:0.72 in
+      check_bool "larger files cost more" true (c 102_400 > c 1024))
+    [ Cgi_model.Static; Cgi_model.Cgi; Cgi_model.Fast_cgi; Cgi_model.Libcgi ]
+
+(* --- Server simulation ------------------------------------------------------ *)
+
+let test_server_completes_all () =
+  let r = run Cgi_model.Static 1024 in
+  check_int "all requests served" 1000 r.Server.requests;
+  check_bool "positive throughput" true (r.Server.throughput_rps > 0.0);
+  check_bool "cpu utilisation sane" true
+    (r.Server.cpu_utilisation > 0.9 && r.Server.cpu_utilisation <= 1.0001)
+
+let test_throughput_ordering () =
+  List.iter
+    (fun bytes ->
+      let t inv = (run inv bytes).Server.throughput_rps in
+      check_bool "static fastest" true (t Cgi_model.Static >= t Cgi_model.Libcgi);
+      check_bool "libcgi beats fastcgi" true
+        (t Cgi_model.Libcgi > t Cgi_model.Fast_cgi);
+      check_bool "fastcgi beats cgi" true (t Cgi_model.Fast_cgi > t Cgi_model.Cgi))
+    [ 28; 10_240 ]
+
+let test_protected_libcgi_within_4_percent () =
+  (* The paper's headline: protected LibCGI stays within 4% of
+     unprotected LibCGI at every size. *)
+  List.iter
+    (fun bytes ->
+      let p = (run Cgi_model.Libcgi_protected bytes).Server.throughput_rps in
+      let u = (run Cgi_model.Libcgi bytes).Server.throughput_rps in
+      check_bool
+        (Printf.sprintf "within 4%% at %d bytes" bytes)
+        true
+        (p >= u *. 0.96))
+    [ 28; 1024; 10_240; 102_400 ]
+
+let test_cpu_bound_at_100k () =
+  let r = run Cgi_model.Static 102_400 in
+  check_bool "server CPU is the bottleneck" true
+    (r.Server.cpu_utilisation > r.Server.link_utilisation)
+
+(* --- RPC baseline ------------------------------------------------------------- *)
+
+let test_rpc_magnitude () =
+  let t32 = Rpc.round_trip_usec ~bytes:32 in
+  check_bool "32B around 349 usec (±5%)" true (t32 > 330.0 && t32 < 370.0);
+  let t256 = Rpc.round_trip_usec ~bytes:256 in
+  check_bool "256B around 423 usec (±5%)" true (t256 > 400.0 && t256 < 445.0)
+
+let test_rpc_monotone () =
+  check_bool "cost grows with payload" true
+    (Rpc.round_trip_usec ~bytes:256 > Rpc.round_trip_usec ~bytes:32)
+
+let test_rpc_des_matches_closed_form () =
+  List.iter
+    (fun bytes ->
+      let closed = Rpc.round_trip_usec ~bytes in
+      let sim = Rpc.measure ~runs:5 ~bytes () in
+      check_bool
+        (Printf.sprintf "DES within 1%% at %d bytes" bytes)
+        true
+        (abs_float (sim -. closed) /. closed < 0.01))
+    [ 32; 256 ]
+
+let test_l4_lrpc_constants () =
+  check_int "l4 best case" 242 L4.best_case_cycles;
+  check_int "l4 crossings" 4 L4.domain_crossings;
+  check_bool "palladium beats l4" true (L4.palladium_advantage ~palladium_cycles:144 > 0);
+  check_bool "lrpc speedup" true (Lrpc.speedup_vs_rpc > 3.0)
+
+let () =
+  Alcotest.run "websrv-ipc"
+    [
+      ( "cgi-model",
+        [
+          Alcotest.test_case "invocation cost ordering" `Quick test_model_ordering;
+          Alcotest.test_case "monotone in size" `Quick test_model_monotone_in_size;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "completes all requests" `Quick test_server_completes_all;
+          Alcotest.test_case "throughput ordering" `Quick test_throughput_ordering;
+          Alcotest.test_case "protected within 4% of unprotected" `Quick
+            test_protected_libcgi_within_4_percent;
+          Alcotest.test_case "CPU-bound at 100 KB" `Quick test_cpu_bound_at_100k;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "magnitude vs paper" `Quick test_rpc_magnitude;
+          Alcotest.test_case "monotone" `Quick test_rpc_monotone;
+          Alcotest.test_case "DES matches closed form" `Quick
+            test_rpc_des_matches_closed_form;
+          Alcotest.test_case "L4/LRPC constants" `Quick test_l4_lrpc_constants;
+        ] );
+    ]
