@@ -145,6 +145,89 @@ let rpc_cmd =
     (Cmd.info "rpc" ~doc:"Socket RPC cost breakdown (Table 2 baseline).")
     Term.(const run_rpc $ bytes)
 
+(* --- stats: counter registry after a workload ------------------------------ *)
+
+(* Exercise the full protection pipeline once so every counter family
+   has something to show: a protected null call crosses rings both
+   ways, walks pages, loads descriptors and makes syscalls. *)
+let run_workload ~iterations ~with_fault =
+  let w = Palladium.boot () in
+  let app = Palladium.create_app w ~name:"cli" in
+  let ext = User_ext.seg_dlopen app Ulib.null_image in
+  let prepare = User_ext.seg_dlsym app ext "null_fn" in
+  for _ = 1 to max 1 iterations do
+    ignore (User_ext.call app ~prepare ~arg:0)
+  done;
+  if with_fault then begin
+    (* an extension store to hidden application memory: SIGSEGV path *)
+    let area =
+      Address_space.mmap (User_ext.task app).Task.asp ~len:4096
+        ~perms:Vm_area.rw Vm_area.Data
+    in
+    Address_space.populate (User_ext.task app).Task.asp area;
+    let rogue = User_ext.seg_dlopen app Ulib.rogue_write_image in
+    let poke = User_ext.seg_dlsym app rogue "poke" in
+    ignore (User_ext.call app ~prepare:poke ~arg:area.Vm_area.va_start)
+  end
+
+let run_stats iterations with_fault =
+  run_workload ~iterations ~with_fault;
+  Fmt.pr "%a@." Obs.Counters.pp ()
+
+let stats_cmd =
+  let iterations =
+    Arg.(
+      value & opt int 10
+      & info [ "n"; "iterations" ] ~doc:"Protected calls to run.")
+  in
+  let with_fault =
+    Arg.(
+      value & flag
+      & info [ "fault" ] ~doc:"Also trigger a protection fault (SIGSEGV path).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a protected-call workload and print the global event counters \
+          (TLB, page walks, privilege crossings, syscalls, faults).")
+    Term.(const run_stats $ iterations $ with_fault)
+
+(* --- trace: event ring buffer dump ----------------------------------------- *)
+
+let run_trace iterations with_fault capacity =
+  Obs.Trace.set_capacity capacity;
+  Obs.Trace.set_enabled true;
+  run_workload ~iterations ~with_fault;
+  Obs.Trace.set_enabled false;
+  Obs.Trace.dump Fmt.stdout ();
+  if Obs.Trace.dropped () > 0 then
+    Fmt.pr "(%d older events dropped; raise --capacity to keep more)@."
+      (Obs.Trace.dropped ())
+
+let trace_cmd =
+  let iterations =
+    Arg.(
+      value & opt int 2
+      & info [ "n"; "iterations" ] ~doc:"Protected calls to run.")
+  in
+  let with_fault =
+    Arg.(
+      value & flag
+      & info [ "fault" ] ~doc:"Also trigger a protection fault (SIGSEGV path).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "capacity" ] ~doc:"Ring buffer capacity (events).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a protected-call workload with event tracing on and dump the \
+          ring buffer (privilege transitions, module loads, protected calls, \
+          faults, syscalls).")
+    Term.(const run_trace $ iterations $ with_fault $ capacity)
+
 (* --- vmmap: inspect an application's address space ------------------------- *)
 
 let run_vmmap () =
@@ -165,6 +248,6 @@ let main =
        ~doc:
          "Palladium (SOSP '99) reproduction: segmentation+paging protection \
           for safe software extensions, on a simulated x86.")
-    [ call_cmd; filter_cmd; webserver_cmd; rpc_cmd; vmmap_cmd ]
+    [ call_cmd; filter_cmd; webserver_cmd; rpc_cmd; stats_cmd; trace_cmd; vmmap_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -225,15 +225,31 @@ let xmalloc ext size =
   ext.x_heap_cursor <- ext.x_heap_cursor + aligned;
   addr
 
+let c_protected_calls = Obs.Counters.counter "core.protected_calls"
+
 (* Protected extension call: arm the watchdog, enter user mode at the
    Prepare stub, and interpret the outcome. *)
 let call t ~prepare ~arg =
   t.calls <- t.calls + 1;
+  Obs.Counters.incr c_protected_calls;
   let wd = Kernel.watchdog t.kernel in
   let cpu = Kernel.cpu t.kernel in
   Watchdog.arm wd ~now:(Cpu.cycles cpu) ~limit:t.time_limit ();
   let o = Runtime.invoke1 t.rt ~fn:prepare ~arg in
   Watchdog.disarm wd;
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~cycles:(Cpu.cycles cpu)
+      (Obs.Trace.Protected_call
+         {
+           fn = Printf.sprintf "%#x" prepare;
+           outcome =
+             (match o.Runtime.result with
+             | Kernel.Completed -> "ok"
+             | Kernel.Faulted _ -> "fault"
+             | Kernel.Timed_out _ -> "timeout"
+             | Kernel.Out_of_fuel -> "runaway");
+           cycles = o.Runtime.cycles;
+         });
   match o.Runtime.result with
   | Kernel.Completed -> Ok (o.Runtime.value, o.Runtime.cycles)
   | Kernel.Faulted f -> Error (Protection_fault f)

@@ -137,6 +137,10 @@ let kpeek_bytes t linear len =
 
 (* --- Fault policy --------------------------------------------------- *)
 
+let c_sigsegv = Obs.Counters.counter "kern.sigsegv"
+
+let c_ext_faults = Obs.Counters.counter "kern.ext_faults"
+
 let install_fault_hook t =
   Cpu.set_on_fault t.cpu
     (Some
@@ -149,10 +153,12 @@ let install_fault_hook t =
          | Page_fault.Repaired -> Cpu.Fault_continue
          | Page_fault.Deliver_segv info ->
              t.segv_log <- (task.Task.pid, info) :: t.segv_log;
+             Obs.Counters.incr c_sigsegv;
              ignore (Signal.deliver task.Task.signals info);
              Cpu.Fault_stop
          | Page_fault.Kernel_ext_fault reason ->
              t.kernel_ext_faults <- reason :: t.kernel_ext_faults;
+             Obs.Counters.incr c_ext_faults;
              Cpu.Fault_stop
          | Page_fault.Panic msg -> raise (Panic msg)))
 

@@ -51,15 +51,27 @@ let name_of table number =
   | Some (name, _) -> Some name
   | None -> None
 
+let c_syscalls = Obs.Counters.counter "kern.syscalls"
+
 (* Dispatch with the paper's taskSPL check: a promoted process's SPL 3
    code (i.e. a user extension) may not make system calls directly;
    it must go through application services. *)
 let dispatch table (ctx : context) number =
-  if
-    Task.is_promoted ctx.task
-    && P.equal ctx.caller_spl P.R3
-  then Errno.to_ret Errno.EPERM
-  else
-    match Hashtbl.find_opt table.entries number with
-    | None -> Errno.to_ret Errno.ENOSYS
-    | Some (_, fn) -> fn ctx
+  Obs.Counters.incr c_syscalls;
+  let ret =
+    if Task.is_promoted ctx.task && P.equal ctx.caller_spl P.R3 then
+      Errno.to_ret Errno.EPERM
+    else
+      match Hashtbl.find_opt table.entries number with
+      | None -> Errno.to_ret Errno.ENOSYS
+      | Some (_, fn) -> fn ctx
+  in
+  if Obs.Trace.on () then
+    Obs.Trace.emit
+      (Obs.Trace.Syscall
+         {
+           number;
+           name = Option.value (name_of table number) ~default:"?";
+           ret;
+         });
+  ret

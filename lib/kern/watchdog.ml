@@ -20,6 +20,8 @@ type t = {
   mutable expirations : int;
 }
 
+let c_expirations = Obs.Counters.counter "kern.watchdog.expirations"
+
 (* System-administrator parameter: default invocation budget. *)
 let default_limit_cycles = 2_000_000 (* 10 ms at 200 MHz *)
 
@@ -48,6 +50,10 @@ let check t ~now =
         let used = now - start_cycles in
         if used > limit_cycles then begin
           t.expirations <- t.expirations + 1;
+          Obs.Counters.incr c_expirations;
+          if Obs.Trace.on () then
+            Obs.Trace.emit ~cycles:now
+              (Obs.Trace.Watchdog_expiry { used; limit = limit_cycles });
           t.armed <- None;
           raise (Expired { wd_limit = limit_cycles; wd_used = used })
         end

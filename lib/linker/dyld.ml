@@ -172,6 +172,17 @@ let dlopen ?(placement = shared_library) ~(kernel : Kernel.t) ~(task : Task.t)
     image.Image.exports;
   (* The measured dlopen cost on the paper's machine (section 5.1). *)
   Cpu.charge (Kernel.cpu kernel) (Cycles.usec_to_cycles Kcosts.dlopen_usec);
+  if Obs.Trace.on () then
+    Obs.Trace.emit
+      ~cycles:(Cpu.cycles (Kernel.cpu kernel))
+      (Obs.Trace.Module_load
+         {
+           name = image.Image.name;
+           mechanism =
+             (match placement.text_kind with
+             | Vm_area.Ext_code -> "seg_dlopen"
+             | _ -> "dlopen");
+         });
   {
     h_image = image;
     h_text_base = text_base;
@@ -192,6 +203,10 @@ let dlsym_opt handle name =
   Option.map fst (Hashtbl.find_opt handle.h_symbols name)
 
 let dlclose ~(kernel : Kernel.t) ~(task : Task.t) ~env handle =
+  if Obs.Trace.on () then
+    Obs.Trace.emit
+      ~cycles:(Cpu.cycles (Kernel.cpu kernel))
+      (Obs.Trace.Module_unload { name = handle.h_image.Image.name });
   List.iter
     (fun (a : Vm_area.t) ->
       ignore

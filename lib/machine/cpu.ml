@@ -21,6 +21,21 @@ module Desc = X86.Descriptor
 module Seg = X86.Segmentation
 module F = X86.Fault
 
+(* Published event counters: instructions retired, privilege-level
+   crossings in each direction, gate transits, segment-register loads
+   and faults taken, aggregated across every CPU instance. *)
+let c_instructions = Obs.Counters.counter "machine.instructions"
+
+let c_cross_raise = Obs.Counters.counter "machine.crossings.raise"
+
+let c_cross_lower = Obs.Counters.counter "machine.crossings.lower"
+
+let c_gate_transits = Obs.Counters.counter "machine.gate_transits"
+
+let c_sreg_loads = Obs.Counters.counter "machine.sreg_loads"
+
+let c_faults = Obs.Counters.counter "machine.faults"
+
 type flags = { mutable zf : bool; mutable cf : bool; mutable lt : bool }
 
 type fault_action = Fault_continue | Fault_stop
@@ -166,6 +181,7 @@ let force_seg t sr loaded =
 
 let load_seg t sr selector =
   charge t (t.params.mov_sreg + t.params.mov_sreg_hazard);
+  Obs.Counters.incr c_sreg_loads;
   match sr with
   | Reg.CS ->
       F.raise_ (F.Invalid_transfer { reason = "mov to CS is not a valid x86 operation" })
@@ -324,6 +340,7 @@ let exec_lcall t sel_encoded return_eip =
     F.raise_
       (F.Invalid_transfer
          { reason = "call gate cannot transfer to a less privileged segment" });
+  Obs.Counters.incr c_gate_transits;
   if P.equal target_dpl here then begin
     (* Same privilege level: push CS:EIP and jump. *)
     charge t t.params.lcall_gate_same_pl;
@@ -339,6 +356,15 @@ let exec_lcall t sel_encoded return_eip =
     (* Privilege raise: switch to the inner ring's stack from the TSS,
        then push the outer SS:ESP and CS:EIP. *)
     charge t (t.params.lcall_gate_pl_change + t.params.lcall_hazard);
+    Obs.Counters.incr c_cross_raise;
+    if Obs.Trace.on () then
+      Obs.Trace.emit ~cycles:t.cycles
+        (Obs.Trace.Priv_transition
+           {
+             from_ring = P.to_int here;
+             to_ring = P.to_int target_dpl;
+             via = "lcall";
+           });
     let new_cpl = target_dpl in
     let stack = Tss.stack_for t.tss new_cpl in
     let new_ss = Seg.load_stack t.view ~cpl:new_cpl stack.Tss.stack_selector in
@@ -406,6 +432,15 @@ let exec_lret t extra_pop =
   end
   else begin
     charge t (t.params.lret_pl_change + t.params.lret_hazard);
+    Obs.Counters.incr c_cross_lower;
+    if Obs.Trace.on () then
+      Obs.Trace.emit ~cycles:t.cycles
+        (Obs.Trace.Priv_transition
+           {
+             from_ring = P.to_int here;
+             to_ring = P.to_int new_cpl;
+             via = "lret";
+           });
     let new_esp = pop_u32 t in
     let ss_sel = Sel.decode (pop_u32 t land 0xFFFF) in
     let new_ss = Seg.load_stack t.view ~cpl:new_cpl ss_sel in
@@ -440,6 +475,7 @@ let exec_int t vector return_eip =
   if P.less_privileged new_cpl here then
     F.raise_ (F.Invalid_transfer { reason = "interrupt to less privileged level" });
   let eflags = 0 (* flags image: not modelled *) in
+  Obs.Counters.incr c_gate_transits;
   if P.equal new_cpl here then begin
     charge t t.params.int_gate;
     let esp =
@@ -452,6 +488,15 @@ let exec_int t vector return_eip =
   end
   else begin
     charge t t.params.int_gate_pl_change;
+    Obs.Counters.incr c_cross_raise;
+    if Obs.Trace.on () then
+      Obs.Trace.emit ~cycles:t.cycles
+        (Obs.Trace.Priv_transition
+           {
+             from_ring = P.to_int here;
+             to_ring = P.to_int new_cpl;
+             via = "int";
+           });
     let stack = Tss.stack_for t.tss new_cpl in
     let new_ss = Seg.load_stack t.view ~cpl:new_cpl stack.Tss.stack_selector in
     let old_ss = Sel.encode t.ss.Seg.selector in
@@ -481,6 +526,15 @@ let exec_iret t =
   end
   else begin
     charge t t.params.iret_pl_change;
+    Obs.Counters.incr c_cross_lower;
+    if Obs.Trace.on () then
+      Obs.Trace.emit ~cycles:t.cycles
+        (Obs.Trace.Priv_transition
+           {
+             from_ring = P.to_int here;
+             to_ring = P.to_int new_cpl;
+             via = "iret";
+           });
     let new_esp = pop_u32 t in
     let ss_sel = Sel.decode (pop_u32 t land 0xFFFF) in
     let new_ss = Seg.load_stack t.view ~cpl:new_cpl ss_sel in
@@ -699,6 +753,7 @@ let step t =
   let instr = fetch t in
   if t.tracing then t.trace <- (t.eip, instr) :: t.trace;
   t.instructions <- t.instructions + 1;
+  Obs.Counters.incr c_instructions;
   exec t instr
 
 let run ?(max_instrs = 10_000_000) t =
@@ -711,6 +766,10 @@ let run ?(max_instrs = 10_000_000) t =
       | () -> loop (n - 1)
       | exception F.Fault f -> (
           t.fault_count <- t.fault_count + 1;
+          Obs.Counters.incr c_faults;
+          if Obs.Trace.on () then
+            Obs.Trace.emit ~cycles:t.cycles
+              (Obs.Trace.Fault { vector = F.vector f; detail = F.to_string f });
           charge t t.params.fault_transfer;
           match t.on_fault with
           | None -> Fault_abort f

@@ -1,0 +1,49 @@
+(* Machine-readable benchmark artifacts: every bench subcommand writes
+   a BENCH_<name>.json next to its ASCII table so runs can be diffed
+   and regression-tracked.
+
+   Schema (palladium.bench.v1):
+     {
+       "schema":   "palladium.bench.v1",
+       "name":     "<subcommand>",
+       ...subcommand-specific fields (rows of measured vs paper values,
+          mean/stddev objects)...,
+       "counters":       { "<counter>": <absolute value>, ... },
+       "counters_delta": { "<counter>": <events during this run>, ... }
+     }
+   "counters" is the process-cumulative snapshot at emission time;
+   "counters_delta" covers just this subcommand (present when the
+   caller passed the entry snapshot). *)
+
+let schema_version = "palladium.bench.v1"
+
+let file_name name = "BENCH_" ^ name ^ ".json"
+
+let counters_json pairs = Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) pairs)
+
+(* A measured-vs-paper scalar: mean with optional stddev and the
+   paper-reported value (a number when the paper gives one, a string
+   for ranges like "3450-5450"). *)
+let measurement ?stddev ?paper value =
+  Json.Obj
+    (("measured", value)
+    :: (match stddev with Some s -> [ ("stddev", Json.Float s) ] | None -> [])
+    @ match paper with Some p -> [ ("paper", p) ] | None -> [])
+
+let document ~name ?since ~body () =
+  Json.Obj
+    ([ ("schema", Json.String schema_version); ("name", Json.String name) ]
+    @ body
+    @ [ ("counters", counters_json (Counters.snapshot ())) ]
+    @
+    match since with
+    | Some s -> [ ("counters_delta", counters_json (Counters.delta ~since:s)) ]
+    | None -> [])
+
+let write ~dir ~name ?since ~body () =
+  let doc = document ~name ?since ~body () in
+  let path = Filename.concat dir (file_name name) in
+  let oc = open_out path in
+  output_string oc (Json.pretty doc);
+  close_out oc;
+  path

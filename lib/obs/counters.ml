@@ -1,0 +1,82 @@
+(* Process-wide registry of named hardware/OS event counters.
+
+   The simulator's components (TLB, MMU, CPU, kernel) publish their
+   event counts here so that benchmarks, the CLI and tests can read a
+   single coherent snapshot instead of chasing per-object accessors.
+   Counters are monotonic (events since process start); gauges carry a
+   last-written value.  Handles are resolved once at module
+   initialisation, so the hot-path cost of publishing is a single
+   unboxed integer store. *)
+
+type kind = Counter | Gauge
+
+type t = { c_name : string; c_kind : kind; mutable c_value : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let intern kind name =
+  match Hashtbl.find_opt registry name with
+  | Some c ->
+      if c.c_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Counters: %s already registered with another kind"
+             name);
+      c
+  | None ->
+      let c = { c_name = name; c_kind = kind; c_value = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+let counter name = intern Counter name
+
+let gauge name = intern Gauge name
+
+let name c = c.c_name
+
+let kind c = c.c_kind
+
+let value c = c.c_value
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 && c.c_kind = Counter then
+    invalid_arg "Counters.add: negative increment on a monotonic counter";
+  c.c_value <- c.c_value + n
+
+let set c v =
+  match c.c_kind with
+  | Gauge -> c.c_value <- v
+  | Counter -> invalid_arg "Counters.set: cannot set a monotonic counter"
+
+let find name = Hashtbl.find_opt registry name
+
+let get name = match find name with Some c -> c.c_value | None -> 0
+
+let all () =
+  Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+  |> List.sort (fun a b -> compare a.c_name b.c_name)
+
+let snapshot () = List.map (fun c -> (c.c_name, c.c_value)) (all ())
+
+(* Events since an earlier snapshot.  Counters registered after the
+   baseline was taken count from zero; zero deltas are dropped. *)
+let delta ~since =
+  List.filter_map
+    (fun (name, now) ->
+      let before = match List.assoc_opt name since with Some v -> v | None -> 0 in
+      if now = before then None else Some (name, now - before))
+    (snapshot ())
+
+let reset_all () = Hashtbl.iter (fun _ c -> c.c_value <- 0) registry
+
+let pp ppf () =
+  let cs = all () in
+  let width =
+    List.fold_left (fun w c -> max w (String.length c.c_name)) 0 cs
+  in
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "%-*s  %12d%s@." width c.c_name c.c_value
+        (match c.c_kind with Counter -> "" | Gauge -> "  (gauge)"))
+    cs

@@ -1,0 +1,50 @@
+(** Process-wide registry of named event counters and gauges.
+
+    Components resolve a handle once ([counter]/[gauge] are
+    get-or-create) and publish with {!incr}/{!add}/{!set}; readers take
+    a {!snapshot} of every registered value at once. *)
+
+type kind = Counter  (** monotonic event count *) | Gauge  (** last-written value *)
+
+type t
+
+val counter : string -> t
+(** Get or create the monotonic counter with this name. *)
+
+val gauge : string -> t
+(** Get or create the gauge with this name. *)
+
+val name : t -> string
+
+val kind : t -> kind
+
+val value : t -> int
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+(** Raises [Invalid_argument] on a negative increment of a monotonic
+    counter. *)
+
+val set : t -> int -> unit
+(** Gauges only; raises [Invalid_argument] on a monotonic counter. *)
+
+val find : string -> t option
+
+val get : string -> int
+(** Value by name; 0 when the counter has never been registered. *)
+
+val all : unit -> t list
+(** Every registered counter, sorted by name. *)
+
+val snapshot : unit -> (string * int) list
+(** (name, value) for every registered counter, sorted by name. *)
+
+val delta : since:(string * int) list -> (string * int) list
+(** Nonzero changes relative to an earlier {!snapshot}. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter and gauge (tests and bench runs). *)
+
+val pp : Format.formatter -> unit -> unit
+(** Aligned name/value table of the current snapshot. *)

@@ -1,0 +1,34 @@
+(** Minimal JSON values: emission for the [BENCH_*.json] artifacts and
+    a small parser used by tests to validate them. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering.  Non-finite floats become [null]. *)
+
+val pretty : t -> string
+(** Two-space-indented rendering with a trailing newline. *)
+
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_str : t -> string option
+
+val to_list : t -> t list option
+
+val keys : t -> string list
+(** Field names of an object, in order; [[]] for non-objects. *)

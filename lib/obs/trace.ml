@@ -1,0 +1,114 @@
+(* Bounded ring-buffer event tracer.
+
+   Tracing is off by default and call sites guard event construction
+   with [on ()], so the disabled cost is one boolean load.  When
+   enabled, events overwrite the oldest entries once the ring is full;
+   [dropped] reports how many were lost.  Payloads are plain
+   ints/strings so the tracer has no dependency on the simulator
+   libraries that publish into it (rings are carried as their integer
+   privilege level). *)
+
+type event =
+  | Priv_transition of { from_ring : int; to_ring : int; via : string }
+  | Fault of { vector : int; detail : string }
+  | Module_load of { name : string; mechanism : string }
+  | Module_unload of { name : string }
+  | Protected_call of { fn : string; outcome : string; cycles : int }
+  | Syscall of { number : int; name : string; ret : int }
+  | Watchdog_expiry of { used : int; limit : int }
+  | Custom of string
+
+type entry = { seq : int; at_cycles : int; event : event }
+
+type ring = {
+  mutable slots : entry option array;
+  mutable next : int; (* index of the slot the next entry goes into *)
+  mutable stored : int;
+  mutable seq : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 1024
+
+let ring =
+  {
+    slots = Array.make default_capacity None;
+    next = 0;
+    stored = 0;
+    seq = 0;
+    dropped = 0;
+  }
+
+let enabled = ref false
+
+let on () = !enabled
+
+let set_enabled b = enabled := b
+
+let capacity () = Array.length ring.slots
+
+let clear () =
+  Array.fill ring.slots 0 (Array.length ring.slots) None;
+  ring.next <- 0;
+  ring.stored <- 0;
+  ring.seq <- 0;
+  ring.dropped <- 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity";
+  ring.slots <- Array.make n None;
+  ring.next <- 0;
+  ring.stored <- 0;
+  ring.dropped <- 0
+
+let emit ?(cycles = 0) event =
+  if !enabled then begin
+    let cap = Array.length ring.slots in
+    if ring.stored = cap then ring.dropped <- ring.dropped + 1
+    else ring.stored <- ring.stored + 1;
+    ring.slots.(ring.next) <- Some { seq = ring.seq; at_cycles = cycles; event };
+    ring.next <- (ring.next + 1) mod cap;
+    ring.seq <- ring.seq + 1
+  end
+
+let dropped () = ring.dropped
+
+(* Oldest first. *)
+let events () =
+  let cap = Array.length ring.slots in
+  let start = (ring.next - ring.stored + cap) mod cap in
+  List.init ring.stored (fun i ->
+      match ring.slots.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let length () = ring.stored
+
+let pp_event ppf = function
+  | Priv_transition { from_ring; to_ring; via } ->
+      Fmt.pf ppf "priv r%d->r%d via %s" from_ring to_ring via
+  | Fault { vector; detail } -> Fmt.pf ppf "fault #%d %s" vector detail
+  | Module_load { name; mechanism } ->
+      Fmt.pf ppf "module load %s (%s)" name mechanism
+  | Module_unload { name } -> Fmt.pf ppf "module unload %s" name
+  | Protected_call { fn; outcome; cycles } ->
+      Fmt.pf ppf "protected call %s -> %s (%d cycles)" fn outcome cycles
+  | Syscall { number; name; ret } ->
+      Fmt.pf ppf "syscall %d (%s) = %d" number name ret
+  | Watchdog_expiry { used; limit } ->
+      Fmt.pf ppf "watchdog expiry: %d > %d cycles" used limit
+  | Custom s -> Fmt.string ppf s
+
+let pp_entry ppf (e : entry) =
+  Fmt.pf ppf "[%6d] @%-10d %a" e.seq e.at_cycles pp_event e.event
+
+let dump ppf () =
+  let es = events () in
+  if es = [] then Fmt.pf ppf "(trace empty%s)@."
+      (if !enabled then "" else "; tracing is disabled")
+  else begin
+    List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) es;
+    if ring.dropped > 0 then
+      Fmt.pf ppf "(%d older events dropped; ring capacity %d)@." ring.dropped
+        (Array.length ring.slots)
+  end

@@ -1,0 +1,47 @@
+(** Bounded ring-buffer event tracer (off by default).
+
+    Hot call sites should guard with [if Trace.on () then Trace.emit …]
+    so the disabled cost is a single boolean load — [emit] also checks,
+    but the guard avoids constructing the event. *)
+
+type event =
+  | Priv_transition of { from_ring : int; to_ring : int; via : string }
+      (** a privilege-level crossing ([lcall]/[lret]/[int]/[iret]) *)
+  | Fault of { vector : int; detail : string }
+  | Module_load of { name : string; mechanism : string }
+  | Module_unload of { name : string }
+  | Protected_call of { fn : string; outcome : string; cycles : int }
+  | Syscall of { number : int; name : string; ret : int }
+  | Watchdog_expiry of { used : int; limit : int }
+  | Custom of string
+
+type entry = { seq : int; at_cycles : int; event : event }
+
+val on : unit -> bool
+
+val set_enabled : bool -> unit
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Reallocates the ring, discarding buffered events. *)
+
+val emit : ?cycles:int -> event -> unit
+(** No-op while disabled.  Overwrites the oldest entry when full. *)
+
+val events : unit -> entry list
+(** Buffered entries, oldest first. *)
+
+val length : unit -> int
+
+val dropped : unit -> int
+(** Events lost to ring overflow since the last {!clear}. *)
+
+val clear : unit -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> unit -> unit
+(** Pretty-print the whole buffer, oldest first. *)

@@ -1,29 +1,45 @@
-(* Small statistics helpers for repeated-run measurements. *)
+(* Small statistics helpers for repeated-run measurements.
 
-let mean xs =
-  match xs with
-  | [] -> nan
-  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+   The [_opt] forms are the honest API: they return [None] on an empty
+   sample instead of silently propagating [nan] into every downstream
+   arithmetic expression (which is how an empty benchmark run used to
+   render as "nan" cells).  The unsuffixed forms are kept for callers
+   that know their sample is non-empty. *)
 
-let stddev xs =
+let mean_opt = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+
+let mean xs = match mean_opt xs with Some m -> m | None -> nan
+
+let stddev_opt xs =
   match xs with
-  | [] | [ _ ] -> 0.0
+  | [] -> None
+  | [ _ ] -> Some 0.0
   | _ ->
       let m = mean xs in
       let var =
         List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
         /. float_of_int (List.length xs - 1)
       in
-      sqrt var
+      Some (sqrt var)
+
+let stddev xs = match stddev_opt xs with Some s -> s | None -> 0.0
+
+let relative_stddev_opt xs =
+  match (mean_opt xs, stddev_opt xs) with
+  | Some m, Some s -> if m = 0.0 then Some 0.0 else Some (s /. m)
+  | _ -> None
 
 let relative_stddev xs =
-  let m = mean xs in
-  if m = 0.0 then 0.0 else stddev xs /. m
+  match relative_stddev_opt xs with Some r -> r | None -> 0.0
 
-let min_max = function
-  | [] -> (nan, nan)
+let min_max_opt = function
+  | [] -> None
   | x :: rest ->
-      List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+      Some (List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest)
+
+let min_max xs = match min_max_opt xs with Some mm -> mm | None -> (nan, nan)
 
 (* Repeat a measurement [runs] times and return (mean, stddev). *)
 let sample ~runs f =

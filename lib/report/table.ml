@@ -34,16 +34,19 @@ let render ?(aligns = []) ~headers rows =
     String.concat "  "
       (List.init ncols (fun i -> String.make widths.(i) '-'))
   in
-  String.concat "\n" ((line headers :: sep :: List.map line rows) @ [])
+  String.concat "\n" (line headers :: sep :: List.map line rows)
 
 let print ?aligns ~title ~headers rows =
   Printf.printf "\n== %s ==\n%s\n" title (render ?aligns ~headers rows)
 
 let cell_int v = string_of_int v
 
-let cell_float ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+(* Non-finite values mean "no data" (an empty sample propagated a nan);
+   render them as such rather than printing "nan" as if measured. *)
+let cell_float ?(digits = 2) v =
+  if Float.is_finite v then Printf.sprintf "%.*f" digits v else "n/a"
 
-let cell_usec v = Printf.sprintf "%.2f" v
+let cell_usec v = if Float.is_finite v then Printf.sprintf "%.2f" v else "n/a"
 
 let cell_ratio ?(digits = 2) a b =
   if b = 0.0 then "-" else Printf.sprintf "%.*fx" digits (a /. b)

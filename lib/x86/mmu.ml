@@ -36,6 +36,20 @@ let flush_tlb t = Tlb.flush t.tlb
 
 let page_walks t = t.walks
 
+(* Global event counters: page walks plus page faults broken down by
+   kind, for the observability layer. *)
+let c_walks = Obs.Counters.counter "x86.mmu.page_walks"
+
+let c_fault_not_present = Obs.Counters.counter "x86.mmu.fault.not_present"
+
+let c_fault_privilege = Obs.Counters.counter "x86.mmu.fault.privilege"
+
+let c_fault_readonly = Obs.Counters.counter "x86.mmu.fault.readonly"
+
+let fault c f =
+  Obs.Counters.incr c;
+  Fault.raise_ f
+
 (* True when the access runs with user-mode page privileges.  Only
    ring 3 is user mode; rings 0-2 are supervisor — this is precisely
    why Palladium puts extensible applications at SPL 2. *)
@@ -45,14 +59,22 @@ type translation = { phys_addr : int; walked : bool }
 
 let check_pte ~cpl ~(access : Fault.access) ~linear (pte : Paging.pte) =
   if user_mode cpl && not pte.Paging.user then
-    Fault.raise_ (Fault.Page_privilege { linear; access; cpl });
+    fault c_fault_privilege (Fault.Page_privilege { linear; access; cpl });
   match access with
   | Fault.Write ->
       if (not pte.Paging.writable) && user_mode cpl then
-        Fault.raise_ (Fault.Page_readonly { linear })
+        fault c_fault_readonly (Fault.Page_readonly { linear })
   | Fault.Read | Fault.Execute -> ()
 
+(* Linear addresses are 32 bits.  A corrupt address (negative or past
+   4 GByte, which the 63-bit OCaml ints used for address arithmetic
+   can produce) must fault cleanly like any other unmapped page, not
+   crash the simulator with a negative array index in the TLB. *)
+let linear_valid linear = linear lsr 32 = 0
+
 let translate t ~cpl ~(access : Fault.access) linear =
+  if not (linear_valid linear) then
+    fault c_fault_not_present (Fault.Page_not_present { linear; access });
   let vpn = Paging.vpn_of_linear linear in
   let off = linear land Phys_mem.page_mask in
   match Tlb.lookup t.tlb ~vpn with
@@ -60,17 +82,19 @@ let translate t ~cpl ~(access : Fault.access) linear =
       (* TLB entries cache the U/S and W bits, so protection checks are
          performed on hits too (as the hardware does). *)
       if user_mode cpl && not e.Tlb.e_user then
-        Fault.raise_ (Fault.Page_privilege { linear; access; cpl });
+        fault c_fault_privilege (Fault.Page_privilege { linear; access; cpl });
       (match access with
       | Fault.Write ->
           if (not e.Tlb.e_writable) && user_mode cpl then
-            Fault.raise_ (Fault.Page_readonly { linear })
+            fault c_fault_readonly (Fault.Page_readonly { linear })
       | Fault.Read | Fault.Execute -> ());
       { phys_addr = Paging.linear_of_vpn e.Tlb.e_pfn lor off; walked = false }
   | None -> (
       t.walks <- t.walks + 1;
+      Obs.Counters.incr c_walks;
       match Paging.lookup t.dir ~vpn with
-      | None -> Fault.raise_ (Fault.Page_not_present { linear; access })
+      | None ->
+          fault c_fault_not_present (Fault.Page_not_present { linear; access })
       | Some pte ->
           check_pte ~cpl ~access ~linear pte;
           pte.Paging.accessed <- true;
@@ -118,12 +142,33 @@ let write_u32 t ~cpl linear v =
     write_u8 t ~cpl (linear + 3) ((v lsr 24) land 0xFF)
   end
 
+(* Bulk transfers translate once per page chunk, not once per byte:
+   the segmentation and TLB pipeline runs per page the access touches
+   (as hardware block moves do), so an n-byte copy costs
+   ceil(n/4096)+1 translations instead of n and no longer inflates the
+   TLB hit counters.  Fault semantics are preserved: chunks are
+   processed in ascending address order and each page is translated
+   before any of its bytes move, so a fault is raised at the first
+   faulting byte with every byte before it already transferred —
+   exactly what the per-byte loop did. *)
+let chunked t ~cpl ~access linear len f =
+  let pos = ref 0 in
+  while !pos < len do
+    let addr = linear + !pos in
+    let room = Phys_mem.page_size - (addr land Phys_mem.page_mask) in
+    let chunk = min room (len - !pos) in
+    let { phys_addr; _ } = translate t ~cpl ~access addr in
+    f ~off:!pos ~phys:phys_addr ~chunk;
+    pos := !pos + chunk
+  done
+
 let read_bytes t ~cpl linear len =
   let out = Bytes.create len in
-  for i = 0 to len - 1 do
-    Bytes.set out i (Char.chr (read_u8 t ~cpl (linear + i)))
-  done;
+  chunked t ~cpl ~access:Fault.Read linear len (fun ~off ~phys ~chunk ->
+      Bytes.blit (Phys_mem.read_bytes t.phys phys chunk) 0 out off chunk);
   out
 
 let write_bytes t ~cpl linear src =
-  Bytes.iteri (fun i c -> write_u8 t ~cpl (linear + i) (Char.code c)) src
+  chunked t ~cpl ~access:Fault.Write linear (Bytes.length src)
+    (fun ~off ~phys ~chunk ->
+      Phys_mem.write_bytes t.phys phys (Bytes.sub src off chunk))

@@ -18,6 +18,12 @@ type t = {
   mutable writes : int;
 }
 
+let c_reads = Obs.Counters.counter "x86.phys.reads"
+
+let c_writes = Obs.Counters.counter "x86.phys.writes"
+
+let c_frames = Obs.Counters.gauge "x86.phys.frames"
+
 let create ?(first_frame = 0x100) () =
   (* Frame numbers below [first_frame] are reserved (BIOS/legacy), as on
      a real PC; allocation starts above them. *)
@@ -36,12 +42,14 @@ let alloc_frame t =
   t.next_frame <- t.next_frame + 1;
   Hashtbl.replace t.frames pfn (Bytes.make page_size '\000');
   t.allocated <- t.allocated + 1;
+  Obs.Counters.add c_frames 1;
   pfn
 
 let free_frame t pfn =
   if Hashtbl.mem t.frames pfn then (
     Hashtbl.remove t.frames pfn;
-    t.allocated <- t.allocated - 1)
+    t.allocated <- t.allocated - 1;
+    Obs.Counters.add c_frames (-1))
 
 let frame_exists t pfn = Hashtbl.mem t.frames pfn
 
@@ -57,11 +65,13 @@ let split addr = (addr lsr page_shift, addr land page_mask)
 
 let read_u8 t addr =
   t.reads <- t.reads + 1;
+  Obs.Counters.incr c_reads;
   let pfn, off = split addr in
   Char.code (Bytes.get (backing t pfn) off)
 
 let write_u8 t addr v =
   t.writes <- t.writes + 1;
+  Obs.Counters.incr c_writes;
   let pfn, off = split addr in
   Bytes.set (backing t pfn) off (Char.chr (v land 0xFF))
 
@@ -85,15 +95,32 @@ let write_u32 t addr v =
   write_u8 t (addr + 2) ((v lsr 16) land 0xFF);
   write_u8 t (addr + 3) ((v lsr 24) land 0xFF)
 
+(* Bulk transfers blit whole frame-sized chunks instead of looping
+   byte-at-a-time; the access counters still account per byte moved. *)
+let chunked addr len f =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let pfn, off = split a in
+    let chunk = min (page_size - off) (len - !pos) in
+    f ~dst_off:!pos ~pfn ~off ~chunk;
+    pos := !pos + chunk
+  done
+
 let read_bytes t addr len =
+  t.reads <- t.reads + len;
+  Obs.Counters.add c_reads len;
   let out = Bytes.create len in
-  for i = 0 to len - 1 do
-    Bytes.set out i (Char.chr (read_u8 t (addr + i)))
-  done;
+  chunked addr len (fun ~dst_off ~pfn ~off ~chunk ->
+      Bytes.blit (backing t pfn) off out dst_off chunk);
   out
 
 let write_bytes t addr src =
-  Bytes.iteri (fun i c -> write_u8 t (addr + i) (Char.code c)) src
+  let len = Bytes.length src in
+  t.writes <- t.writes + len;
+  Obs.Counters.add c_writes len;
+  chunked addr len (fun ~dst_off ~pfn ~off ~chunk ->
+      Bytes.blit src dst_off (backing t pfn) off chunk)
 
 let write_string t addr s = write_bytes t addr (Bytes.of_string s)
 

@@ -8,10 +8,15 @@
 
 type loaded = { selector : Selector.t; cache : Descriptor.seg }
 
+(* Every successful segment-register load re-reads a descriptor — the
+   12-cycle cost the paper measures in section 5.1. *)
+let c_desc_loads = Obs.Counters.counter "x86.seg.descriptor_loads"
+
 (* Data-segment load check: max(CPL, RPL) must be at least as
    privileged as the segment's DPL.  Conforming code segments may also
    be loaded for reading. *)
 let load_data view ~cpl selector =
+  Obs.Counters.incr c_desc_loads;
   let d = Desc_table.resolve view selector in
   let rpl = Selector.rpl selector in
   (match d.Descriptor.kind with
@@ -31,6 +36,7 @@ let load_data view ~cpl selector =
 
 (* Stack-segment load: must be writable data with DPL = CPL exactly. *)
 let load_stack view ~cpl selector =
+  Obs.Counters.incr c_desc_loads;
   let d = Desc_table.resolve view selector in
   (match d.Descriptor.kind with
   | Descriptor.Data { writable = true; _ } -> ()
@@ -49,6 +55,7 @@ let load_stack view ~cpl selector =
    privilege-transition checks; the caller supplies the CPL that will
    be in force after the transfer. *)
 let load_code view ~new_cpl selector =
+  Obs.Counters.incr c_desc_loads;
   let d = Desc_table.resolve view selector in
   (match d.Descriptor.kind with
   | Descriptor.Code _ -> ()

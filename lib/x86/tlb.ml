@@ -20,19 +20,31 @@ type t = {
   mutable flushes : int;
 }
 
+(* Global event counters (the per-instance [stats] record remains the
+   per-TLB view; these aggregate across every TLB in the process). *)
+let c_hits = Obs.Counters.counter "x86.tlb.hits"
+
+let c_misses = Obs.Counters.counter "x86.tlb.misses"
+
+let c_flushes = Obs.Counters.counter "x86.tlb.flushes"
+
 let create ?(sets = 64) () =
   if sets <= 0 then invalid_arg "Tlb.create: sets";
   { slots = Array.make sets None; sets; hits = 0; misses = 0; flushes = 0 }
 
-let slot t vpn = vpn mod t.sets
+(* Mask the sign bit before reducing: a corrupt (negative) VPN must
+   index like any other bad VPN and miss, not crash the simulator. *)
+let slot t vpn = (vpn land max_int) mod t.sets
 
 let lookup t ~vpn =
   match t.slots.(slot t vpn) with
   | Some e when e.e_vpn = vpn ->
       t.hits <- t.hits + 1;
+      Obs.Counters.incr c_hits;
       Some e
   | Some _ | None ->
       t.misses <- t.misses + 1;
+      Obs.Counters.incr c_misses;
       None
 
 let insert t ~vpn ~pfn ~user ~writable =
@@ -46,7 +58,8 @@ let invalidate t ~vpn =
 
 let flush t =
   Array.fill t.slots 0 t.sets None;
-  t.flushes <- t.flushes + 1
+  t.flushes <- t.flushes + 1;
+  Obs.Counters.incr c_flushes
 
 type stats = { tlb_hits : int; tlb_misses : int; tlb_flushes : int }
 

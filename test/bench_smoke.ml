@@ -1,0 +1,63 @@
+(* CI smoke test: drive every bench subcommand with tiny iteration
+   counts and validate the BENCH_<name>.json artifact each one writes —
+   it must parse, carry the schema tag, and hold a counter snapshot.
+   Guards the bench harness (and its JSON emission) against bit-rot
+   without paying full benchmark run times under dune runtest. *)
+
+module J = Obs.Json
+
+let out_dir = "bench_json_out"
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let mem name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let load name =
+  let path = Filename.concat out_dir (Obs.Bench_json.file_name name) in
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match J.of_string s with
+  | Ok doc -> doc
+  | Error e -> fail "%s does not parse: %s" path e
+
+let validate name =
+  let doc = load name in
+  (match J.to_str (mem "schema" doc) with
+  | Some s when s = Obs.Bench_json.schema_version -> ()
+  | Some s -> fail "%s: wrong schema %S" name s
+  | None -> fail "%s: schema is not a string" name);
+  (match J.to_str (mem "name" doc) with
+  | Some n when n = name -> ()
+  | _ -> fail "%s: name field mismatch" name);
+  (match J.keys (mem "counters" doc) with
+  | [] -> fail "%s: empty counter snapshot" name
+  | _ -> ());
+  ignore (mem "counters_delta" doc);
+  Printf.printf "bench-smoke %-10s ok\n%!" name
+
+let () =
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let json_dir = out_dir in
+  let total = Bench_runs.table1 ~json_dir () in
+  if total <= 0 then fail "table1: non-positive protected call cost";
+  validate "table1";
+  Bench_runs.table2 ~json_dir ~runs:2 ();
+  validate "table2";
+  Bench_runs.table3 ~json_dir
+    ~protected_call_usec:(float_of_int total /. float_of_int Cycles.mhz)
+    ();
+  validate "table3";
+  Bench_runs.figure7 ~json_dir ();
+  validate "figure7";
+  Bench_runs.micro ~json_dir ();
+  validate "micro";
+  Bench_runs.ipc_cmp ~json_dir ~palladium_cycles:total ();
+  validate "ipc";
+  Bench_runs.ablation ~json_dir ~sizes:[ 32 ] ();
+  validate "ablation";
+  print_endline "bench-smoke: all subcommands emitted valid artifacts"

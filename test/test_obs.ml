@@ -1,0 +1,245 @@
+(* Tests for the observability layer: the counter registry, the trace
+   ring buffer, the hand-rolled JSON emitter/parser and the
+   BENCH_*.json document schema. *)
+
+module C = Obs.Counters
+module T = Obs.Trace
+module J = Obs.Json
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_str = Alcotest.(check string)
+
+(* --- Counters ---------------------------------------------------------- *)
+
+let test_counters_basics () =
+  let c = C.counter "test.obs.alpha" in
+  let v0 = C.value c in
+  C.incr c;
+  C.add c 4;
+  check_int "incr+add" (v0 + 5) (C.value c);
+  check_bool "same handle on re-intern" true (C.counter "test.obs.alpha" == c);
+  check_int "get by name" (v0 + 5) (C.get "test.obs.alpha");
+  check_int "unregistered reads 0" 0 (C.get "test.obs.never-registered")
+
+let test_counters_kind_safety () =
+  let c = C.counter "test.obs.mono" in
+  Alcotest.check_raises "negative add on counter"
+    (Invalid_argument "Counters.add: negative increment on a monotonic counter")
+    (fun () -> C.add c (-1));
+  Alcotest.check_raises "set on counter"
+    (Invalid_argument "Counters.set: cannot set a monotonic counter") (fun () ->
+      C.set c 7);
+  let g = C.gauge "test.obs.gauge" in
+  C.set g 42;
+  check_int "gauge set" 42 (C.value g);
+  C.add g (-2);
+  check_int "gauge down" 40 (C.value g);
+  Alcotest.check_raises "kind mismatch on intern"
+    (Invalid_argument
+       "Counters: test.obs.gauge already registered with another kind")
+    (fun () -> ignore (C.counter "test.obs.gauge"))
+
+let test_counters_snapshot_delta () =
+  let c = C.counter "test.obs.delta" in
+  let since = C.snapshot () in
+  check_bool "snapshot sorted" true
+    (let names = List.map fst since in
+     names = List.sort compare names);
+  C.add c 3;
+  let d = C.delta ~since in
+  check_int "delta shows the change" 3 (List.assoc "test.obs.delta" d);
+  check_bool "unchanged counters absent from delta" true
+    (List.for_all (fun (_, v) -> v <> 0) d)
+
+(* --- Trace ring -------------------------------------------------------- *)
+
+let test_trace_disabled_is_noop () =
+  T.set_enabled false;
+  T.clear ();
+  T.emit (T.Custom "dropped on the floor");
+  check_int "no events while off" 0 (T.length ())
+
+let test_trace_ring_overwrite () =
+  T.set_capacity 4;
+  T.set_enabled true;
+  for i = 1 to 6 do
+    T.emit ~cycles:i (T.Custom (string_of_int i))
+  done;
+  T.set_enabled false;
+  check_int "bounded" 4 (T.length ());
+  check_int "two dropped" 2 (T.dropped ());
+  (match T.events () with
+  | { T.event = T.Custom "3"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "oldest surviving event should be 3");
+  let seqs = List.map (fun e -> e.T.seq) (T.events ()) in
+  check_bool "sequence numbers ascend" true
+    (seqs = List.sort compare seqs);
+  T.set_capacity 1024;
+  check_int "set_capacity clears" 0 (T.length ())
+
+let test_trace_event_rendering () =
+  let s =
+    Fmt.str "%a" T.pp_event
+      (T.Priv_transition { from_ring = 3; to_ring = 0; via = "int" })
+  in
+  check_str "priv transition" "priv r3->r0 via int" s;
+  let s =
+    Fmt.str "%a" T.pp_event
+      (T.Protected_call { fn = "0x1000"; outcome = "ok"; cycles = 144 })
+  in
+  check_str "protected call" "protected call 0x1000 -> ok (144 cycles)" s
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let test_json_escaping () =
+  check_str "string escapes" {|"a\"b\\c\nd\te"|}
+    (J.to_string (J.String "a\"b\\c\nd\te"));
+  check_str "control chars" {|"\u0001"|} (J.to_string (J.String "\001"));
+  check_str "non-finite floats are null" "[null,null,null]"
+    (J.to_string (J.List [ J.Float nan; J.Float infinity; J.Float neg_infinity ]))
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("i", J.Int 42);
+        ("neg", J.Int (-7));
+        ("f", J.Float 1.5);
+        ("s", J.String "hé\"llo\n");
+        ("b", J.Bool true);
+        ("n", J.Null);
+        ("l", J.List [ J.Int 1; J.Obj [ ("x", J.Int 2) ] ]);
+      ]
+  in
+  (match J.of_string (J.to_string doc) with
+  | Ok parsed -> check_bool "compact roundtrip" true (parsed = doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match J.of_string (J.pretty doc) with
+  | Ok parsed -> check_bool "pretty roundtrip" true (parsed = doc)
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e
+
+let test_json_parse_errors () =
+  let bad s =
+    match J.of_string s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1,}";
+  bad "tru";
+  bad "1 2";
+  bad "\"unterminated"
+
+let prop_json_roundtrip =
+  let gen_leaf =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map (fun i -> J.Int i) QCheck.Gen.int;
+        QCheck.Gen.map (fun b -> J.Bool b) QCheck.Gen.bool;
+        QCheck.Gen.map (fun s -> J.String s) QCheck.Gen.string_printable;
+        QCheck.Gen.return J.Null;
+      ]
+  in
+  let gen =
+    QCheck.Gen.sized (fun n ->
+        QCheck.Gen.fix
+          (fun self n ->
+            if n <= 0 then gen_leaf
+            else
+              QCheck.Gen.oneof
+                [
+                  gen_leaf;
+                  QCheck.Gen.map
+                    (fun l -> J.List l)
+                    (QCheck.Gen.list_size (QCheck.Gen.int_bound 4)
+                       (self (n / 2)));
+                  QCheck.Gen.map
+                    (fun ps ->
+                      J.Obj (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) ps))
+                    (QCheck.Gen.list_size (QCheck.Gen.int_bound 4)
+                       (self (n / 2)));
+                ])
+          (min n 6))
+  in
+  QCheck.Test.make ~name:"json print/parse roundtrip" ~count:200
+    (QCheck.make gen) (fun doc ->
+      match J.of_string (J.to_string doc) with
+      | Ok parsed -> parsed = doc
+      | Error _ -> false)
+
+(* --- BENCH_*.json schema ----------------------------------------------- *)
+
+let mem name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" name
+
+let as_int j =
+  match J.to_int j with Some i -> i | None -> Alcotest.fail "not an int"
+
+let as_str j =
+  match J.to_str j with Some s -> s | None -> Alcotest.fail "not a string"
+
+let test_bench_json_schema () =
+  let c = C.counter "test.obs.bench" in
+  let since = C.snapshot () in
+  C.incr c;
+  let doc =
+    Obs.Bench_json.document ~name:"unit" ~since
+      ~body:
+        [
+          ( "value",
+            Obs.Bench_json.measurement ~stddev:0.5 ~paper:(J.Int 142)
+              (J.Int 144) );
+        ]
+      ()
+  in
+  (* the emitted text must parse back to the same tree *)
+  (match J.of_string (J.pretty doc) with
+  | Ok parsed -> check_bool "document parses" true (parsed = doc)
+  | Error e -> Alcotest.failf "document does not parse: %s" e);
+  check_str "schema tag" Obs.Bench_json.schema_version
+    (as_str (mem "schema" doc));
+  check_str "name" "unit" (as_str (mem "name" doc));
+  let m = mem "value" doc in
+  check_int "measured" 144 (as_int (mem "measured" m));
+  check_int "paper" 142 (as_int (mem "paper" m));
+  check_bool "counters snapshot present" true
+    (List.mem "test.obs.bench" (J.keys (mem "counters" doc)));
+  check_int "delta counts just this run" 1
+    (as_int (mem "test.obs.bench" (mem "counters_delta" doc)));
+  check_str "file name" "BENCH_unit.json" (Obs.Bench_json.file_name "unit")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "intern/incr/add" `Quick test_counters_basics;
+          Alcotest.test_case "kind safety" `Quick test_counters_kind_safety;
+          Alcotest.test_case "snapshot + delta" `Quick
+            test_counters_snapshot_delta;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled emit is a no-op" `Quick
+            test_trace_disabled_is_noop;
+          Alcotest.test_case "ring overwrite + dropped" `Quick
+            test_trace_ring_overwrite;
+          Alcotest.test_case "event rendering" `Quick test_trace_event_rendering;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "bench-json",
+        [ Alcotest.test_case "schema" `Quick test_bench_json_schema ] );
+    ]

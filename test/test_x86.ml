@@ -301,6 +301,102 @@ let test_mmu_cr3_flushes () =
   expect_fault "stale mapping gone after CR3 load" (fun () ->
       X86.Mmu.translate mmu ~cpl:P.R3 ~access:F.Read 4096)
 
+(* --- MMU bulk accesses & corrupt-address guard -------------------------- *)
+
+(* [npages] contiguous writable user pages starting at vpn 0x20. *)
+let bulk_base = 0x20 * 4096
+
+let bulk_world npages =
+  let phys, dir, mmu = mmu_world () in
+  for i = 0 to npages - 1 do
+    let pfn = PM.alloc_frame phys in
+    Pg.map dir ~vpn:(0x20 + i) ~pfn ~writable:true ~user:true
+  done;
+  (phys, dir, mmu)
+
+let test_mmu_negative_linear () =
+  let _, _, mmu = mmu_world () in
+  expect_fault "negative linear faults cleanly" (fun () ->
+      X86.Mmu.translate mmu ~cpl:P.R3 ~access:F.Read (-4096));
+  expect_fault "past 4 GByte faults cleanly" (fun () ->
+      X86.Mmu.translate mmu ~cpl:P.R0 ~access:F.Read (1 lsl 33));
+  (* the TLB itself must index, and miss, on a corrupt VPN *)
+  let t = X86.Tlb.create () in
+  check_bool "tlb lookup on negative vpn" true
+    (X86.Tlb.lookup t ~vpn:(-5) = None);
+  check_bool "tlb lookup on min_int vpn" true
+    (X86.Tlb.lookup t ~vpn:min_int = None)
+
+let test_mmu_bulk_translates_per_page () =
+  let _, _, mmu = bulk_world 3 in
+  let len = 3 * 4096 in
+  let _ = X86.Mmu.read_bytes mmu ~cpl:P.R3 bulk_base len in
+  check_int "one walk per page, not per byte" 3 (X86.Mmu.page_walks mmu);
+  let s0 = (X86.Tlb.stats (X86.Mmu.tlb mmu)).X86.Tlb.tlb_hits in
+  let _ = X86.Mmu.read_bytes mmu ~cpl:P.R3 bulk_base len in
+  check_int "warm pass: one TLB hit per page"
+    (s0 + 3)
+    (X86.Tlb.stats (X86.Mmu.tlb mmu)).X86.Tlb.tlb_hits
+
+let test_mmu_bulk_fault_prefix () =
+  let phys, dir, mmu = mmu_world () in
+  let pfn = PM.alloc_frame phys in
+  Pg.map dir ~vpn:0x30 ~pfn ~writable:true ~user:true;
+  (* vpn 0x31 deliberately unmapped *)
+  let addr = (0x30 * 4096) + 4090 in
+  expect_fault "write straddling into unmapped page" (fun () ->
+      X86.Mmu.write_bytes mmu ~cpl:P.R3 addr (Bytes.make 16 'z'));
+  (* per-byte semantics preserved: the first page's bytes landed *)
+  check_int "bytes before the fault committed" (Char.code 'z')
+    (X86.Mmu.read_u8 mmu ~cpl:P.R3 addr);
+  check_int "last mapped byte committed" (Char.code 'z')
+    (X86.Mmu.read_u8 mmu ~cpl:P.R3 ((0x30 * 4096) + 4095))
+
+let prop_mmu_u32_straddle =
+  QCheck.Test.make ~name:"u32 across pages = byte-composed" ~count:200
+    QCheck.(pair (int_bound ((3 * 4096) - 4)) (int_bound 0xFFFFFFFF))
+    (fun (off, v) ->
+      let _, _, mmu = bulk_world 4 in
+      let cpl = P.R3 in
+      let addr = bulk_base + off in
+      X86.Mmu.write_u32 mmu ~cpl addr v;
+      let byte i = X86.Mmu.read_u8 mmu ~cpl (addr + i) in
+      let composed =
+        byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+      in
+      X86.Mmu.read_u32 mmu ~cpl addr = v && composed = v)
+
+let prop_mmu_bulk_roundtrip =
+  QCheck.Test.make ~name:"bulk round-trip across page boundaries" ~count:200
+    QCheck.(pair (int_bound (2 * 4096)) (int_bound ((2 * 4096) - 1)))
+    (fun (off, len) ->
+      let _, _, mmu = bulk_world 5 in
+      let cpl = P.R3 in
+      let src = Bytes.init len (fun i -> Char.chr ((i * 7) land 0xFF)) in
+      X86.Mmu.write_bytes mmu ~cpl (bulk_base + off) src;
+      Bytes.equal src (X86.Mmu.read_bytes mmu ~cpl (bulk_base + off) len))
+
+(* Monotonic counters never go backwards, whatever the access mix. *)
+let prop_counters_monotonic =
+  QCheck.Test.make ~name:"counters monotone under random accesses" ~count:50
+    QCheck.(small_list (pair bool (int_bound ((4 * 4096) - 4))))
+    (fun ops ->
+      let before = Obs.Counters.snapshot () in
+      let _, _, mmu = bulk_world 4 in
+      List.iter
+        (fun (write, off) ->
+          let addr = bulk_base + off in
+          if write then X86.Mmu.write_u32 mmu ~cpl:P.R3 addr off
+          else ignore (X86.Mmu.read_u32 mmu ~cpl:P.R3 addr))
+        ops;
+      List.for_all
+        (fun c ->
+          Obs.Counters.kind c = Obs.Counters.Gauge
+          || Obs.Counters.value c
+             >= (try List.assoc (Obs.Counters.name c) before
+                 with Not_found -> 0))
+        (Obs.Counters.all ()))
+
 (* --- Segmentation ------------------------------------------------------- *)
 
 let seg_world () =
@@ -417,6 +513,18 @@ let () =
           Alcotest.test_case "read-only pages (WP=0)" `Quick test_mmu_readonly;
           Alcotest.test_case "not present" `Quick test_mmu_not_present;
           Alcotest.test_case "CR3 load flushes TLB" `Quick test_mmu_cr3_flushes;
+        ] );
+      ( "mmu-bulk",
+        [
+          Alcotest.test_case "corrupt linear faults cleanly" `Quick
+            test_mmu_negative_linear;
+          Alcotest.test_case "translations per page" `Quick
+            test_mmu_bulk_translates_per_page;
+          Alcotest.test_case "fault-prefix semantics" `Quick
+            test_mmu_bulk_fault_prefix;
+          QCheck_alcotest.to_alcotest prop_mmu_u32_straddle;
+          QCheck_alcotest.to_alcotest prop_mmu_bulk_roundtrip;
+          QCheck_alcotest.to_alcotest prop_counters_monotonic;
         ] );
       ( "segmentation",
         [
