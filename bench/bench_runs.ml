@@ -17,9 +17,13 @@ let mhz = float_of_int Cycles.mhz
 
 let usec_of_cycles c = float_of_int c /. mhz
 
-(* Emit the JSON artifact next to the tables and say where it went. *)
-let emit ~json_dir ~name ~since body =
-  let path = Obs.Bench_json.write ~dir:json_dir ~name ~since ~body () in
+(* Emit the JSON artifact next to the tables and say where it went.
+   [histogram] is the latency distribution of the subcommand's primary
+   metric; it becomes the artifact's "histogram" block. *)
+let emit ~json_dir ~name ~since ?histogram body =
+  let path =
+    Obs.Bench_json.write ~dir:json_dir ~name ~since ?histogram ~body ()
+  in
   Printf.printf "[%s]\n" path
 
 (* --- Common worlds --------------------------------------------------- *)
@@ -99,10 +103,29 @@ let measure_intra () =
   let done_ = find_mark marks "rt.done" in
   (body - start, done_ - body)
 
+(* Distribution of the Table 1 total (setup + calling + returning +
+   restoring, body excluded) over [n] warm calls in one world. *)
+let sample_t1_totals ~n =
+  let h = Obs.Histogram.create () in
+  let _w, app = boot_app () in
+  let ext = User_ext.seg_dlopen app Ulib.null_image in
+  let prepare = User_ext.seg_dlsym app ext "null_fn" in
+  ignore (protected_null_call_marks app prepare) (* warm TLB and pages *);
+  for _ = 1 to n do
+    let marks = protected_null_call_marks app prepare in
+    let setup = find_mark marks ".setup" in
+    let body = find_mark marks ".body" in
+    let return = find_mark marks ".return" in
+    let done_ = find_mark marks "rt.done" in
+    Obs.Histogram.observe h (done_ - setup - (return - body))
+  done;
+  h
+
 let table1 ?(json_dir = ".") () =
   let since = Obs.Counters.snapshot () in
   let inter = measure_inter () in
   let intra_before, intra_after = measure_intra () in
+  let h_total = sample_t1_totals ~n:16 in
   let p = Cycles.pentium in
   (* Theoretical ("Hardware") column: manual base costs without the
      calibrated hazard penalties. *)
@@ -165,6 +188,7 @@ let table1 ?(json_dir = ".") () =
       ]
   in
   emit ~json_dir ~name:"table1" ~since
+    ~histogram:("protected_call_total_cycles", h_total)
     [
       ( "components",
         List
@@ -215,11 +239,16 @@ let table2 ?(json_dir = ".") ?(runs = 100) () =
   in
   let unprot_fn = Dyld.dlsym unprot "strrev_l" in
   let shared_buf = User_ext.xmalloc ext 512 in
-  let measure f =
+  let h_prot = Obs.Histogram.create () in
+  let measure ?h f =
     let xs =
       List.init runs (fun _ ->
           match f () with
-          | Ok (_, cycles) -> usec_of_cycles cycles
+          | Ok (_, cycles) ->
+              (match h with
+              | Some h -> Obs.Histogram.observe h cycles
+              | None -> ());
+              usec_of_cycles cycles
           | Error e ->
               Fmt.failwith "table2 call failed: %a" User_ext.pp_call_error e)
     in
@@ -235,7 +264,7 @@ let table2 ?(json_dir = ".") ?(runs = 100) () =
         in
         fill_string app shared_buf n;
         let prot_mean, prot_sd =
-          measure (fun () ->
+          measure ~h:h_prot (fun () ->
               User_ext.call app ~prepare:protected_prepare ~arg:shared_buf)
         in
         let rpc = Rpc.round_trip_usec ~bytes:n in
@@ -275,6 +304,7 @@ let table2 ?(json_dir = ".") ?(runs = 100) () =
   in
   let open Obs.Json in
   emit ~json_dir ~name:"table2" ~since
+    ~histogram:("palladium_strrev_cycles", h_prot)
     [
       ("runs", Int runs);
       ( "rows",
@@ -311,7 +341,8 @@ let invocation_slug = function
 
 let table3 ?(json_dir = ".") ~protected_call_usec () =
   let since = Obs.Counters.snapshot () in
-  let rows = Bench_ab.sweep ~protected_call_usec in
+  let h_lat = Obs.Histogram.create () in
+  let rows = Bench_ab.sweep ~latency:h_lat ~protected_call_usec () in
   let paper = function
     | "28 Bytes" -> [ "98"; "193"; "437"; "448"; "460" ]
     | "1 KBytes" -> [ "92"; "188"; "423"; "431"; "436" ]
@@ -342,6 +373,7 @@ let table3 ?(json_dir = ".") ~protected_call_usec () =
        rows);
   let open Obs.Json in
   emit ~json_dir ~name:"table3" ~since
+    ~histogram:("libcgi_protected_request_usec", h_lat)
     [
       ("protected_call_usec", Float protected_call_usec);
       ( "rows",
@@ -385,6 +417,7 @@ let figure7 ?(json_dir = ".") () =
   let task = Kernel.create_task kernel ~name:"init" in
   let interp = Bpf_asm_interp.load kernel in
   let pkt = Packet.to_bytes (Pkt_gen.matching_packet ()) in
+  let h_interp = Obs.Histogram.create () in
   let rows =
     List.map
       (fun n ->
@@ -395,7 +428,12 @@ let figure7 ?(json_dir = ".") () =
         Bpf_asm_interp.set_program interp prog;
         Bpf_asm_interp.set_packet interp pkt;
         ignore (Bpf_asm_interp.run interp task);
+        for _ = 1 to 7 do
+          let _, c = Bpf_asm_interp.run interp task in
+          Obs.Histogram.observe h_interp c
+        done;
         let bpf_val, bpf_cycles = Bpf_asm_interp.run interp task in
+        Obs.Histogram.observe h_interp bpf_cycles;
         assert (bpf_val <> 0);
         let seg = Palladium.create_kernel_segment w in
         let nf = Native_compile.load seg terms in
@@ -425,6 +463,7 @@ let figure7 ?(json_dir = ".") () =
     \ compiled more than twice as fast at 4 terms)";
   let open Obs.Json in
   emit ~json_dir ~name:"figure7" ~since
+    ~histogram:("bpf_interp_cycles_per_packet", h_interp)
     [
       ( "rows",
         List
@@ -476,11 +515,17 @@ let micro ?(json_dir = ".") () =
   | _ -> ());
   let ok_call = Cpu.cycles cpu - before in
   User_ext.hide_range app ~addr:area.Vm_area.va_start ~len:(10 * 4096);
-  let before = Cpu.cycles cpu in
-  (match User_ext.call app ~prepare:poke ~arg:area.Vm_area.va_start with
-  | Error (User_ext.Protection_fault _) -> ()
-  | _ -> failwith "expected SIGSEGV");
-  let segv_call = Cpu.cycles cpu - before in
+  let h_segv = Obs.Histogram.create () in
+  let segv_call = ref 0 in
+  for _ = 1 to 8 do
+    let before = Cpu.cycles cpu in
+    (match User_ext.call app ~prepare:poke ~arg:area.Vm_area.va_start with
+    | Error (User_ext.Protection_fault _) -> ()
+    | _ -> failwith "expected SIGSEGV");
+    segv_call := Cpu.cycles cpu - before;
+    Obs.Histogram.observe h_segv !segv_call
+  done;
+  let segv_call = !segv_call in
   (* kernel GP fault processing *)
   let w2 = Palladium.boot () in
   let task2 = Kernel.create_task (Palladium.kernel w2) ~name:"t" in
@@ -524,6 +569,7 @@ let micro ?(json_dir = ".") () =
     ];
   let open Obs.Json in
   emit ~json_dir ~name:"micro" ~since
+    ~histogram:("sigsegv_call_cycles", h_segv)
     [
       ( "dlopen_usec",
         Obs.Bench_json.measurement ~paper:(Float 400.0)
@@ -546,6 +592,19 @@ let micro ?(json_dir = ".") () =
 
 let ipc_cmp ?(json_dir = ".") ~palladium_cycles () =
   let since = Obs.Counters.snapshot () in
+  (* distribution of whole warm null calls (stub entry to runtime
+     return), the quantity compared against the other mechanisms *)
+  let h_call = Obs.Histogram.create () in
+  let _w, app = boot_app () in
+  let ext = User_ext.seg_dlopen app Ulib.null_image in
+  let prepare = User_ext.seg_dlsym app ext "null_fn" in
+  let cpu = Kernel.cpu (User_ext.kernel app) in
+  ignore (User_ext.call app ~prepare ~arg:1);
+  for _ = 1 to 16 do
+    let before = Cpu.cycles cpu in
+    ignore (User_ext.call app ~prepare ~arg:1);
+    Obs.Histogram.observe h_call (Cpu.cycles cpu - before)
+  done;
   Table.print ~title:"IPC comparison (section 5.1)" ~aligns:[ Table.L ]
     ~headers:[ "Mechanism"; "Cost"; "Domain crossings"; "Notes" ]
     [
@@ -585,6 +644,7 @@ let ipc_cmp ?(json_dir = ".") ~palladium_cycles () =
       ]
   in
   emit ~json_dir ~name:"ipc" ~since
+    ~histogram:("protected_null_call_cycles", h_call)
     [
       ( "mechanisms",
         List
@@ -615,7 +675,7 @@ let ablation ?(json_dir = ".") ?(sizes = [ 32; 128; 512 ]) () =
       ~exports:[ "strrev" ]
       (Ulib.strrev_body ~name:"strrev")
   in
-  let run_variant image n =
+  let run_variant ?h image n =
     let km = Kmod.insmod kernel image in
     let s = Bytes.cat (Bytes.make (n - 1) 'x') (Bytes.of_string "\000") in
     Kmod.poke km ~symbol:"sfibuf" ~off:0 s;
@@ -623,9 +683,14 @@ let ablation ?(json_dir = ".") ?(sizes = [ 32; 128; 512 ]) () =
     ignore (Kmod.invoke km task ~fn:"strrev" ~arg);
     Kmod.poke km ~symbol:"sfibuf" ~off:0 s;
     match Kmod.invoke km task ~fn:"strrev" ~arg with
-    | Kernel.Completed, _, cycles -> cycles
+    | Kernel.Completed, _, cycles ->
+        (match h with
+        | Some h -> Obs.Histogram.observe h cycles
+        | None -> ());
+        cycles
     | _ -> failwith "ablation run failed"
   in
+  let h_native = Obs.Histogram.create () in
   (* identity region: the sandbox AND/OR pair costs the same wherever
      the region lies; a full-width region keeps legal addresses
      unchanged so the workload's semantics are preserved *)
@@ -633,7 +698,7 @@ let ablation ?(json_dir = ".") ?(sizes = [ 32; 128; 512 ]) () =
   let rows =
     List.map
       (fun n ->
-        let native = run_variant (buf_image "nat") n in
+        let native = run_variant ~h:h_native (buf_image "nat") n in
         let wo =
           run_variant (Sfi.sandbox_image Sfi.Write_only region (buf_image "sfw")) n
         in
@@ -666,6 +731,7 @@ let ablation ?(json_dir = ".") ?(sizes = [ 32; 128; 512 ]) () =
     \ comparison)";
   let open Obs.Json in
   emit ~json_dir ~name:"ablation" ~since
+    ~histogram:("native_strrev_cycles", h_native)
     [
       ( "rows",
         List
@@ -712,7 +778,7 @@ let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
   let t3 =
     Test.make ~name:"table3/des-sweep"
       (Staged.stage (fun () ->
-           ignore (Bench_ab.sweep ~protected_call_usec:0.72)))
+           ignore (Bench_ab.sweep ~protected_call_usec:0.72 ())))
   in
   let f7 =
     Test.make ~name:"figure7/bpf-4-terms"
@@ -732,6 +798,7 @@ let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
     Benchmark.all (Benchmark.cfg ~quota ()) [ Instance.monotonic_clock ] test
   in
   let estimates = ref [] in
+  let h_ns = Obs.Histogram.create () in
   List.iter
     (fun test ->
       let results = benchmark test in
@@ -746,6 +813,7 @@ let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
           match Analyze.OLS.estimates ols with
           | Some [ est ] ->
               estimates := (name, Some est) :: !estimates;
+              Obs.Histogram.observe h_ns (max 0 (int_of_float est));
               Printf.printf "bechamel %-32s %12.0f ns/run\n" name est
           | Some _ | None ->
               estimates := (name, None) :: !estimates;
@@ -754,6 +822,7 @@ let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
     [ t1; t2; t3; f7 ];
   let open Obs.Json in
   emit ~json_dir ~name:"bechamel" ~since
+    ~histogram:("ns_per_run", h_ns)
     [
       ( "estimates",
         List

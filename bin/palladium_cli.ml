@@ -194,15 +194,42 @@ let stats_cmd =
 
 (* --- trace: event ring buffer dump ----------------------------------------- *)
 
-let run_trace iterations with_fault capacity =
+let trace_kinds =
+  [ "priv"; "fault"; "module"; "call"; "syscall"; "watchdog"; "custom" ]
+
+let run_trace iterations with_fault capacity json filter =
+  (match filter with
+  | Some k when not (List.mem k trace_kinds) ->
+      Printf.eprintf "palladium: unknown --filter kind %S (expected %s)\n" k
+        (String.concat "|" trace_kinds);
+      exit 2
+  | _ -> ());
   Obs.Trace.set_capacity capacity;
   Obs.Trace.set_enabled true;
   run_workload ~iterations ~with_fault;
   Obs.Trace.set_enabled false;
-  Obs.Trace.dump Fmt.stdout ();
-  if Obs.Trace.dropped () > 0 then
-    Fmt.pr "(%d older events dropped; raise --capacity to keep more)@."
-      (Obs.Trace.dropped ())
+  let keep (e : Obs.Trace.entry) =
+    match filter with
+    | None -> true
+    | Some k -> String.equal (Obs.Trace.kind_of_event e.Obs.Trace.event) k
+  in
+  let entries = List.filter keep (Obs.Trace.events ()) in
+  if json then
+    print_endline
+      (Obs.Json.pretty
+         (Obs.Json.Obj
+            [
+              ( "events",
+                Obs.Json.List (List.map Obs.Trace.entry_to_json entries) );
+              ("dropped", Obs.Json.Int (Obs.Trace.dropped ()));
+              ("capacity", Obs.Json.Int (Obs.Trace.capacity ()));
+            ]))
+  else begin
+    List.iter (fun e -> Fmt.pr "%a@." Obs.Trace.pp_entry e) entries;
+    if Obs.Trace.dropped () > 0 then
+      Fmt.pr "(%d older events dropped; raise --capacity to keep more)@."
+        (Obs.Trace.dropped ())
+  end
 
 let trace_cmd =
   let iterations =
@@ -220,13 +247,107 @@ let trace_cmd =
       value & opt int 1024
       & info [ "capacity" ] ~doc:"Ring buffer capacity (events).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the ring as JSON instead of text.")
+  in
+  let filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"KIND"
+          ~doc:
+            "Only show events of one kind: priv, fault, module, call, \
+             syscall, watchdog or custom.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run a protected-call workload with event tracing on and dump the \
           ring buffer (privilege transitions, module loads, protected calls, \
           faults, syscalls).")
-    Term.(const run_trace $ iterations $ with_fault $ capacity)
+    Term.(const run_trace $ iterations $ with_fault $ capacity $ json $ filter)
+
+(* --- profile: span profiler over a workload -------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "[%s]\n" path
+
+let profile_workloads = [ "protected-call"; "fault"; "filter"; "webserver" ]
+
+(* Run one workload with span profiling on, then export the timeline
+   three ways: Chrome trace-event JSON (load in Perfetto), Prometheus
+   text exposition (counters + per-span histograms) and folded stacks
+   (pipe to flamegraph.pl).  Cycle-domain workloads export timestamps
+   in microseconds of simulated time; the webserver workload is
+   already in DES microseconds. *)
+let run_profile workload iterations out_dir =
+  if not (List.mem workload profile_workloads) then begin
+    Printf.eprintf "palladium: unknown workload %S (expected %s)\n" workload
+      (String.concat "|" profile_workloads);
+    exit 2
+  end;
+  Obs.Span.clear ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.set_enabled true;
+  let ts_scale =
+    match workload with
+    | "webserver" ->
+        ignore
+          (Server.run ~concurrency:30
+             ~total:(max 1 iterations * 10)
+             ~invocation:Cgi_model.Libcgi_protected ~bytes:1024
+             ~protected_call_usec:0.72 ());
+        1.0
+    | "filter" ->
+        run_filter 4 (max 1 iterations * 4) 25;
+        1.0 /. mhz
+    | "fault" ->
+        run_workload ~iterations ~with_fault:true;
+        1.0 /. mhz
+    | _ ->
+        run_workload ~iterations ~with_fault:false;
+        1.0 /. mhz
+  in
+  Obs.Span.set_enabled false;
+  let spans = Obs.Span.spans () in
+  Printf.printf "%d spans over %d %s iterations\n" (List.length spans)
+    (max 1 iterations) workload;
+  let out suffix = Filename.concat out_dir ("PROFILE_" ^ workload ^ suffix) in
+  write_file (out ".trace.json")
+    (Obs.Json.pretty (Obs.Export.chrome_trace ~ts_scale spans));
+  write_file (out ".prom.txt") (Obs.Export.prometheus ());
+  write_file (out ".folded") (Obs.Export.folded spans);
+  Fmt.pr "%a" Obs.Export.pp_histograms ()
+
+let profile_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"One of: protected-call, fault, filter, webserver.")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 10 & info [ "n"; "iterations" ] ~doc:"Workload iterations.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a workload with cycle-stamped spans and write a Chrome \
+          trace (Perfetto), a Prometheus exposition and folded stacks for \
+          flamegraphs.")
+    Term.(const run_profile $ workload $ iterations $ out_dir)
 
 (* --- vmmap: inspect an application's address space ------------------------- *)
 
@@ -248,6 +369,9 @@ let main =
        ~doc:
          "Palladium (SOSP '99) reproduction: segmentation+paging protection \
           for safe software extensions, on a simulated x86.")
-    [ call_cmd; filter_cmd; webserver_cmd; rpc_cmd; stats_cmd; trace_cmd; vmmap_cmd ]
+    [
+      call_cmd; filter_cmd; webserver_cmd; rpc_cmd; stats_cmd; trace_cmd;
+      profile_cmd; vmmap_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

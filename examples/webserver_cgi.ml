@@ -31,7 +31,7 @@ let () =
 
   (* The throughput experiment (Table 3), using the measured call cost
      for the protected LibCGI column. *)
-  let rows = Bench_ab.sweep ~protected_call_usec:call_usec in
+  let rows = Bench_ab.sweep ~protected_call_usec:call_usec () in
   Printf.printf "%-12s %8s %9s %13s %15s %11s\n" "size" "CGI" "FastCGI"
     "LibCGI(prot)" "LibCGI(unprot)" "static";
   List.iter

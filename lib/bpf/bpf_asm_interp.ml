@@ -396,7 +396,12 @@ let set_packet t bytes =
 (* Run the loaded filter over the loaded packet; returns (accept
    value, cycles). *)
 let run t task =
-  match Kmod.invoke t.kmod task ~fn:"bpf_run" ~arg:0 with
+  let cpu = Kernel.cpu (Kmod.kernel t.kmod) in
+  let span_on = Obs.Span.on () in
+  if span_on then Obs.Span.begin_ "bpf.interp" ~at:(Cpu.cycles cpu);
+  let outcome = Kmod.invoke t.kmod task ~fn:"bpf_run" ~arg:0 in
+  if span_on then Obs.Span.end_ "bpf.interp" ~at:(Cpu.cycles cpu);
+  match outcome with
   | Kernel.Completed, value, cycles -> (value, cycles)
   | (Kernel.Faulted _ | Kernel.Timed_out _ | Kernel.Out_of_fuel), _, _ ->
       invalid_arg "Bpf_asm_interp.run: interpreter did not complete"

@@ -115,11 +115,15 @@ let load w_kernel_seg terms =
    the extension with the packet's segment offset. *)
 let run t task ~packet =
   let kernel_cpu = Kernel.cpu (Kernel_ext.kernel t.seg) in
+  let span_on = Obs.Span.on () in
+  if span_on then Obs.Span.begin_ "bpf.native" ~at:(Cpu.cycles kernel_cpu);
   Kernel_ext.write_shared t.seg ~off:0 packet;
   Cpu.charge kernel_cpu (((Bytes.length packet + 3) / 4 * 3) + 10);
-  match
+  let outcome =
     Kernel_ext.invoke ~task t.seg ~name:"cfilter$filter" ~arg:t.shared_off
-  with
+  in
+  if span_on then Obs.Span.end_ "bpf.native" ~at:(Cpu.cycles kernel_cpu);
+  match outcome with
   | Ok (Some (v, cycles)) -> Ok (v, cycles)
   | Ok None -> Error Kernel_ext.No_such_service
   | Error e -> Error e

@@ -13,6 +13,8 @@ type t = {
   symbols : (string, int) Hashtbl.t; (* symbol -> kernel-segment offset *)
 }
 
+let kernel t = t.kernel
+
 (* Load an image into kernel memory proper: text and data are
    addressed through the normal kernel segments. *)
 let insmod kernel (image : Image.t) =

@@ -6,6 +6,9 @@
 
 type t
 
+val kernel : t -> Kernel.t
+(** The kernel this module was loaded into. *)
+
 val insmod : Kernel.t -> Image.t -> t
 (** Load an image into kernel memory proper (addresses are
     kernel-segment offsets). *)

@@ -227,6 +227,40 @@ let xmalloc ext size =
 
 let c_protected_calls = Obs.Counters.counter "core.protected_calls"
 
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+(* Recover the Table 1 phases of one protected call from the [Mark]
+   stamps the Figure 6 stubs leave behind, and record them as child
+   spans of the (still open) protected_call root:
+
+     Prepare   .setup  -> .call     argument copy + phantom record build
+     lret      .call   -> .body     privilege-lowering far return + near call
+     ext.body  .body   -> .return   the extension function itself
+     lcall     .return -> .restore  near ret + lcall through AppCallGate
+     ret       .restore-> rt.done   AppCallGate restore + near return  *)
+let record_phase_spans marks =
+  let find suffix =
+    List.find_map
+      (fun (n, c) -> if Filename.check_suffix n suffix then Some c else None)
+      marks
+  in
+  let phase name a b =
+    match (a, b) with
+    | Some x, Some y when y >= x -> ignore (Obs.Span.record name ~start:x ~stop:y)
+    | _ -> ()
+  in
+  let setup = find ".setup" in
+  let call = find ".call" in
+  let body = find ".body" in
+  let return = find ".return" in
+  let restore = find ".restore" in
+  let done_ = find "rt.done" in
+  phase "Prepare" setup call;
+  phase "lret" call body;
+  phase "ext.body" body return;
+  phase "lcall" return restore;
+  phase "ret" restore done_
+
 (* Protected extension call: arm the watchdog, enter user mode at the
    Prepare stub, and interpret the outcome. *)
 let call t ~prepare ~arg =
@@ -234,9 +268,19 @@ let call t ~prepare ~arg =
   Obs.Counters.incr c_protected_calls;
   let wd = Kernel.watchdog t.kernel in
   let cpu = Kernel.cpu t.kernel in
+  let span_on = Obs.Span.on () in
+  let marks_before = if span_on then List.length (Cpu.marks cpu) else 0 in
+  if span_on then
+    Obs.Span.begin_ "protected_call"
+      ~args:[ ("prepare", Printf.sprintf "%#x" prepare) ]
+      ~at:(Cpu.cycles cpu);
   Watchdog.arm wd ~now:(Cpu.cycles cpu) ~limit:t.time_limit ();
   let o = Runtime.invoke1 t.rt ~fn:prepare ~arg in
   Watchdog.disarm wd;
+  if span_on then begin
+    record_phase_spans (drop marks_before (Cpu.marks cpu));
+    Obs.Span.end_ "protected_call" ~at:(Cpu.cycles cpu)
+  end;
   if Obs.Trace.on () then
     Obs.Trace.emit ~cycles:(Cpu.cycles cpu)
       (Obs.Trace.Protected_call

@@ -58,6 +58,13 @@ let c_syscalls = Obs.Counters.counter "kern.syscalls"
    it must go through application services. *)
 let dispatch table (ctx : context) number =
   Obs.Counters.incr c_syscalls;
+  let span_on = Obs.Span.on () in
+  let span_name =
+    if span_on then
+      "syscall." ^ Option.value (name_of table number) ~default:"unknown"
+    else ""
+  in
+  if span_on then Obs.Span.begin_ span_name ~at:(Cpu.cycles ctx.cpu);
   let ret =
     if Task.is_promoted ctx.task && P.equal ctx.caller_spl P.R3 then
       Errno.to_ret Errno.EPERM
@@ -66,6 +73,7 @@ let dispatch table (ctx : context) number =
       | None -> Errno.to_ret Errno.ENOSYS
       | Some (_, fn) -> fn ctx
   in
+  if span_on then Obs.Span.end_ span_name ~at:(Cpu.cycles ctx.cpu);
   if Obs.Trace.on () then
     Obs.Trace.emit
       (Obs.Trace.Syscall

@@ -355,6 +355,7 @@ let exec_lcall t sel_encoded return_eip =
   else begin
     (* Privilege raise: switch to the inner ring's stack from the TSS,
        then push the outer SS:ESP and CS:EIP. *)
+    let span_start = t.cycles in
     charge t (t.params.lcall_gate_pl_change + t.params.lcall_hazard);
     Obs.Counters.incr c_cross_raise;
     if Obs.Trace.on () then
@@ -383,7 +384,15 @@ let exec_lcall t sel_encoded return_eip =
     t.ss <- new_ss;
     set_reg t Reg.ESP new_esp;
     t.cs <- Seg.load_code t.view ~new_cpl gate.Desc.target;
-    t.eip <- gate.Desc.entry
+    t.eip <- gate.Desc.entry;
+    if Obs.Span.on () then
+      ignore
+        (Obs.Span.record "hw.lcall" ~start:span_start ~stop:t.cycles
+           ~args:
+             [
+               ("from_ring", string_of_int (P.to_int here));
+               ("to_ring", string_of_int (P.to_int new_cpl));
+             ])
   end
 
 (* On a privilege-lowering return the hardware invalidates data
@@ -431,6 +440,7 @@ let exec_lret t extra_pop =
     t.eip <- new_eip
   end
   else begin
+    let span_start = t.cycles in
     charge t (t.params.lret_pl_change + t.params.lret_hazard);
     Obs.Counters.incr c_cross_lower;
     if Obs.Trace.on () then
@@ -448,7 +458,15 @@ let exec_lret t extra_pop =
     t.ss <- new_ss;
     set_reg t Reg.ESP (mask32 (new_esp + extra_pop));
     invalidate_inaccessible_data_segs t new_cpl;
-    t.eip <- new_eip
+    t.eip <- new_eip;
+    if Obs.Span.on () then
+      ignore
+        (Obs.Span.record "hw.lret" ~start:span_start ~stop:t.cycles
+           ~args:
+             [
+               ("from_ring", string_of_int (P.to_int here));
+               ("to_ring", string_of_int (P.to_int new_cpl));
+             ])
   end
 
 (* int N through the IDT. *)
@@ -487,6 +505,7 @@ let exec_int t vector return_eip =
     t.eip <- gate.Desc.entry
   end
   else begin
+    let span_start = t.cycles in
     charge t t.params.int_gate_pl_change;
     Obs.Counters.incr c_cross_raise;
     if Obs.Trace.on () then
@@ -508,7 +527,15 @@ let exec_int t vector return_eip =
     t.ss <- new_ss;
     set_reg t Reg.ESP new_esp;
     t.cs <- Seg.load_code t.view ~new_cpl gate.Desc.target;
-    t.eip <- gate.Desc.entry
+    t.eip <- gate.Desc.entry;
+    if Obs.Span.on () then
+      ignore
+        (Obs.Span.record "hw.int" ~start:span_start ~stop:t.cycles
+           ~args:
+             [
+               ("from_ring", string_of_int (P.to_int here));
+               ("to_ring", string_of_int (P.to_int new_cpl));
+             ])
   end
 
 let exec_iret t =
@@ -525,6 +552,7 @@ let exec_iret t =
     t.eip <- new_eip
   end
   else begin
+    let span_start = t.cycles in
     charge t t.params.iret_pl_change;
     Obs.Counters.incr c_cross_lower;
     if Obs.Trace.on () then
@@ -542,7 +570,15 @@ let exec_iret t =
     t.ss <- new_ss;
     set_reg t Reg.ESP new_esp;
     invalidate_inaccessible_data_segs t new_cpl;
-    t.eip <- new_eip
+    t.eip <- new_eip;
+    if Obs.Span.on () then
+      ignore
+        (Obs.Span.record "hw.iret" ~start:span_start ~stop:t.cycles
+           ~args:
+             [
+               ("from_ring", string_of_int (P.to_int here));
+               ("to_ring", string_of_int (P.to_int new_cpl));
+             ])
   end
 
 (* --- Instruction dispatch ------------------------------------------ *)
@@ -764,19 +800,28 @@ let run ?(max_instrs = 10_000_000) t =
       (match t.on_instr with Some f -> f t | None -> ());
       match step t with
       | () -> loop (n - 1)
-      | exception F.Fault f -> (
+      | exception F.Fault f ->
           t.fault_count <- t.fault_count + 1;
           Obs.Counters.incr c_faults;
           if Obs.Trace.on () then
             Obs.Trace.emit ~cycles:t.cycles
               (Obs.Trace.Fault { vector = F.vector f; detail = F.to_string f });
+          let span_start = t.cycles in
           charge t t.params.fault_transfer;
-          match t.on_fault with
-          | None -> Fault_abort f
-          | Some h -> (
-              match h t f with
-              | Fault_continue -> loop (n - 1)
-              | Fault_stop -> Fault_abort f))
+          let action =
+            match t.on_fault with
+            | None -> Fault_stop
+            | Some h -> h t f
+          in
+          (* one span covers the hardware exception delivery plus the
+             handler's software cost (the hook charges it) *)
+          if Obs.Span.on () then
+            ignore
+              (Obs.Span.record "hw.fault" ~start:span_start ~stop:t.cycles
+                 ~args:[ ("detail", F.to_string f) ]);
+          (match action with
+          | Fault_continue -> loop (n - 1)
+          | Fault_stop -> Fault_abort f)
     end
   in
   loop max_instrs

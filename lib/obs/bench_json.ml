@@ -30,18 +30,29 @@ let measurement ?stddev ?paper value =
     :: (match stddev with Some s -> [ ("stddev", Json.Float s) ] | None -> [])
     @ match paper with Some p -> [ ("paper", p) ] | None -> [])
 
-let document ~name ?since ~body () =
+(* The per-metric latency-distribution block: the histogram's summary
+   (count/sum/mean/min/p50/p90/p99/max) and buckets, tagged with the
+   name of the metric it describes. *)
+let histogram_block ~metric h =
+  match Histogram.to_json h with
+  | Json.Obj fields -> Json.Obj (("metric", Json.String metric) :: fields)
+  | j -> j
+
+let document ~name ?since ?histogram ~body () =
   Json.Obj
     ([ ("schema", Json.String schema_version); ("name", Json.String name) ]
     @ body
+    @ (match histogram with
+      | Some (metric, h) -> [ ("histogram", histogram_block ~metric h) ]
+      | None -> [])
     @ [ ("counters", counters_json (Counters.snapshot ())) ]
     @
     match since with
     | Some s -> [ ("counters_delta", counters_json (Counters.delta ~since:s)) ]
     | None -> [])
 
-let write ~dir ~name ?since ~body () =
-  let doc = document ~name ?since ~body () in
+let write ~dir ~name ?since ?histogram ~body () =
+  let doc = document ~name ?since ?histogram ~body () in
   let path = Filename.concat dir (file_name name) in
   let oc = open_out path in
   output_string oc (Json.pretty doc);

@@ -11,9 +11,14 @@ val measurement :
   ?stddev:float -> ?paper:Json.t -> Json.t -> Json.t
 (** [{"measured": v; "stddev": s?; "paper": p?}]. *)
 
+val histogram_block : metric:string -> Histogram.t -> Json.t
+(** The ["histogram"] field: the histogram's summary and buckets,
+    tagged with the name of the primary metric it describes. *)
+
 val document :
   name:string ->
   ?since:(string * int) list ->
+  ?histogram:string * Histogram.t ->
   body:(string * Json.t) list ->
   unit ->
   Json.t
@@ -22,9 +27,12 @@ val write :
   dir:string ->
   name:string ->
   ?since:(string * int) list ->
+  ?histogram:string * Histogram.t ->
   body:(string * Json.t) list ->
   unit ->
   string
 (** Writes the document to [dir/BENCH_<name>.json]; returns the path.
     [since] should be the {!Counters.snapshot} taken when the
-    subcommand started. *)
+    subcommand started; [histogram] is the latency distribution of the
+    subcommand's primary metric ([(metric_name, histogram)]), emitted
+    as the ["histogram"] field. *)

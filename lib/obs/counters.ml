@@ -70,13 +70,42 @@ let delta ~since =
 
 let reset_all () = Hashtbl.iter (fun _ c -> c.c_value <- 0) registry
 
+(* Group prefix: everything before the first dot ("mmu.page_walks" ->
+   "mmu"); undotted names group under themselves. *)
+let group_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
 let pp ppf () =
   let cs = all () in
   let width =
-    List.fold_left (fun w c -> max w (String.length c.c_name)) 0 cs
+    List.fold_left (fun w c -> max w (String.length c.c_name + 2)) 0 cs
+  in
+  (* [all] is name-sorted, so members of a group are adjacent. *)
+  let groups =
+    List.fold_left
+      (fun acc c ->
+        let g = group_of c.c_name in
+        match acc with
+        | (g', members) :: rest when g' = g -> (g', c :: members) :: rest
+        | _ -> (g, [ c ]) :: acc)
+      [] cs
+    |> List.rev_map (fun (g, members) -> (g, List.rev members))
   in
   List.iter
-    (fun c ->
-      Fmt.pf ppf "%-*s  %12d%s@." width c.c_name c.c_value
-        (match c.c_kind with Counter -> "" | Gauge -> "  (gauge)"))
-    cs
+    (fun (g, members) ->
+      let subtotal =
+        List.fold_left
+          (fun acc c -> match c.c_kind with Counter -> acc + c.c_value | Gauge -> acc)
+          0 members
+      in
+      Fmt.pf ppf "%s  (%d counter%s, subtotal %d)@." g (List.length members)
+        (if List.length members = 1 then "" else "s")
+        subtotal;
+      List.iter
+        (fun c ->
+          Fmt.pf ppf "  %-*s  %12d%s@." (width - 2) c.c_name c.c_value
+            (match c.c_kind with Counter -> "" | Gauge -> "  (gauge)"))
+        members)
+    groups

@@ -47,4 +47,7 @@ val reset_all : unit -> unit
 (** Zero every registered counter and gauge (tests and bench runs). *)
 
 val pp : Format.formatter -> unit -> unit
-(** Aligned name/value table of the current snapshot. *)
+(** Aligned name/value table of the current snapshot, grouped by
+    dot-separated prefix ([mmu.*], [kern.*], …) with a per-group
+    header carrying the member count and the subtotal of its
+    monotonic counters (gauges are listed but not summed). *)

@@ -1,0 +1,22 @@
+(** Exporters over the observability registries.  All three are pure
+    views over Span/Counters/Histogram state — no filesystem access. *)
+
+val chrome_trace : ?ts_scale:float -> Span.completed list -> Json.t
+(** Chrome trace-event JSON (complete ["X"] events), loadable in
+    Perfetto or [chrome://tracing].  [ts]/[dur] are the span stamps
+    multiplied by [ts_scale] (default 1.0, i.e. raw cycles; pass
+    [1.0 /. mhz] for microseconds). *)
+
+val prometheus : ?prefix:string -> unit -> string
+(** Prometheus text exposition of every registered counter, gauge and
+    histogram.  Dotted names are sanitized ('.' -> '_') and prefixed
+    (default ["palladium_"]); histograms emit cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count]. *)
+
+val folded : Span.completed list -> string
+(** Folded-stacks text ("root;child;leaf self-weight" per line, sorted
+    by stack), the input format of flamegraph tools.  Weights are
+    *self* times: a span's duration minus its direct children's. *)
+
+val pp_histograms : Format.formatter -> unit -> unit
+(** Aligned per-span-name table: count, mean, p50/p90/p99/max. *)

@@ -1,0 +1,186 @@
+(* Log2-bucketed latency histograms.
+
+   A histogram keeps an exact record of every observation (the
+   simulator's sample counts are small — thousands, not billions) plus
+   a fixed array of power-of-two bucket counts.  Percentiles are
+   therefore *exact* (nearest-rank over the raw samples), while the
+   buckets give the compact shape used by the Prometheus exposition
+   and the pretty-printer.
+
+   Bucket i >= 1 covers the value range [2^(i-1), 2^i - 1]; bucket 0
+   holds only the value 0.  Observations must be non-negative (they
+   are cycle or microsecond latencies). *)
+
+let num_buckets = 63
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+  buckets : int array;
+  mutable samples : int array; (* first [count] slots are live *)
+}
+
+let create () =
+  {
+    count = 0;
+    sum = 0;
+    vmin = max_int;
+    vmax = min_int;
+    buckets = Array.make num_buckets 0;
+    samples = Array.make 64 0;
+  }
+
+(* --- Registry (span-name -> histogram), mirroring Counters ---------- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let get_or_create name =
+  match Hashtbl.find_opt registry name with
+  | Some h -> h
+  | None ->
+      let h = create () in
+      Hashtbl.add registry name h;
+      h
+
+let find name = Hashtbl.find_opt registry name
+
+let all_named () =
+  Hashtbl.fold (fun n h acc -> (n, h) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset_all () = Hashtbl.reset registry
+
+(* --- Buckets --------------------------------------------------------- *)
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (num_buckets - 1)
+  end
+
+(* Inclusive [lo, hi] value range of bucket [i]. *)
+let bucket_bounds i =
+  if i <= 0 then (0, 0)
+  else if i >= num_buckets - 1 then (1 lsl (num_buckets - 2), max_int)
+  else ((1 lsl (i - 1)), (1 lsl i) - 1)
+
+(* --- Observation ----------------------------------------------------- *)
+
+let observe t v =
+  if v < 0 then invalid_arg "Histogram.observe: negative observation";
+  if t.count = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.count) 0 in
+    Array.blit t.samples 0 bigger 0 t.count;
+    t.samples <- bigger
+  end;
+  t.samples.(t.count) <- v;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1
+
+let count t = t.count
+
+let sum t = t.sum
+
+let min_value t = if t.count = 0 then None else Some t.vmin
+
+let max_value t = if t.count = 0 then None else Some t.vmax
+
+let mean t =
+  if t.count = 0 then None
+  else Some (float_of_int t.sum /. float_of_int t.count)
+
+(* Exact nearest-rank percentile: the smallest recorded value such
+   that at least p% of the observations are <= it.  [percentile t
+   100.0] is the maximum; monotone in p by construction. *)
+let percentile t p =
+  if t.count = 0 then None
+  else begin
+    let sorted = Array.sub t.samples 0 t.count in
+    Array.sort compare sorted;
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) - 1
+    in
+    let rank = max 0 (min (t.count - 1) rank) in
+    Some sorted.(rank)
+  end
+
+let merge a b =
+  let m = create () in
+  for i = 0 to a.count - 1 do
+    observe m a.samples.(i)
+  done;
+  for i = 0 to b.count - 1 do
+    observe m b.samples.(i)
+  done;
+  m
+
+let clear t =
+  t.count <- 0;
+  t.sum <- 0;
+  t.vmin <- max_int;
+  t.vmax <- min_int;
+  Array.fill t.buckets 0 num_buckets 0
+
+(* Non-empty buckets, lowest first: (lo, hi, count). *)
+let buckets t =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      acc := (lo, hi, t.buckets.(i)) :: !acc
+    end
+  done;
+  !acc
+
+(* Cumulative (upper-bound, count<=bound) pairs for the Prometheus
+   exposition; the +Inf bucket is the total count and is left to the
+   exporter. *)
+let cumulative t =
+  let acc = ref [] and running = ref 0 in
+  for i = 0 to num_buckets - 1 do
+    if t.buckets.(i) > 0 then begin
+      running := !running + t.buckets.(i);
+      acc := (snd (bucket_bounds i), !running) :: !acc
+    end
+  done;
+  List.rev !acc
+
+let to_json t =
+  let pct p = match percentile t p with Some v -> Json.Int v | None -> Json.Null in
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("mean", match mean t with Some m -> Json.Float m | None -> Json.Null);
+      ("min", match min_value t with Some v -> Json.Int v | None -> Json.Null);
+      ("p50", pct 50.0);
+      ("p90", pct 90.0);
+      ("p99", pct 99.0);
+      ("max", match max_value t with Some v -> Json.Int v | None -> Json.Null);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lo, hi, n) ->
+               Json.Obj
+                 [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int n) ])
+             (buckets t)) );
+    ]
+
+let pp ppf t =
+  if t.count = 0 then Fmt.string ppf "(empty)"
+  else
+    let v p = match percentile t p with Some x -> x | None -> 0 in
+    Fmt.pf ppf "n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d" t.count
+      (match mean t with Some m -> m | None -> 0.0)
+      (v 50.0) (v 90.0) (v 99.0)
+      (match max_value t with Some m -> m | None -> 0)

@@ -1,0 +1,65 @@
+(** Log2-bucketed latency histograms with exact percentiles.
+
+    Every observation is kept, so {!percentile} is exact (nearest
+    rank), while the power-of-two buckets give the compact shape used
+    for export: bucket 0 holds only the value 0 and bucket [i >= 1]
+    covers [[2^(i-1), 2^i - 1]].  Observations must be non-negative. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, anonymous histogram. *)
+
+val get_or_create : string -> t
+(** Intern a named histogram in the process-wide registry (spans feed
+    their duration into the histogram named after the span). *)
+
+val find : string -> t option
+
+val all_named : unit -> (string * t) list
+(** Every registered histogram, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Empty the registry (tests and profile runs). *)
+
+val observe : t -> int -> unit
+(** Record one observation.  Raises [Invalid_argument] on a negative
+    value. *)
+
+val count : t -> int
+
+val sum : t -> int
+
+val min_value : t -> int option
+
+val max_value : t -> int option
+
+val mean : t -> float option
+
+val percentile : t -> float -> int option
+(** Exact nearest-rank percentile; [None] when empty.  Monotone in
+    the argument: p50 <= p90 <= p99 <= [max_value]. *)
+
+val merge : t -> t -> t
+(** A new histogram holding both sets of observations; the arguments
+    are unchanged. *)
+
+val clear : t -> unit
+
+val bucket_of : int -> int
+(** Bucket index of a value (exposed for tests). *)
+
+val bucket_bounds : int -> int * int
+(** Inclusive [(lo, hi)] value range of a bucket index. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets, lowest first: [(lo, hi, count)]. *)
+
+val cumulative : t -> (int * int) list
+(** Cumulative counts [(upper_bound, count_le_bound)] over non-empty
+    buckets — the Prometheus [le] series without the [+Inf] bucket. *)
+
+val to_json : t -> Json.t
+(** [{count; sum; mean; min; p50; p90; p99; max; buckets}]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,168 @@
+(* Nestable begin/end spans stamped with the caller's clock (the
+   simulated CPU cycle counter, or DES microseconds for the web-server
+   model).
+
+   The recorder is process-global and off by default, like Trace: hot
+   call sites guard with [on ()].  A completed span records its
+   parent/child structure (parent id and nesting depth) and feeds its
+   duration into the histogram registered under the span's name, so a
+   single profiled run yields both the event timeline (Chrome trace,
+   folded stacks) and the latency distribution per phase.
+
+   Unbalanced ends are tolerated rather than fatal: ending a span
+   that is not on top of the stack implicitly ends everything nested
+   inside it at the same stamp, and ending a span that was never begun
+   is dropped; both are tallied in the [obs.span.unbalanced] counter
+   so tests and dashboards can see the instrumentation bug. *)
+
+type completed = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_start : int;
+  sp_stop : int;
+  sp_depth : int;
+  sp_track : int;
+  sp_args : (string * string) list;
+}
+
+type open_frame = {
+  of_id : int;
+  of_name : string;
+  of_start : int;
+  of_parent : int option;
+  of_depth : int;
+  of_args : (string * string) list;
+}
+
+let enabled = ref false
+
+let on () = !enabled
+
+let set_enabled b = enabled := b
+
+let stack : open_frame list ref = ref []
+
+let completed : completed list ref = ref [] (* newest first *)
+
+let next_id = ref 0
+
+let c_unbalanced = Counters.counter "obs.span.unbalanced"
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let clear () =
+  stack := [];
+  completed := [];
+  next_id := 0
+
+let open_depth () = List.length !stack
+
+let current_id () =
+  match !stack with [] -> None | f :: _ -> Some f.of_id
+
+let finish frame ~at =
+  let c =
+    {
+      sp_id = frame.of_id;
+      sp_parent = frame.of_parent;
+      sp_name = frame.of_name;
+      sp_start = frame.of_start;
+      sp_stop = max frame.of_start at;
+      sp_depth = frame.of_depth;
+      sp_track = 1;
+      sp_args = frame.of_args;
+    }
+  in
+  completed := c :: !completed;
+  Histogram.observe (Histogram.get_or_create c.sp_name) (c.sp_stop - c.sp_start)
+
+let begin_ ?(args = []) name ~at =
+  if !enabled then begin
+    let parent = current_id () in
+    let frame =
+      {
+        of_id = fresh_id ();
+        of_name = name;
+        of_start = at;
+        of_parent = parent;
+        of_depth = List.length !stack;
+        of_args = args;
+      }
+    in
+    stack := frame :: !stack
+  end
+
+let end_ name ~at =
+  if !enabled then
+    if List.exists (fun f -> f.of_name = name) !stack then begin
+      (* Implicitly close anything left open inside [name]. *)
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | f :: rest ->
+            stack := rest;
+            finish f ~at;
+            if f.of_name <> name then begin
+              Counters.incr c_unbalanced;
+              pop ()
+            end
+      in
+      pop ()
+    end
+    else
+      (* End without a matching begin: drop it, but make it visible. *)
+      Counters.incr c_unbalanced
+
+(* Record a fully-formed span after the fact (e.g. phases recovered
+   from CPU marks, or DES request lifecycles).  Parented under
+   [parent] when given, else under the innermost open span. *)
+let record ?(args = []) ?(track = 1) ?parent name ~start ~stop =
+  if not !enabled then None
+  else begin
+    let parent = match parent with Some _ as p -> p | None -> current_id () in
+    let depth =
+      match parent with None -> 0 | Some _ -> List.length !stack
+    in
+    let c =
+      {
+        sp_id = fresh_id ();
+        sp_parent = parent;
+        sp_name = name;
+        sp_start = start;
+        sp_stop = max start stop;
+        sp_depth = max 1 depth;
+        sp_track = track;
+        sp_args = args;
+      }
+    in
+    completed := c :: !completed;
+    Histogram.observe (Histogram.get_or_create name) (c.sp_stop - c.sp_start);
+    Some c.sp_id
+  end
+
+(* Completed spans, in start order (ties broken by id, i.e. begin
+   order — parents before their children). *)
+let spans () =
+  List.sort
+    (fun a b ->
+      match compare a.sp_start b.sp_start with
+      | 0 -> compare a.sp_id b.sp_id
+      | c -> c)
+    !completed
+
+let length () = List.length !completed
+
+let unbalanced () = Counters.value c_unbalanced
+
+let pp_span ppf s =
+  Fmt.pf ppf "%*s%s [%d..%d] %d" (2 * s.sp_depth) "" s.sp_name s.sp_start
+    s.sp_stop (s.sp_stop - s.sp_start)
+
+let dump ppf () =
+  match spans () with
+  | [] -> Fmt.pf ppf "(no spans recorded%s)@."
+      (if !enabled then "" else "; span recording is disabled")
+  | ss -> List.iter (fun s -> Fmt.pf ppf "%a@." pp_span s) ss

@@ -54,12 +54,30 @@ let clear () =
   ring.seq <- 0;
   ring.dropped <- 0
 
+(* Oldest first. *)
+let events () =
+  let cap = Array.length ring.slots in
+  let start = (ring.next - ring.stored + cap) mod cap in
+  List.init ring.stored (fun i ->
+      match ring.slots.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+(* Reallocate the ring, carrying the newest min(length, n) buffered
+   entries over; entries that no longer fit count as dropped. *)
 let set_capacity n =
   if n <= 0 then invalid_arg "Trace.set_capacity";
+  let buffered = events () in
+  let keep = min ring.stored n in
+  let survivors =
+    (* newest [keep] of the buffered entries, still oldest-first *)
+    List.filteri (fun i _ -> i >= List.length buffered - keep) buffered
+  in
   ring.slots <- Array.make n None;
-  ring.next <- 0;
-  ring.stored <- 0;
-  ring.dropped <- 0
+  List.iteri (fun i e -> ring.slots.(i) <- Some e) survivors;
+  ring.next <- keep mod n;
+  ring.stored <- keep;
+  ring.dropped <- ring.dropped + (List.length buffered - keep)
 
 let emit ?(cycles = 0) event =
   if !enabled then begin
@@ -73,16 +91,68 @@ let emit ?(cycles = 0) event =
 
 let dropped () = ring.dropped
 
-(* Oldest first. *)
-let events () =
-  let cap = Array.length ring.slots in
-  let start = (ring.next - ring.stored + cap) mod cap in
-  List.init ring.stored (fun i ->
-      match ring.slots.((start + i) mod cap) with
-      | Some e -> e
-      | None -> assert false)
-
 let length () = ring.stored
+
+(* Short machine-readable tag of an event's family, used by the CLI's
+   --filter and the JSON emission. *)
+let kind_of_event = function
+  | Priv_transition _ -> "priv"
+  | Fault _ -> "fault"
+  | Module_load _ | Module_unload _ -> "module"
+  | Protected_call _ -> "call"
+  | Syscall _ -> "syscall"
+  | Watchdog_expiry _ -> "watchdog"
+  | Custom _ -> "custom"
+
+let event_fields = function
+  | Priv_transition { from_ring; to_ring; via } ->
+      [
+        ("from_ring", Json.Int from_ring);
+        ("to_ring", Json.Int to_ring);
+        ("via", Json.String via);
+      ]
+  | Fault { vector; detail } ->
+      [ ("vector", Json.Int vector); ("detail", Json.String detail) ]
+  | Module_load { name; mechanism } ->
+      [
+        ("name", Json.String name);
+        ("mechanism", Json.String mechanism);
+        ("loaded", Json.Bool true);
+      ]
+  | Module_unload { name } ->
+      [ ("name", Json.String name); ("loaded", Json.Bool false) ]
+  | Protected_call { fn; outcome; cycles } ->
+      [
+        ("fn", Json.String fn);
+        ("outcome", Json.String outcome);
+        ("cycles", Json.Int cycles);
+      ]
+  | Syscall { number; name; ret } ->
+      [
+        ("number", Json.Int number);
+        ("name", Json.String name);
+        ("ret", Json.Int ret);
+      ]
+  | Watchdog_expiry { used; limit } ->
+      [ ("used", Json.Int used); ("limit", Json.Int limit) ]
+  | Custom s -> [ ("detail", Json.String s) ]
+
+let entry_to_json (e : entry) =
+  Json.Obj
+    ([
+       ("seq", Json.Int e.seq);
+       ("at_cycles", Json.Int e.at_cycles);
+       ("kind", Json.String (kind_of_event e.event));
+     ]
+    @ event_fields e.event)
+
+let to_json () =
+  Json.Obj
+    [
+      ("events", Json.List (List.map entry_to_json (events ())));
+      ("dropped", Json.Int ring.dropped);
+      ("capacity", Json.Int (Array.length ring.slots));
+    ]
 
 let pp_event ppf = function
   | Priv_transition { from_ring; to_ring; via } ->

@@ -24,7 +24,11 @@ val set_enabled : bool -> unit
 val capacity : unit -> int
 
 val set_capacity : int -> unit
-(** Reallocates the ring, discarding buffered events. *)
+(** Reallocates the ring, preserving the newest
+    [min (length ()) new_capacity] buffered entries (oldest-first
+    order and sequence numbers kept); entries that no longer fit are
+    added to {!dropped}.  Raises [Invalid_argument] on a non-positive
+    capacity. *)
 
 val emit : ?cycles:int -> event -> unit
 (** No-op while disabled.  Overwrites the oldest entry when full. *)
@@ -38,6 +42,17 @@ val dropped : unit -> int
 (** Events lost to ring overflow since the last {!clear}. *)
 
 val clear : unit -> unit
+
+val kind_of_event : event -> string
+(** Short family tag: ["priv"], ["fault"], ["module"], ["call"],
+    ["syscall"], ["watchdog"] or ["custom"] — the vocabulary of the
+    CLI's [--filter]. *)
+
+val entry_to_json : entry -> Json.t
+(** [{seq; at_cycles; kind; ...payload fields}]. *)
+
+val to_json : unit -> Json.t
+(** The whole buffer: [{events; dropped; capacity}]. *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -18,14 +18,23 @@ type row = {
   by_invocation : (Cgi_model.invocation * Server.result) list;
 }
 
-let sweep ~protected_call_usec =
+(* [latency], when given, accumulates the per-request end-to-end
+   latency (usec) of every Libcgi_protected request across the sweep —
+   the distribution behind the Table 3 throughput numbers. *)
+let sweep ?latency ~protected_call_usec () =
   List.map
     (fun (size_label, size_bytes) ->
       let by_invocation =
         List.map
           (fun invocation ->
+            let latency =
+              match invocation with
+              | Cgi_model.Libcgi_protected -> latency
+              | _ -> None
+            in
             ( invocation,
-              Server.run ~invocation ~bytes:size_bytes ~protected_call_usec () ))
+              Server.run ?latency ~invocation ~bytes:size_bytes
+                ~protected_call_usec () ))
           invocations
       in
       { size_label; size_bytes; by_invocation })

@@ -11,7 +11,7 @@ type result = {
   link_utilisation : float;
 }
 
-let run ?(concurrency = 30) ?(total = 1000) ~invocation ~bytes
+let run ?(concurrency = 30) ?(total = 1000) ?latency ~invocation ~bytes
     ~protected_call_usec () =
   let des = Des.create () in
   let cpu = Resource.create des ~name:"cpu" in
@@ -22,12 +22,41 @@ let run ?(concurrency = 30) ?(total = 1000) ~invocation ~bytes
     Cgi_model.request_usec ~invocation ~bytes ~protected_call_usec
   in
   let tx_time = Cgi_model.transmit_usec ~bytes in
+  let span_on = Obs.Span.on () in
+  (* DES time is float microseconds; span stamps are ints.  Rounding to
+     the nearest usec is fine at the 100s-of-usec request scale. *)
+  let stamp f = int_of_float (Float.round f) in
   let rec submit () =
     if !issued < total then begin
       incr issued;
+      let arrival = Des.now des in
       Resource.acquire cpu ~service:cpu_time (fun () ->
+          let cpu_done = Des.now des in
           Resource.acquire link ~service:tx_time (fun () ->
               incr completed;
+              let tx_done = Des.now des in
+              (match latency with
+              | Some h -> Obs.Histogram.observe h (stamp (tx_done -. arrival))
+              | None -> ());
+              (if span_on then
+                 (* The request span covers arrival (including queueing
+                    delay) to last byte out; the cpu/tx children cover
+                    just the service windows. *)
+                 match
+                   Obs.Span.record "request" ~track:2
+                     ~args:[ ("bytes", string_of_int bytes) ]
+                     ~start:(stamp arrival) ~stop:(stamp tx_done)
+                 with
+                 | Some id ->
+                     ignore
+                       (Obs.Span.record "request.cpu" ~track:2 ~parent:id
+                          ~start:(stamp (cpu_done -. cpu_time))
+                          ~stop:(stamp cpu_done));
+                     ignore
+                       (Obs.Span.record "request.tx" ~track:2 ~parent:id
+                          ~start:(stamp (tx_done -. tx_time))
+                          ~stop:(stamp tx_done))
+                 | None -> ());
               submit ()))
     end
   in

@@ -25,6 +25,11 @@ let load name =
   | Ok doc -> doc
   | Error e -> fail "%s does not parse: %s" path e
 
+let as_int name field j =
+  match J.to_int j with
+  | Some i -> i
+  | None -> fail "%s: histogram %s is not an int" name field
+
 let validate name =
   let doc = load name in
   (match J.to_str (mem "schema" doc) with
@@ -38,6 +43,25 @@ let validate name =
   | [] -> fail "%s: empty counter snapshot" name
   | _ -> ());
   ignore (mem "counters_delta" doc);
+  (* every artifact carries a latency distribution of its primary
+     metric with coherent percentiles *)
+  let h = mem "histogram" doc in
+  (match J.to_str (mem "metric" h) with
+  | Some "" | None -> fail "%s: histogram metric missing" name
+  | Some _ -> ());
+  let count = as_int name "count" (mem "count" h) in
+  if count < 1 then fail "%s: empty histogram" name;
+  let p50 = as_int name "p50" (mem "p50" h) in
+  let p90 = as_int name "p90" (mem "p90" h) in
+  let p99 = as_int name "p99" (mem "p99" h) in
+  let mx = as_int name "max" (mem "max" h) in
+  if not (p50 <= p90 && p90 <= p99 && p99 <= mx) then
+    fail "%s: percentiles not monotone (p50=%d p90=%d p99=%d max=%d)" name p50
+      p90 p99 mx;
+  ignore (mem "mean" h);
+  (match mem "buckets" h with
+  | J.List (_ :: _) -> ()
+  | _ -> fail "%s: histogram buckets missing" name);
   Printf.printf "bench-smoke %-10s ok\n%!" name
 
 let () =

@@ -12,6 +12,15 @@ let check_bool = Alcotest.(check bool)
 
 let check_str = Alcotest.(check string)
 
+let rec drop_first n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop_first (n - 1) tl
+
+(* naive substring search, enough for asserting on rendered text *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
 (* --- Counters ---------------------------------------------------------- *)
 
 let test_counters_basics () =
@@ -78,7 +87,37 @@ let test_trace_ring_overwrite () =
   check_bool "sequence numbers ascend" true
     (seqs = List.sort compare seqs);
   T.set_capacity 1024;
-  check_int "set_capacity clears" 0 (T.length ())
+  check_int "growing keeps the buffered events" 4 (T.length ());
+  T.clear ()
+
+let test_trace_set_capacity_preserves () =
+  T.set_capacity 8;
+  T.set_enabled true;
+  for i = 1 to 4 do
+    T.emit ~cycles:i (T.Custom (string_of_int i))
+  done;
+  T.set_enabled false;
+  let before = T.events () in
+  T.set_capacity 2;
+  check_int "shrunk to new capacity" 2 (T.length ());
+  let survivors = T.events () in
+  check_bool "newest entries survive, oldest first" true
+    (List.map (fun e -> e.T.event) survivors
+    = [ T.Custom "3"; T.Custom "4" ]);
+  check_bool "sequence numbers preserved" true
+    (List.map (fun e -> e.T.seq) survivors
+    = List.map (fun e -> e.T.seq) (drop_first 2 before));
+  check_int "entries that no longer fit count as dropped" 2 (T.dropped ());
+  (* the shrunk ring keeps rotating correctly *)
+  T.set_enabled true;
+  T.emit (T.Custom "5");
+  T.set_enabled false;
+  check_int "still bounded" 2 (T.length ());
+  (match List.map (fun e -> e.T.event) (T.events ()) with
+  | [ T.Custom "4"; T.Custom "5" ] -> ()
+  | _ -> Alcotest.fail "ring rotation broken after shrink");
+  T.set_capacity 1024;
+  T.clear ()
 
 let test_trace_event_rendering () =
   let s =
@@ -172,6 +211,250 @@ let prop_json_roundtrip =
       | Ok parsed -> parsed = doc
       | Error _ -> false)
 
+(* --- Histogram --------------------------------------------------------- *)
+
+module H = Obs.Histogram
+
+let test_histogram_buckets () =
+  check_int "0 lands in bucket 0" 0 (H.bucket_of 0);
+  check_int "1 lands in bucket 1" 1 (H.bucket_of 1);
+  check_int "2 lands in bucket 2" 2 (H.bucket_of 2);
+  check_int "3 lands in bucket 2" 2 (H.bucket_of 3);
+  check_int "4 lands in bucket 3" 3 (H.bucket_of 4);
+  check_int "1023 lands in bucket 10" 10 (H.bucket_of 1023);
+  check_int "1024 lands in bucket 11" 11 (H.bucket_of 1024);
+  check_bool "bucket 0 holds only 0" true (H.bucket_bounds 0 = (0, 0));
+  check_bool "bucket 3 is [4,7]" true (H.bucket_bounds 3 = (4, 7));
+  (* every power-of-two boundary: bucket_bounds inverts bucket_of *)
+  for i = 1 to 30 do
+    let lo, hi = H.bucket_bounds i in
+    check_int "lo maps back" i (H.bucket_of lo);
+    check_int "hi maps back" i (H.bucket_of hi)
+  done;
+  let h = H.create () in
+  List.iter (H.observe h) [ 0; 1; 2; 3; 7 ];
+  check_bool "non-empty buckets" true
+    (H.buckets h = [ (0, 0, 1); (1, 1, 1); (2, 3, 2); (4, 7, 1) ]);
+  check_bool "cumulative counts" true
+    (H.cumulative h = [ (0, 1); (1, 2); (3, 4); (7, 5) ]);
+  Alcotest.check_raises "negative observation"
+    (Invalid_argument "Histogram.observe: negative observation") (fun () ->
+      H.observe h (-1))
+
+let test_histogram_summary () =
+  let h = H.create () in
+  check_bool "empty percentile" true (H.percentile h 50.0 = None);
+  List.iter (H.observe h) [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+  check_int "count" 10 (H.count h);
+  check_int "sum" 550 (H.sum h);
+  check_bool "min" true (H.min_value h = Some 10);
+  check_bool "max" true (H.max_value h = Some 100);
+  check_bool "p50 nearest rank" true (H.percentile h 50.0 = Some 50);
+  check_bool "p90" true (H.percentile h 90.0 = Some 90);
+  check_bool "p99 rounds up to max" true (H.percentile h 99.0 = Some 100)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone (p50<=p90<=p99<=max)"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_range 0 100_000))
+    (fun xs ->
+      let h = H.create () in
+      List.iter (H.observe h) xs;
+      match
+        (H.percentile h 50.0, H.percentile h 90.0, H.percentile h 99.0,
+         H.max_value h)
+      with
+      | Some p50, Some p90, Some p99, Some mx ->
+          p50 <= p90 && p90 <= p99 && p99 <= mx
+      | _ -> false)
+
+let hist_fingerprint h =
+  ( H.count h, H.sum h, H.min_value h, H.max_value h,
+    H.percentile h 50.0, H.percentile h 99.0, H.buckets h )
+
+let prop_merge_associative =
+  let small_list =
+    QCheck.(list_of_size Gen.(int_range 0 20) (int_range 0 10_000))
+  in
+  QCheck.Test.make ~name:"merge is associative (and counts add up)" ~count:100
+    (QCheck.triple small_list small_list small_list)
+    (fun (xs, ys, zs) ->
+      let of_list l =
+        let h = H.create () in
+        List.iter (H.observe h) l;
+        h
+      in
+      let a = of_list xs and b = of_list ys and c = of_list zs in
+      let left = H.merge (H.merge a b) c in
+      let right = H.merge a (H.merge b c) in
+      hist_fingerprint left = hist_fingerprint right
+      && H.count left = List.length xs + List.length ys + List.length zs)
+
+let test_histogram_registry_and_json () =
+  H.reset_all ();
+  let h = H.get_or_create "test.hist" in
+  check_bool "same handle on re-intern" true (H.get_or_create "test.hist" == h);
+  List.iter (H.observe h) [ 1; 2; 3; 4 ];
+  check_bool "find" true
+    (match H.find "test.hist" with Some h' -> h' == h | None -> false);
+  check_bool "listed" true (List.mem_assoc "test.hist" (H.all_named ()));
+  let j = H.to_json h in
+  (match J.member "count" j with
+  | Some (J.Int 4) -> ()
+  | _ -> Alcotest.fail "to_json count");
+  (match (J.member "p50" j, J.member "p99" j, J.member "max" j) with
+  | Some (J.Int p50), Some (J.Int p99), Some (J.Int mx) ->
+      check_bool "json percentiles ordered" true (p50 <= p99 && p99 <= mx)
+  | _ -> Alcotest.fail "to_json percentiles");
+  H.reset_all ();
+  check_bool "reset_all empties the registry" true (H.all_named () = [])
+
+(* --- Spans ------------------------------------------------------------- *)
+
+module S = Obs.Span
+
+let test_span_nesting () =
+  S.clear ();
+  H.reset_all ();
+  S.set_enabled true;
+  S.begin_ "outer" ~at:0;
+  S.begin_ "inner" ~at:10;
+  check_int "two open" 2 (S.open_depth ());
+  S.end_ "inner" ~at:30;
+  S.end_ "outer" ~at:100;
+  S.set_enabled false;
+  check_int "all closed" 0 (S.open_depth ());
+  (match S.spans () with
+  | [ outer; inner ] ->
+      check_str "outer first (start order)" "outer" outer.S.sp_name;
+      check_int "outer depth" 0 outer.S.sp_depth;
+      check_int "inner depth" 1 inner.S.sp_depth;
+      check_bool "inner parented under outer" true
+        (inner.S.sp_parent = Some outer.S.sp_id);
+      check_int "inner duration" 20 (inner.S.sp_stop - inner.S.sp_start)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  (* completed spans fed the histogram registry *)
+  (match H.find "inner" with
+  | Some h -> check_bool "inner duration observed" true (H.sum h = 20)
+  | None -> Alcotest.fail "span did not feed its histogram");
+  S.clear ();
+  H.reset_all ()
+
+let test_span_unbalanced () =
+  S.clear ();
+  H.reset_all ();
+  S.set_enabled true;
+  let u0 = S.unbalanced () in
+  (* an end with no matching begin is dropped *)
+  S.end_ "never-opened" ~at:5;
+  check_int "stray end counted" (u0 + 1) (S.unbalanced ());
+  check_int "stray end records nothing" 0 (S.length ());
+  (* ending an outer span implicitly closes the inner one at the same
+     stamp *)
+  S.begin_ "a" ~at:0;
+  S.begin_ "b" ~at:10;
+  S.end_ "a" ~at:50;
+  S.set_enabled false;
+  check_int "implicit close counted" (u0 + 2) (S.unbalanced ());
+  check_int "nothing left open" 0 (S.open_depth ());
+  (match S.spans () with
+  | [ a; b ] ->
+      check_str "a" "a" a.S.sp_name;
+      check_str "b" "b" b.S.sp_name;
+      check_int "b clipped to a's end" 50 b.S.sp_stop
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  S.clear ();
+  H.reset_all ()
+
+let test_span_record_and_disabled () =
+  S.clear ();
+  H.reset_all ();
+  S.set_enabled false;
+  S.begin_ "off" ~at:0;
+  S.end_ "off" ~at:1;
+  check_bool "disabled record returns None" true
+    (S.record "off" ~start:0 ~stop:1 = None);
+  check_int "disabled is a no-op" 0 (S.length ());
+  S.set_enabled true;
+  (match S.record "root" ~start:0 ~stop:100 with
+  | None -> Alcotest.fail "record returned None while enabled"
+  | Some root_id -> (
+      ignore (S.record "child" ~parent:root_id ~track:3 ~start:10 ~stop:20);
+      match S.spans () with
+      | [ _; child ] ->
+          check_bool "explicit parent" true (child.S.sp_parent = Some root_id);
+          check_int "track carried" 3 child.S.sp_track
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)));
+  S.set_enabled false;
+  S.clear ();
+  H.reset_all ()
+
+(* --- Counters.pp grouping ---------------------------------------------- *)
+
+let test_counters_pp_groups () =
+  ignore (C.counter "ppt.alpha");
+  C.add (C.counter "ppt.beta") 2;
+  let s = Fmt.str "%a" C.pp () in
+  let has sub = contains s sub in
+  check_bool "group header present" true (has "ppt  (2 counters, subtotal 2)");
+  check_bool "rows indented under the header" true (has "  ppt.alpha")
+
+(* --- Exporters --------------------------------------------------------- *)
+
+let test_export_chrome_trace () =
+  S.clear ();
+  H.reset_all ();
+  S.set_enabled true;
+  S.begin_ "root" ~args:[ ("k", "v") ] ~at:0;
+  S.end_ "root" ~at:40;
+  S.set_enabled false;
+  let j = Obs.Export.chrome_trace (S.spans ()) in
+  (match J.member "traceEvents" j with
+  | Some (J.List [ ev ]) -> (
+      (match J.member "name" ev with
+      | Some (J.String "root") -> ()
+      | _ -> Alcotest.fail "event name");
+      (match J.member "ph" ev with
+      | Some (J.String "X") -> ()
+      | _ -> Alcotest.fail "complete-event phase");
+      (match (J.member "ts" ev, J.member "dur" ev) with
+      | Some (J.Float 0.0), Some (J.Float 40.0) -> ()
+      | _ -> Alcotest.fail "ts/dur");
+      match J.member "args" ev with
+      | Some (J.Obj [ ("k", J.String "v") ]) -> ()
+      | _ -> Alcotest.fail "args carried")
+  | _ -> Alcotest.fail "traceEvents");
+  (* the document must be valid JSON end to end *)
+  (match J.of_string (J.pretty j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e);
+  S.clear ();
+  H.reset_all ()
+
+let test_export_prometheus_and_folded () =
+  S.clear ();
+  H.reset_all ();
+  S.set_enabled true;
+  S.begin_ "root" ~at:0;
+  S.begin_ "leaf" ~at:10;
+  S.end_ "leaf" ~at:30;
+  S.end_ "root" ~at:100;
+  S.set_enabled false;
+  let prom = Obs.Export.prometheus () in
+  let has sub = contains prom sub in
+  check_bool "histogram type line" true
+    (has "# TYPE palladium_leaf histogram");
+  check_bool "+Inf bucket" true (has {|palladium_leaf_bucket{le="+Inf"} 1|});
+  check_bool "sum series" true (has "palladium_leaf_sum 20");
+  check_bool "count series" true (has "palladium_leaf_count 1");
+  let folded = Obs.Export.folded (S.spans ()) in
+  check_bool "self time excludes children" true
+    (String.split_on_char '\n' folded |> List.mem "root 80");
+  check_bool "stack paths use ;" true
+    (String.split_on_char '\n' folded |> List.mem "root;leaf 20");
+  S.clear ();
+  H.reset_all ()
+
 (* --- BENCH_*.json schema ----------------------------------------------- *)
 
 let mem name j =
@@ -231,8 +514,36 @@ let () =
             test_trace_disabled_is_noop;
           Alcotest.test_case "ring overwrite + dropped" `Quick
             test_trace_ring_overwrite;
+          Alcotest.test_case "set_capacity preserves newest" `Quick
+            test_trace_set_capacity_preserves;
           Alcotest.test_case "event rendering" `Quick test_trace_event_rendering;
         ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "summary statistics" `Quick test_histogram_summary;
+          Alcotest.test_case "registry + to_json" `Quick
+            test_histogram_registry_and_json;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting + histogram feed" `Quick test_span_nesting;
+          Alcotest.test_case "unbalanced ends" `Quick test_span_unbalanced;
+          Alcotest.test_case "record + disabled no-ops" `Quick
+            test_span_record_and_disabled;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace events" `Quick
+            test_export_chrome_trace;
+          Alcotest.test_case "prometheus + folded stacks" `Quick
+            test_export_prometheus_and_folded;
+        ] );
+      ( "counters-pp",
+        [ Alcotest.test_case "prefix grouping" `Quick test_counters_pp_groups ]
+      );
       ( "json",
         [
           Alcotest.test_case "escaping" `Quick test_json_escaping;
