@@ -751,6 +751,124 @@ let ablation ?(json_dir = ".") ?(sizes = [ 32; 128; 512 ]) () =
              rows) );
     ]
 
+(* --- SFI-full vs SFI-verified vs Palladium --------------------------- *)
+
+(* The payoff of the load-time verifier (DESIGN.md "Load-time
+   verification"): run the compiled 4-term packet filter under three
+   protection schemes — blanket SFI, SFI with verifier-proved guards
+   elided, and Palladium's hardware segment — over the same packet
+   stream, checking they classify identically. *)
+let sfi ?(json_dir = ".") ?(packets = 48) () =
+  let since = Obs.Counters.snapshot () in
+  let w = Palladium.boot () in
+  let kernel = Palladium.kernel w in
+  let task = Kernel.create_task kernel ~name:"init" in
+  let terms = Filter_expr.canonical 4 in
+  let text = Native_compile.filter_text terms in
+  let region = { Sfi.base = 0; size = 1 lsl 30 } in
+  let pktbuf_bytes = 2048 in
+  (* the argument is the packet buffer's segment offset; telling the
+     verifier it lies below the region's top (minus the buffer) is
+     what lets it prove the filter's loads in-bounds *)
+  let arg = (0, region.Sfi.size - pktbuf_bytes) in
+  let guards mode =
+    Sfi.inserted_instructions ~mode ~entries:[ "filter" ] ~arg ~region
+      Sfi.Read_write text
+  in
+  let g_full = guards Sfi.Full in
+  let g_verified = guards Sfi.Verified in
+  if g_verified >= g_full then
+    failwith "sfi: verifier elided no guards on the compiled filter";
+  let filter_image name =
+    Image.create ~name
+      ~bss:[ Image.bss_item ~align:4096 "pktbuf" pktbuf_bytes ]
+      ~exports:[ "filter" ] text
+  in
+  let load_kmod image =
+    let km = Kmod.insmod kernel image in
+    let buf = Kmod.symbol km "pktbuf" in
+    (km, buf)
+  in
+  let native = load_kmod (filter_image "vfnat") in
+  let full =
+    load_kmod
+      (Sfi.sandbox_image ~arg Sfi.Read_write region (filter_image "vffull"))
+  in
+  let verified =
+    load_kmod
+      (Sfi.sandbox_image ~mode:Sfi.Verified ~arg Sfi.Read_write region
+         (filter_image "vfver"))
+  in
+  let run_kmod (km, buf) pkt =
+    Kmod.poke km ~symbol:"pktbuf" ~off:0 (Bytes.make pktbuf_bytes '\000');
+    Kmod.poke km ~symbol:"pktbuf" ~off:0 pkt;
+    match Kmod.invoke km task ~fn:"filter" ~arg:buf with
+    | Kernel.Completed, v, cycles -> (v, cycles)
+    | _ -> failwith "sfi: filter invocation failed"
+  in
+  let seg = Palladium.create_kernel_segment w in
+  let nf = Native_compile.load seg terms in
+  let stream =
+    List.map Packet.to_bytes
+      (Pkt_gen.stream (Pkt_gen.create ()) ~count:packets ~match_percent:25)
+  in
+  let h_full = Obs.Histogram.create () in
+  let totals = Array.make 4 0 in
+  let matches = ref 0 in
+  List.iter
+    (fun pkt ->
+      let vn, cn = run_kmod native pkt in
+      let vf, cf = run_kmod full pkt in
+      let vv, cv = run_kmod verified pkt in
+      let vp, cp =
+        match Native_compile.run nf task ~packet:pkt with
+        | Ok (v, c) -> (v, c)
+        | Error e -> Fmt.failwith "sfi: %a" Kernel_ext.pp_invoke_error e
+      in
+      if not (vn = vf && vn = vv && vn = vp) then
+        failwith "sfi: protection variants disagree on a packet";
+      if vn = 1 then incr matches;
+      Obs.Histogram.observe h_full cf;
+      totals.(0) <- totals.(0) + cn;
+      totals.(1) <- totals.(1) + cf;
+      totals.(2) <- totals.(2) + cv;
+      totals.(3) <- totals.(3) + cp)
+    stream;
+  let mean i = float_of_int totals.(i) /. float_of_int packets in
+  Table.print
+    ~title:
+      "SFI guard elision: 4-term compiled filter, mean CPU cycles per packet"
+    ~headers:[ "variant"; "guard instrs"; "cycles/pkt" ]
+    [
+      [ "native (unprotected)"; "0"; Printf.sprintf "%.1f" (mean 0) ];
+      [ "SFI full"; string_of_int g_full; Printf.sprintf "%.1f" (mean 1) ];
+      [
+        "SFI verified"; string_of_int g_verified; Printf.sprintf "%.1f" (mean 2);
+      ];
+      [ "Palladium (segment)"; "0"; Printf.sprintf "%.1f" (mean 3) ];
+    ];
+  Printf.printf
+    "(verifier proved %d of %d guard instructions redundant; %d/%d packets \
+     matched)\n"
+    (g_full - g_verified) g_full !matches packets;
+  let open Obs.Json in
+  emit ~json_dir ~name:"sfi" ~since
+    ~histogram:("sfi_full_cycles_per_packet", h_full)
+    [
+      ( "guards",
+        Obj [ ("sfi_full", Int g_full); ("sfi_verified", Int g_verified) ] );
+      ( "cycles_per_packet",
+        Obj
+          [
+            ("native", Float (mean 0));
+            ("sfi_full", Float (mean 1));
+            ("sfi_verified", Float (mean 2));
+            ("palladium", Float (mean 3));
+          ] );
+      ("packets", Int packets);
+      ("matched", Int !matches);
+    ]
+
 (* --- Bechamel wall-clock suite ---------------------------------------- *)
 
 let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
@@ -840,7 +958,7 @@ let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
 (* --- Driver ------------------------------------------------------------ *)
 
 let subcommands =
-  [ "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation" ]
+  [ "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation"; "sfi" ]
 
 (* Run the requested subset (everything when [args] is empty; bechamel
    only when asked for by name, as in the original CLI). *)
@@ -855,4 +973,5 @@ let run_main args =
   if want "micro" then micro ();
   if want "ipc" then ipc_cmp ~palladium_cycles:!palladium_cycles ();
   if want "ablation" then ablation ();
+  if want "sfi" then sfi ();
   if List.mem "bechamel" args then bechamel ()

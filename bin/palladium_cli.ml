@@ -349,6 +349,149 @@ let profile_cmd =
           flamegraphs.")
     Term.(const run_profile $ workload $ iterations $ out_dir)
 
+(* --- verify: load-time verifier reports ------------------------------------ *)
+
+let image_externs (image : Image.t) =
+  let data_names =
+    List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
+    @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
+  in
+  fun name -> List.mem name data_names || List.mem name image.Image.imports
+
+(* Verify an image the way the extension loaders do: entries from the
+   exports, externs from the image's own symbol tables, the region
+   sized like a kernel extension segment. *)
+let report_of ?(require_termination = false) (image : Image.t) =
+  Verify.verify ~entries:image.Image.exports ~externs:(image_externs image)
+    ~region:(0, Pconfig.kernel_ext_segment_bytes)
+    ~allowed_far:(fun _ -> true)
+    ~require_termination ~name:image.Image.name image.Image.text
+
+(* Hand-built demos for the unsafe classes no shipped extension
+   exhibits (the rogue extensions rely on run-time protection; these
+   are the ones the verifier must catch statically). *)
+let oob_store_image =
+  let open Asm in
+  Image.create ~name:"oobstore" ~exports:[ "oob" ]
+    [
+      L "oob";
+      I (Instr.Mov (Operand.Reg Reg.EAX, Operand.Imm Pconfig.kernel_ext_segment_bytes));
+      I (Instr.Mov (Operand.deref Reg.EAX, Operand.Imm 1));
+      I Instr.Ret;
+    ]
+
+let unbalanced_image =
+  let open Asm in
+  Image.create ~name:"unbalanced" ~exports:[ "leak" ]
+    [ L "leak"; I (Instr.Push (Operand.Reg Reg.EAX)); I Instr.Ret ]
+
+let indirect_image =
+  let open Asm in
+  Image.create ~name:"indirect" ~exports:[ "anywhere" ]
+    [ L "anywhere"; I (Instr.Jmp_ind (Operand.Reg Reg.EAX)) ]
+
+(* (name, verdict the verifier must reach, report thunk) *)
+let verify_catalogue : (string * bool * (unit -> Verify.report)) list =
+  [
+    ("null", true, fun () -> report_of Ulib.null_image);
+    ("strrev", true, fun () -> report_of Ulib.strrev_image);
+    ("libc", true, fun () -> report_of Ulib.libc_image);
+    ("lenclient", true, fun () -> report_of Ulib.strlen_client_image);
+    ("counter", true, fun () -> report_of Ulib.counter_image);
+    ( "svcclient",
+      true,
+      fun () -> report_of (Ulib.service_client_image ~slot_addr:0x2000) );
+    ("work", true, fun () -> report_of (Ulib.work_image ~units:64));
+    ( "cfilter",
+      true,
+      fun () -> report_of (Native_compile.image (Filter_expr.canonical 4)) );
+    ("roguewrite", true, fun () -> report_of Ulib.rogue_write_image);
+    ("rogueread", true, fun () -> report_of Ulib.rogue_read_image);
+    ("rogueloop", true, fun () -> report_of Ulib.rogue_loop_image);
+    ( "strrev-sfi",
+      true,
+      fun () ->
+        report_of
+          (Sfi.sandbox_image Sfi.Write_only
+             { Sfi.base = 0; size = Pconfig.kernel_ext_segment_bytes }
+             Ulib.strrev_image) );
+    ("roguesys", false, fun () -> report_of Ulib.rogue_syscall_image);
+    ("roguejmp", false, fun () -> report_of Ulib.rogue_jump_kernel_image);
+    ("oobstore", false, fun () -> report_of oob_store_image);
+    ("unbalanced", false, fun () -> report_of unbalanced_image);
+    ("indirect", false, fun () -> report_of indirect_image);
+    ( "rogueloop-term",
+      false,
+      fun () -> report_of ~require_termination:true Ulib.rogue_loop_image );
+  ]
+
+let run_verify name out_dir =
+  match name with
+  | "all" ->
+      let mismatches =
+        List.filter
+          (fun (name, expect_ok, thunk) ->
+            let r = thunk () in
+            let got = Verify.ok r in
+            Printf.printf "verify %-14s %-8s (expected %s)%s\n" name
+              (if got then "ok" else "rejected")
+              (if expect_ok then "ok" else "rejected")
+              (if got = expect_ok then "" else "  <-- MISMATCH");
+            got <> expect_ok)
+          verify_catalogue
+      in
+      if mismatches <> [] then begin
+        Printf.eprintf "palladium: %d verifier verdicts disagree\n"
+          (List.length mismatches);
+        exit 1
+      end
+  | name -> (
+      match
+        List.find_opt (fun (n, _, _) -> n = name) verify_catalogue
+      with
+      | None ->
+          Printf.eprintf "palladium: unknown image %S (or use 'all')\n" name;
+          exit 2
+      | Some (_, expect_ok, thunk) ->
+          let r = thunk () in
+          Fmt.pr "%a@." Verify.pp_report r;
+          let path =
+            Obs.Bench_json.write ~dir:out_dir ~prefix:"VERIFY_" ~name
+              ~body:
+                [
+                  ("report", Verify.report_json r);
+                  ("expected_ok", Obs.Json.Bool expect_ok);
+                ]
+              ()
+          in
+          Printf.printf "[%s]\n" path;
+          if Verify.ok r <> expect_ok then exit 1)
+
+let verify_cmd =
+  let image =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"IMAGE"
+          ~doc:
+            "Image or workload to verify (see 'verify all' for the \
+             catalogue), or 'all' to check every catalogue entry against its \
+             expected verdict.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Directory for the VERIFY_<image>.json artifact.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the load-time extension verifier (CFG decode, instruction \
+          lints, interval-domain bounds analysis) over the shipped example \
+          images and the unsafe demo programs, printing per-check reports.")
+    Term.(const run_verify $ image $ out_dir)
+
 (* --- vmmap: inspect an application's address space ------------------------- *)
 
 let run_vmmap () =
@@ -371,7 +514,7 @@ let main =
           for safe software extensions, on a simulated x86.")
     [
       call_cmd; filter_cmd; webserver_cmd; rpc_cmd; stats_cmd; trace_cmd;
-      profile_cmd; vmmap_cmd;
+      profile_cmd; verify_cmd; vmmap_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -375,11 +375,9 @@ type t = { kmod : Kmod.t }
 let load kernel = { kmod = Kmod.insmod kernel image }
 
 let set_program t prog =
-  (match Bpf_insn.validate prog with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Bpf_asm_interp.set_program: " ^ msg));
+  Bpf_insn.validate_exn prog;
   if Array.length prog > max_insns then
-    invalid_arg "Bpf_asm_interp.set_program: program too long";
+    raise (Bpf_insn.Invalid_program "program too long for interpreter table");
   Kmod.poke t.kmod ~symbol:"bpf_prog" ~off:0 (encode_program prog);
   Kmod.poke_u32 t.kmod ~symbol:"bpf_prog_len" ~off:0 (Array.length prog);
   (* fresh scratch memory per attached filter, like a stack-allocated

@@ -25,7 +25,7 @@ val load : Kernel.t -> t
 
 val set_program : t -> Bpf_insn.t array -> unit
 (** Validate and install a filter; resets the scratch memory.  Raises
-    [Invalid_argument] on invalid or oversized programs. *)
+    [Bpf_insn.Invalid_program] on invalid or oversized programs. *)
 
 val set_packet : t -> Bytes.t -> unit
 

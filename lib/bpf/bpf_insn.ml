@@ -132,17 +132,19 @@ let validate prog =
         | Ldx_msh _ | Alu _ | Neg | Ret_k _ | Ret_a | Tax | Txa ->
             continue ()
     in
+    (* the last instruction must not fall through; a trailing jump is
+       caught by [check]'s bounds test, since any forward displacement
+       from index n-1 lands past the end *)
     match prog.(n - 1) with
-    | Ret_k _ | Ret_a | Ja _ | Jmp _ -> (
-        match check 0 with
-        | Ok () -> (
-            (* last instruction must not fall through *)
-            match prog.(n - 1) with
-            | Ret_k _ | Ret_a -> Ok ()
-            | Ja _ | Jmp _ -> Ok () (* jumps validated in-bounds above *)
-            | _ -> assert false)
-        | Error _ as e -> e)
+    | Ret_k _ | Ret_a | Ja _ | Jmp _ -> check 0
     | _ -> Error "program may fall off the end"
+
+exception Invalid_program of string
+
+let validate_exn prog =
+  match validate prog with
+  | Ok () -> ()
+  | Error msg -> raise (Invalid_program msg)
 
 let pp ppf insn =
   let s = function W -> "w" | H -> "h" | B -> "b" in

@@ -41,4 +41,11 @@ val validate : t array -> (unit, string) result
     bounded length, in-bounds forward jumps and scratch slots, no
     constant division by zero, no falling off the end. *)
 
+exception Invalid_program of string
+(** Raised by {!validate_exn} with the {!validate} diagnostic. *)
+
+val validate_exn : t array -> unit
+(** [validate] as an exception: raises {!Invalid_program} on the first
+    rule the program breaks. *)
+
 val pp : t Fmt.t

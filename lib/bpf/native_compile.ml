@@ -98,17 +98,27 @@ let image terms =
 
 (* A compiled filter loaded into a Palladium kernel extension
    segment. *)
-type t = { seg : Kernel_ext.t; shared_off : int }
+type t = { seg : Kernel_ext.t; kmod : Kernel_ext.kmodule; shared_off : int }
 
 let load w_kernel_seg terms =
   let seg = w_kernel_seg in
-  ignore (Kernel_ext.insmod seg (image terms));
+  (* Compiled filters are straight-line conjunctions, so hold them to
+     the BPF bar: the verifier must prove termination or the load
+     fails.  Keep the module handle — a filter whose entry point did
+     not survive linking is a load error here, not a miss at the first
+     packet. *)
+  let kmod = Kernel_ext.insmod ~require_termination:true seg (image terms) in
+  (match Kernel_ext.module_symbol kmod "filter" with
+  | Some _ -> ()
+  | None -> invalid_arg "Native_compile.load: filter entry point missing");
   let shared_off =
     match Kernel_ext.shared_linear seg with
     | Some linear -> Kernel_ext.to_segment_offset seg linear
     | None -> invalid_arg "Native_compile.load: shared area missing"
   in
-  { seg; shared_off }
+  { seg; kmod; shared_off }
+
+let kmodule t = t.kmod
 
 (* Deliver a packet: copy the header into the shared area (charging
    the copy like the kernel's word-copy loop would cost), then invoke

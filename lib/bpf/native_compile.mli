@@ -5,14 +5,23 @@
 
 val shared_bytes : int
 
+val filter_text : Filter_expr.t -> Asm.program
+(** The generated filter body (entry label [filter], one packet-offset
+    argument) — exposed for the SFI/verifier benchmarks. *)
+
 val image : Filter_expr.t -> Image.t
 (** The filter module image (exports [filter], declares the shared
     area). *)
 
 type t
 
+val kmodule : t -> Kernel_ext.kmodule
+
 val load : Kernel_ext.t -> Filter_expr.t -> t
-(** insmod the compiled filter into an extension segment. *)
+(** insmod the compiled filter into an extension segment, with
+    termination required by the verifier (filters are run per packet).
+    Raises [Invalid_argument] if the module's [filter] entry or shared
+    area is missing, and [Verify.Rejected] under a [Reject] policy. *)
 
 val run :
   t -> Task.t -> packet:Bytes.t -> (int * int, Kernel_ext.invoke_error) result

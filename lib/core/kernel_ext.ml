@@ -178,9 +178,35 @@ let emit_kernel_stub t program =
 (* insmod: load a module image into the extension segment.  Extension
    code is assembled against segment offsets (its CS/DS are based at
    the segment), so no relocation surprises; imported kernel-service
-   selectors resolve through [ksvc$name] symbols. *)
-let insmod t (image : Image.t) =
+   selectors resolve through [ksvc$name] symbols.
+
+   Before anything is allocated or emitted, the raw image text goes
+   through the load-time verifier (policy [Verify.policy]): only the
+   author's code is analysed — the Transfer stubs appended below are
+   loader-generated and legitimately privileged.  [require_termination]
+   additionally demands an acyclic CFG (BPF-derived filters). *)
+let insmod ?(require_termination = false) t (image : Image.t) =
   if t.dead then invalid_arg "Kernel_ext.insmod: segment is dead";
+  (if !Verify.policy <> Verify.Off then
+     let data_names =
+       List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
+       @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
+     in
+     let externs name =
+       List.mem name data_names
+       || List.mem name image.Image.imports
+       || List.mem_assoc name t.ksvcs
+       || List.exists
+            (fun m -> Hashtbl.mem m.m_symbols name)
+            t.modules
+     in
+     let allowed_far sel =
+       sel = t.kgate_sel || List.exists (fun (_, s) -> s = sel) t.ksvcs
+     in
+     Verify.enforce ~mechanism:"insmod(ext)"
+       (Verify.verify ~org:t.cursor_off ~entries:image.Image.exports ~externs
+          ~region:(0, t.seg_size) ~allowed_far ~require_termination
+          ~name:image.Image.name image.Image.text));
   let text_off = t.cursor_off in
   let text_size =
     Asm.length_bytes image.Image.text + (4 * Instr.size * List.length image.Image.exports)

@@ -54,11 +54,17 @@ val to_linear : t -> int -> int
 
 (** {2 Loading and invoking} *)
 
-val insmod : t -> Image.t -> kmodule
+val insmod : ?require_termination:bool -> t -> Image.t -> kmodule
 (** Load a module into the segment: place text+data at segment offsets,
     generate per-export Transfer stubs (in-segment) and KPrepare stubs
     (kernel text), and register the exports in the EFT.  Detects the
-    well-known shared-area symbol. *)
+    well-known shared-area symbol.
+
+    The image text first passes the load-time verifier under the
+    global [Verify.policy] ([Pconfig.verify_policy]); under [Reject]
+    an unsafe image raises [Verify.Rejected].  [require_termination]
+    (default false) additionally rejects any CFG back edge — used for
+    BPF-derived packet filters, which must provably terminate. *)
 
 val module_symbol : kmodule -> string -> int option
 

@@ -16,8 +16,28 @@ type t = {
 let kernel t = t.kernel
 
 (* Load an image into kernel memory proper: text and data are
-   addressed through the normal kernel segments. *)
+   addressed through the normal kernel segments.
+
+   Kmod code *is* kernel code (that is the baseline's whole problem),
+   so verification runs with a permissive profile: no privileged-
+   instruction lint, indirect near transfers allowed, the full kernel
+   window as the region.  CFG decode and stack discipline still apply,
+   which catches plainly malformed modules at load time. *)
 let insmod kernel (image : Image.t) =
+  (if !Verify.policy <> Verify.Off then
+     let data_names =
+       List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
+       @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
+     in
+     let externs name =
+       List.mem name data_names || List.mem name image.Image.imports
+     in
+     Verify.enforce ~mechanism:"insmod"
+       (Verify.verify ~entries:image.Image.exports ~externs
+          ~region:(0, X86.Layout.kernel_limit + 1)
+          ~allowed_far:(fun _ -> true)
+          ~allow_near_indirect:true ~lint_privileged:false
+          ~check_stack:false ~name:image.Image.name image.Image.text));
   let text_bytes = Asm.length_bytes image.Image.text in
   let data_bytes = max (Image.data_bytes image) 4 in
   let text_linear = Kernel.kalloc kernel ~bytes:text_bytes in

@@ -21,3 +21,10 @@ let kernel_ext_segment_bytes = 256 * 1024
 
 (* Default shared-area size inside kernel extension segments. *)
 let kernel_shared_area_bytes = 8192
+
+(* Load-time verification policy applied by the loaders
+   (Kernel_ext.insmod / Kmod.insmod / Dyld.dlopen with
+   extension-segment placement): [Off], [Warn] (default; verdicts on
+   stderr and in the verify.* counters) or [Reject] (unsafe images
+   raise [Verify.Rejected]).  See lib/verify and DESIGN.md. *)
+let verify_policy : Verify.policy ref = Verify.policy

@@ -69,6 +69,28 @@ let plt_stubs (image : Image.t) ~got_base =
 
 let dlopen ?(placement = shared_library) ~(kernel : Kernel.t) ~(task : Task.t)
     ~env (image : Image.t) =
+  (* User extensions (extension-segment placement) pass through the
+     load-time verifier before any address space is touched.  Only the
+     author's text is analysed: the PLT stubs appended below are
+     loader-generated [Jmp_ind]s and must not be linted.  Far calls are
+     left to the hardware gates ([allowed_far] is universal): at user
+     level an unvetted selector faults on its own. *)
+  (if placement.text_kind = Vm_area.Ext_code && !Verify.policy <> Verify.Off
+   then
+     let data_names =
+       List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
+       @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
+     in
+     let externs name =
+       List.mem name image.Image.imports
+       || List.mem name data_names
+       || lookup env name <> None
+     in
+     Verify.enforce ~mechanism:"seg_dlopen"
+       (Verify.verify ~entries:image.Image.exports ~externs
+          ~region:(0, X86.Layout.user_limit + 1)
+          ~allowed_far:(fun _ -> true)
+          ~name:image.Image.name image.Image.text));
   env.load_count <- env.load_count + 1;
   let asp = task.Task.asp in
   let n_imports = List.length image.Image.imports in

@@ -17,7 +17,7 @@
 
 let schema_version = "palladium.bench.v1"
 
-let file_name name = "BENCH_" ^ name ^ ".json"
+let file_name ?(prefix = "BENCH_") name = prefix ^ name ^ ".json"
 
 let counters_json pairs = Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) pairs)
 
@@ -51,9 +51,9 @@ let document ~name ?since ?histogram ~body () =
     | Some s -> [ ("counters_delta", counters_json (Counters.delta ~since:s)) ]
     | None -> [])
 
-let write ~dir ~name ?since ?histogram ~body () =
+let write ~dir ?prefix ~name ?since ?histogram ~body () =
   let doc = document ~name ?since ?histogram ~body () in
-  let path = Filename.concat dir (file_name name) in
+  let path = Filename.concat dir (file_name ?prefix name) in
   let oc = open_out path in
   output_string oc (Json.pretty doc);
   close_out oc;

@@ -4,8 +4,9 @@
 
 val schema_version : string
 
-val file_name : string -> string
-(** ["BENCH_" ^ name ^ ".json"]. *)
+val file_name : ?prefix:string -> string -> string
+(** [prefix ^ name ^ ".json"]; the prefix defaults to ["BENCH_"]
+    (the verifier artifacts use ["VERIFY_"]). *)
 
 val measurement :
   ?stddev:float -> ?paper:Json.t -> Json.t -> Json.t
@@ -25,6 +26,7 @@ val document :
 
 val write :
   dir:string ->
+  ?prefix:string ->
   name:string ->
   ?since:(string * int) list ->
   ?histogram:string * Histogram.t ->

@@ -5,6 +5,12 @@
 
 type policy = Write_only | Read_write
 
+type mode =
+  | Full  (** guard every qualifying access *)
+  | Verified
+      (** consult the load-time verifier ([Verify.proved_instrs]) and
+          elide guards on accesses proven inside the region *)
+
 type region = { base : int; size : int }
 
 val check_region : region -> unit
@@ -16,14 +22,40 @@ val mask : region -> int
 val scratch : Reg.t
 (** The register spilled around each guarded access. *)
 
+val scratch2 : Reg.t
+(** Fallback scratch when the guarded instruction reads {!scratch}. *)
+
 val rewrite_instr : policy -> region -> Instr.t -> Asm.item list
 (** Raises [Invalid_argument] on indirect control flow (not
-    sandboxable in this scheme). *)
+    sandboxable in this scheme) and on [xchg mem, mem]. *)
 
-val rewrite_program : policy -> region -> Asm.program -> Asm.program
+val rewrite_program :
+  ?mode:mode ->
+  ?entries:string list ->
+  ?externs:(string -> bool) ->
+  ?arg:int * int ->
+  policy ->
+  region ->
+  Asm.program ->
+  Asm.program
+(** [mode] defaults to [Full].  Under [Verified], [entries]/[externs]/
+    [arg] are handed to the verifier (see [Verify.verify]); guards are
+    elided only on instructions whose every access is proved inside
+    the region, so an undecodable program degrades to full guarding. *)
 
-val sandbox_image : policy -> region -> Image.t -> Image.t
-(** Rewrite an image's text; data/exports unchanged. *)
+val sandbox_image :
+  ?mode:mode -> ?arg:int * int -> policy -> region -> Image.t -> Image.t
+(** Rewrite an image's text; data/exports unchanged.  The image's
+    exports and symbols seed the verifier in [Verified] mode. *)
 
-val inserted_instructions : policy -> Asm.program -> int
-(** Static guard-instruction overhead, for reporting. *)
+val inserted_instructions :
+  ?mode:mode ->
+  ?entries:string list ->
+  ?externs:(string -> bool) ->
+  ?arg:int * int ->
+  ?region:region ->
+  policy ->
+  Asm.program ->
+  int
+(** Static guard-instruction overhead, for reporting.  The default
+    region is a 1 MiB sandbox at 0. *)

@@ -1,0 +1,159 @@
+(* Abstract value domain for the load-time verifier: saturated integer
+   intervals, plus a relational band for stack-pointer-derived values
+   ([Sp (lo, hi)] means entry-ESP + delta with delta in [lo, hi]).
+   Keeping ESP symbolic is what lets the analysis both check stack
+   discipline (ESP must be back at entry-ESP + 0 on [Ret]) and avoid
+   mistaking stack traffic for region traffic.
+
+   Soundness note: the simulated CPU wraps arithmetic at 2^32 only on
+   memory writes, and effective addresses are computed in OCaml ints.
+   The interval transfer functions below therefore work in unbounded
+   (saturated) integers; an operation whose concrete result could reach
+   2^32 yields an interval that is not contained in any extension
+   region, so bound proofs can never be fooled by wrap-around. *)
+
+type t =
+  | Bot
+  | Itv of int * int (* [lo, hi], saturated at +-inf_bound *)
+  | Sp of int * int (* entry ESP + delta, delta in [lo, hi] *)
+  | Top
+
+(* Saturation bound: far beyond any address or counter the simulator
+   can produce, small enough that sums never overflow OCaml ints. *)
+let inf_bound = 1 lsl 40
+
+let clamp x = if x > inf_bound then inf_bound else if x < -inf_bound then -inf_bound else x
+
+let itv lo hi = if lo > hi then Bot else Itv (clamp lo, clamp hi)
+
+let const k = itv k k
+
+let sp lo hi = if lo > hi then Bot else Sp (clamp lo, clamp hi)
+
+let top = Top
+
+let byte = Itv (0, 255)
+
+let is_bot = function Bot -> true | _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Itv (a1, a2), Itv (b1, b2) | Sp (a1, a2), Sp (b1, b2) -> a1 = b1 && a2 = b2
+  | _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Itv (a1, a2), Itv (b1, b2) -> Itv (min a1 b1, max a2 b2)
+  | Sp (a1, a2), Sp (b1, b2) -> Sp (min a1 b1, max a2 b2)
+  | Itv _, Sp _ | Sp _, Itv _ -> Top
+
+(* Classic interval widening: bounds that grew jump to the saturation
+   limit, guaranteeing fixpoint termination on loops. *)
+let widen old next =
+  match (old, next) with
+  | Bot, x -> x
+  | _, Bot -> old
+  | Top, _ | _, Top -> Top
+  | Itv (a1, a2), Itv (b1, b2) ->
+      Itv ((if b1 < a1 then -inf_bound else a1), if b2 > a2 then inf_bound else a2)
+  | Sp (a1, a2), Sp (b1, b2) ->
+      Sp ((if b1 < a1 then -inf_bound else a1), if b2 > a2 then inf_bound else a2)
+  | Itv _, Sp _ | Sp _, Itv _ -> Top
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, _ | _, Top -> Top
+  | Itv (a1, a2), Itv (b1, b2) -> itv (a1 + b1) (a2 + b2)
+  | Sp (a1, a2), Itv (b1, b2) | Itv (b1, b2), Sp (a1, a2) -> sp (a1 + b1) (a2 + b2)
+  | Sp _, Sp _ -> Top
+
+let neg = function
+  | Bot -> Bot
+  | Top -> Top
+  | Itv (l, h) -> itv (-h) (-l)
+  | Sp _ -> Top
+
+let sub a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Sp (a1, a2), Itv (b1, b2) -> sp (a1 - b2) (a2 - b1)
+  | _ -> add a (neg b)
+
+let nonneg = function Itv (l, _) -> l >= 0 | _ -> false
+
+(* x land m with constant m >= 0 lies in [0, m] for ANY x, including
+   stack-relative values — this rule is what lets the analysis prove
+   that an SFI and/or coercion pins an address into the region.  The
+   identity refinement (x land m = x) is only valid when m is an
+   all-ones mask covering x. *)
+let all_ones m = m >= 0 && m land (m + 1) = 0
+
+let band a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | x, Itv (m, m') when m = m' && m >= 0 -> (
+      match x with
+      | Itv (l, h) when l >= 0 && h <= m && all_ones m -> x
+      | _ -> itv 0 m)
+  | Itv (m, m'), x when m = m' && m >= 0 -> (
+      match x with
+      | Itv (l, h) when l >= 0 && h <= m && all_ones m -> x
+      | _ -> itv 0 m)
+  | x, y when nonneg x && nonneg y ->
+      let hi = function Itv (_, h) -> h | _ -> assert false in
+      itv 0 (min (hi x) (hi y))
+  | _ -> Top
+
+(* x lor y <= x + y for non-negative operands; the low bound is the
+   larger of the two low bounds. *)
+let bor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, a2), Itv (b1, b2) when a1 >= 0 && b1 >= 0 -> itv (max a1 b1) (a2 + b2)
+  | _ -> Top
+
+let bxor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, a2), Itv (b1, b2) when a1 >= 0 && b1 >= 0 -> itv 0 (a2 + b2)
+  | _ -> Top
+
+(* Shifts and multiplies can reach 2^32 and wrap on the concrete CPU's
+   memory path; any result that could do so degrades to Top rather than
+   claiming a (wrong) large interval. *)
+let wrap_limit = 1 lsl 32
+
+let shl a n =
+  match a with
+  | Bot -> Bot
+  | Itv (l, h) when l >= 0 && n >= 0 && n < 32 && h lsl n < wrap_limit -> itv (l lsl n) (h lsl n)
+  | _ -> Top
+
+let shr a n =
+  match a with
+  | Bot -> Bot
+  | Itv (l, h) when l >= 0 && n >= 0 && n < 63 -> itv (l asr n) (h asr n)
+  | _ -> Top
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, a2), Itv (b1, b2) when a1 >= 0 && b1 >= 0 && a2 * b2 < wrap_limit ->
+      itv (a1 * b1) (a2 * b2)
+  | _ -> Top
+
+let pp ppf = function
+  | Bot -> Fmt.string ppf "bot"
+  | Top -> Fmt.string ppf "top"
+  | Itv (l, h) ->
+      if l = h then Fmt.pf ppf "%#x" l
+      else
+        Fmt.pf ppf "[%s, %s]"
+          (if l <= -inf_bound then "-inf" else Printf.sprintf "%#x" l)
+          (if h >= inf_bound then "+inf" else Printf.sprintf "%#x" h)
+  | Sp (l, h) ->
+      if l = h then Fmt.pf ppf "sp%+d" l else Fmt.pf ppf "sp+[%d, %d]" l h

@@ -1,0 +1,659 @@
+(* Load-time extension verifier: CFG checks + fixpoint abstract
+   interpretation (interval domain, Vdomain) over the simulated IA-32
+   subset.  Palladium itself confines extensions with runtime hardware
+   checks; this pass rejects (or warns about) unsafe images *before*
+   they run, and proves SFI guards redundant where the bounds are
+   statically evident (the [Sfi.Verified] fast path).
+
+   The verifier analyses the raw [Asm.program] an extension author
+   supplies — before assembly and before any loader appends transfer or
+   PLT stubs — so trusted loader-generated code (which legitimately
+   contains [Mov_to_sreg] / [Lcall] / [Jmp_ind]) is never linted. *)
+
+module IMap = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type check = Cfg | Bounds | Privileged | Indirect | Stack | Termination
+
+type severity = Info | Error
+
+type diag = {
+  d_check : check;
+  d_severity : severity;
+  d_index : int option; (* instruction index, when attributable *)
+  d_msg : string;
+}
+
+type access_class =
+  | Proved (* whole access provably inside the region *)
+  | Stack_rel (* stack-pointer-relative: confined by SS, not the region *)
+  | Runtime (* not statically bounded; hardware checks it at run time *)
+  | Oob (* provably outside the region: always faults *)
+
+type access = {
+  a_index : int;
+  a_write : bool;
+  a_size : int;
+  a_ea : Vdomain.t; (* abstract effective address *)
+  a_class : access_class;
+}
+
+type report = {
+  r_name : string;
+  r_instrs : int;
+  r_blocks : int;
+  r_diags : diag list;
+  r_accesses : access list;
+  r_back_edges : int;
+  r_unreachable : int;
+}
+
+let check_name = function
+  | Cfg -> "cfg"
+  | Bounds -> "bounds"
+  | Privileged -> "privileged"
+  | Indirect -> "indirect"
+  | Stack -> "stack"
+  | Termination -> "termination"
+
+let class_name = function
+  | Proved -> "proved"
+  | Stack_rel -> "stack"
+  | Runtime -> "runtime"
+  | Oob -> "oob"
+
+let errors report = List.filter (fun d -> d.d_severity = Error) report.r_diags
+
+let ok report = errors report = []
+
+(* ------------------------------------------------------------------ *)
+(* Abstract machine state                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Registers plus the statically-tracked stack cells.  Cells are keyed
+   by their offset from the routine's entry ESP and only exist while
+   ESP is tracked exactly; anything else reads as Top. *)
+type state = { regs : Vdomain.t array; cells : Vdomain.t IMap.t }
+
+let esp_i = Reg.index Reg.ESP
+
+let routine_state ?arg () =
+  let regs = Array.make Reg.count Vdomain.top in
+  regs.(esp_i) <- Vdomain.sp 0 0;
+  let cells =
+    match arg with
+    | Some (lo, hi) -> IMap.singleton 4 (Vdomain.itv lo hi)
+    | None -> IMap.empty
+  in
+  { regs; cells }
+
+let equal_state a b =
+  (try
+     Array.iter2 (fun x y -> if not (Vdomain.equal x y) then raise Exit) a.regs b.regs;
+     true
+   with Exit -> false)
+  && IMap.equal Vdomain.equal a.cells b.cells
+
+(* Cells missing from either side join to Top, i.e. the key vanishes. *)
+let merge_cells f a b =
+  IMap.merge
+    (fun _ x y -> match (x, y) with Some x, Some y -> Some (f x y) | _ -> None)
+    a b
+
+let join_state a b =
+  {
+    regs = Array.map2 Vdomain.join a.regs b.regs;
+    cells = merge_cells Vdomain.join a.cells b.cells;
+  }
+
+let widen_state old next =
+  {
+    regs = Array.map2 Vdomain.widen old.regs next.regs;
+    cells = merge_cells Vdomain.widen old.cells next.cells;
+  }
+
+let reg st r = st.regs.(Reg.index r)
+
+let set_reg st r v =
+  let regs = Array.copy st.regs in
+  regs.(Reg.index r) <- v;
+  { st with regs }
+
+let havoc_call st =
+  {
+    regs = Array.init Reg.count (fun i -> if i = esp_i then st.regs.(i) else Vdomain.top);
+    cells = IMap.empty; (* the callee may overwrite spilled state *)
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Transfer function                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ea st (m : Operand.mem) =
+  let base = match m.Operand.base with Some r -> reg st r | None -> Vdomain.const 0 in
+  let index =
+    match m.Operand.index with
+    | Some (r, scale) -> Vdomain.mul (reg st r) (Vdomain.const scale)
+    | None -> Vdomain.const 0
+  in
+  Vdomain.add (Vdomain.add base index) (Vdomain.const m.Operand.disp)
+
+let load st a ~size =
+  if size = 1 then Vdomain.byte
+  else
+    match a with
+    | Vdomain.Sp (o, o') when o = o' -> (
+        match IMap.find_opt o st.cells with Some v -> v | None -> Vdomain.top)
+    | _ -> Vdomain.top
+
+(* A byte store into a tracked 4-byte cell corrupts it partially: the
+   cell degrades to Top (key removed) rather than taking the value. *)
+let store st a v ~size =
+  match a with
+  | Vdomain.Sp (o, o') when o = o' ->
+      if size = 1 then { st with cells = IMap.remove o st.cells }
+      else { st with cells = IMap.add o v st.cells }
+  | Vdomain.Sp _ -> { st with cells = IMap.empty }
+  | _ -> st
+
+let value_of record i st ~size (o : Operand.t) =
+  match o with
+  | Operand.Reg r -> reg st r
+  | Operand.Imm k -> Vdomain.const k
+  | Operand.Sym _ -> Vdomain.top (* loader-resolved absolute *)
+  | Operand.Mem m ->
+      let a = ea st m in
+      record i ~write:false ~size a;
+      load st a ~size
+
+let write record i st ~size (o : Operand.t) v =
+  match o with
+  | Operand.Reg r -> set_reg st r v
+  | Operand.Mem m ->
+      let a = ea st m in
+      record i ~write:true ~size a;
+      store st a v ~size
+  | Operand.Imm _ | Operand.Sym _ -> st (* malformed; the CPU faults *)
+
+(* Pushes and pops through a hijacked (non-stack-relative) ESP are
+   recorded as ordinary memory accesses so a [Mov esp, addr; Push]
+   escape is still bounds-checked. *)
+let do_push record i st v =
+  let esp1 = Vdomain.sub (reg st Reg.ESP) (Vdomain.const 4) in
+  (match esp1 with Vdomain.Sp _ -> () | a -> record i ~write:true ~size:4 a);
+  let st = set_reg st Reg.ESP esp1 in
+  match esp1 with
+  | Vdomain.Sp (o, o') when o = o' -> { st with cells = IMap.add o v st.cells }
+  | Vdomain.Sp _ -> { st with cells = IMap.empty }
+  | _ -> st
+
+let top_of_stack record i st =
+  match reg st Reg.ESP with
+  | Vdomain.Sp (o, o') when o = o' -> (
+      match IMap.find_opt o st.cells with Some v -> v | None -> Vdomain.top)
+  | Vdomain.Sp _ -> Vdomain.top
+  | a ->
+      record i ~write:false ~size:4 a;
+      Vdomain.top
+
+let transfer ~record ~ret_check i st (instr : Instr.t) : state =
+  let value = value_of record i st in
+  let rmw o f =
+    let v = f (value ~size:4 o) in
+    write record i st ~size:4 o v
+  in
+  match instr with
+  | Instr.Mov (dst, src) -> write record i st ~size:4 dst (value ~size:4 src)
+  | Instr.Movb (dst, src) -> (
+      let v = value ~size:1 src in
+      match dst with
+      | Operand.Reg _ ->
+          (* the CPU zero-extends byte moves into registers *)
+          write record i st ~size:1 dst (Vdomain.band v (Vdomain.const 0xff))
+      | _ -> write record i st ~size:1 dst v)
+  | Instr.Lea (r, m) -> set_reg st r (ea st m) (* no memory access *)
+  | Instr.Push o -> do_push record i st (value ~size:4 o)
+  | Instr.Push_sreg _ -> do_push record i st Vdomain.top
+  | Instr.Pop (Operand.Reg Reg.ESP) ->
+      ignore (top_of_stack record i st);
+      set_reg st Reg.ESP Vdomain.top
+  | Instr.Pop o ->
+      let v = top_of_stack record i st in
+      (* the destination EA is computed with the pre-pop ESP *)
+      let st = write record i st ~size:4 o v in
+      set_reg st Reg.ESP (Vdomain.add (reg st Reg.ESP) (Vdomain.const 4))
+  | Instr.Mov_to_sreg (_, o) ->
+      ignore (value ~size:4 o);
+      st
+  | Instr.Mov_from_sreg (o, _) -> write record i st ~size:4 o Vdomain.top
+  | Instr.Alu (op, dst, src) ->
+      let b = value ~size:4 src in
+      let f =
+        match op with
+        | Instr.Add -> fun a -> Vdomain.add a b
+        | Instr.Sub -> fun a -> Vdomain.sub a b
+        | Instr.And -> fun a -> Vdomain.band a b
+        | Instr.Or -> fun a -> Vdomain.bor a b
+        | Instr.Xor -> fun a -> Vdomain.bxor a b
+      in
+      rmw dst f
+  | Instr.Cmp (a, b) | Instr.Test (a, b) ->
+      ignore (value ~size:4 a);
+      ignore (value ~size:4 b);
+      st
+  | Instr.Inc o -> rmw o (fun v -> Vdomain.add v (Vdomain.const 1))
+  | Instr.Dec o -> rmw o (fun v -> Vdomain.sub v (Vdomain.const 1))
+  | Instr.Neg o -> rmw o Vdomain.neg
+  | Instr.Not o -> rmw o (fun _ -> Vdomain.top)
+  | Instr.Shl (o, n) -> rmw o (fun v -> Vdomain.shl v n)
+  | Instr.Shr (o, n) -> rmw o (fun v -> Vdomain.shr v n)
+  | Instr.Imul (r, o) ->
+      let v = value ~size:4 o in
+      set_reg st r (Vdomain.mul (reg st r) v)
+  | Instr.Xchg (a, b) ->
+      let va = value ~size:4 a and vb = value ~size:4 b in
+      let st = write record i st ~size:4 a vb in
+      write record i st ~size:4 b va
+  | Instr.Call _ | Instr.Lcall _ | Instr.Kcall _ | Instr.Int_ _ -> havoc_call st
+  | Instr.Call_ind o | Instr.Lcall_ind o ->
+      ignore (value ~size:4 o);
+      havoc_call st
+  | Instr.Ret | Instr.Ret_imm _ ->
+      ret_check i (reg st Reg.ESP);
+      st
+  | Instr.Jmp_ind o ->
+      ignore (value ~size:4 o);
+      st
+  | Instr.Jmp _ | Instr.Jcc _ | Instr.Lret | Instr.Lret_imm _ | Instr.Iret | Instr.Hlt
+  | Instr.Nop | Instr.Mark _ | Instr.Work _ ->
+      st
+
+(* ------------------------------------------------------------------ *)
+(* Static lints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let operands_of : Instr.t -> Operand.t list = function
+  | Instr.Mov (a, b)
+  | Instr.Movb (a, b)
+  | Instr.Alu (_, a, b)
+  | Instr.Cmp (a, b)
+  | Instr.Test (a, b)
+  | Instr.Xchg (a, b) ->
+      [ a; b ]
+  | Instr.Push o
+  | Instr.Pop o
+  | Instr.Inc o
+  | Instr.Dec o
+  | Instr.Neg o
+  | Instr.Not o
+  | Instr.Shl (o, _)
+  | Instr.Shr (o, _)
+  | Instr.Mov_to_sreg (_, o)
+  | Instr.Mov_from_sreg (o, _)
+  | Instr.Imul (_, o)
+  | Instr.Call_ind o
+  | Instr.Jmp_ind o
+  | Instr.Lcall_ind o ->
+      [ o ]
+  | Instr.Lea _ | Instr.Push_sreg _ | Instr.Call _ | Instr.Ret | Instr.Ret_imm _
+  | Instr.Jmp _ | Instr.Jcc _ | Instr.Lcall _ | Instr.Lret | Instr.Lret_imm _
+  | Instr.Int_ _ | Instr.Iret | Instr.Hlt | Instr.Nop | Instr.Mark _ | Instr.Kcall _
+  | Instr.Work _ ->
+      []
+
+let privileged_of : Instr.t -> string option = function
+  | Instr.Mov_to_sreg (sr, _) ->
+      Some (Printf.sprintf "writes segment register %s" (Reg.sreg_name sr))
+  | Instr.Lret | Instr.Lret_imm _ -> Some "far return (inter-segment transfer)"
+  | Instr.Int_ v -> Some (Printf.sprintf "software interrupt int %#x" v)
+  | Instr.Iret -> Some "interrupt return"
+  | Instr.Hlt -> Some "privileged opcode hlt"
+  | Instr.Kcall s -> Some (Printf.sprintf "kernel upcall %s" s)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Main entry                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let classify ~region:(lo, hi) ~size (a : Vdomain.t) : access_class =
+  match a with
+  | Vdomain.Sp _ -> Stack_rel
+  | Vdomain.Itv (l, h) ->
+      if l >= lo && h + size <= hi then Proved
+      else if h < lo || l + size > hi then Oob
+      else Runtime
+  | Vdomain.Top -> Runtime
+  | Vdomain.Bot -> Proved (* dead state: vacuously safe *)
+
+let max_widen_delay = 4
+
+let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0, 1 lsl 32))
+    ?arg ?(allowed_far = fun _ -> false) ?(allow_far_indirect = true)
+    ?(allow_near_indirect = false) ?(lint_privileged = true) ?(require_termination = false)
+    ?(check_stack = true) ~name (program : Asm.program) : report =
+  let cfg = Vcfg.build ~org ~externs program in
+  let n = Vcfg.n_instrs cfg in
+  let nb = Vcfg.n_blocks cfg in
+  let diags = ref [] in
+  let diag ?index check severity fmt =
+    Printf.ksprintf
+      (fun msg -> diags := { d_check = check; d_severity = severity; d_index = index; d_msg = msg } :: !diags)
+      fmt
+  in
+  (* --- CFG well-formedness ---------------------------------------- *)
+  List.iter (fun l -> diag Cfg Error "duplicate label %s" l) cfg.Vcfg.dup_labels;
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt cfg.Vcfg.labels e with
+      | Some i when i < n -> ()
+      | Some _ -> diag Cfg Error "entry symbol %s marks the end of the text" e
+      | None -> diag Cfg Error "entry symbol %s is not defined" e)
+    entries;
+  Array.iteri
+    (fun i instr ->
+      (match Vcfg.flow_of instr with
+      | Vcfg.Jump tgt | Vcfg.Branch tgt | Vcfg.Call_to tgt -> (
+          match Vcfg.resolve cfg tgt with
+          | Vcfg.Invalid why -> diag ~index:i Cfg Error "%s" why
+          | Vcfg.Local _ | Vcfg.External _ -> ())
+      | _ -> ());
+      List.iter
+        (function
+          | Operand.Sym s ->
+              if not (Hashtbl.mem cfg.Vcfg.labels s || externs s) then
+                diag ~index:i Cfg Error "unresolved symbol %s" s
+          | _ -> ())
+        (operands_of instr);
+      (* --- instruction lints -------------------------------------- *)
+      (if lint_privileged then
+         match privileged_of instr with
+         | Some why -> diag ~index:i Privileged Error "%s" why
+         | None -> ());
+      match instr with
+      | Instr.Jmp_ind _ | Instr.Call_ind _ ->
+          if allow_near_indirect then
+            diag ~index:i Indirect Info "indirect near transfer (policy: allowed)"
+          else diag ~index:i Indirect Error "indirect near transfer to a computed address"
+      | Instr.Lcall_ind _ ->
+          if allow_far_indirect then
+            diag ~index:i Indirect Info "indirect far call (vetted by hardware gates)"
+          else diag ~index:i Indirect Error "indirect far call to a computed selector"
+      | Instr.Lcall sel ->
+          if not (allowed_far sel) then
+            diag ~index:i Indirect Error "far call to unvetted selector %#x" sel
+      | _ -> ())
+    cfg.Vcfg.instrs;
+  (* --- reachability and termination -------------------------------- *)
+  let entry_bs = Vcfg.entry_blocks cfg ~entries in
+  let call_bs = Vcfg.call_entry_blocks cfg in
+  let roots = List.sort_uniq compare (entry_bs @ call_bs) in
+  let reachable, back_edges = Vcfg.dfs cfg ~roots in
+  let unreachable = ref 0 in
+  Array.iteri
+    (fun bi r ->
+      if not r then begin
+        incr unreachable;
+        diag ~index:cfg.Vcfg.blocks.(bi).Vcfg.b_start Cfg Info "unreachable code"
+      end)
+    reachable;
+  Array.iter
+    (fun (b : Vcfg.block) ->
+      if b.Vcfg.b_falls_off && reachable.(b.Vcfg.b_id) then
+        diag ~index:(b.Vcfg.b_start + b.Vcfg.b_len - 1) Cfg Error
+          "control can run past the end of the text")
+    cfg.Vcfg.blocks;
+  let n_back = List.length back_edges in
+  if require_termination && n_back > 0 then
+    diag Termination Error "CFG has %d back edge%s: termination is not provable" n_back
+      (if n_back = 1 then "" else "s")
+  else if n_back > 0 then diag Termination Info "CFG has %d back edge%s (loops allowed)" n_back (if n_back = 1 then "" else "s");
+  (* --- fixpoint abstract interpretation ----------------------------- *)
+  let accesses = ref [] in
+  if n > 0 then begin
+    let in_states : state option array = Array.make nb None in
+    let pending = Array.make nb false in
+    let visits = Array.make nb 0 in
+    let q = Queue.create () in
+    let enqueue b =
+      if not pending.(b) then begin
+        pending.(b) <- true;
+        Queue.add b q
+      end
+    in
+    let seed b st =
+      match in_states.(b) with
+      | None ->
+          in_states.(b) <- Some st;
+          enqueue b
+      | Some old ->
+          let j = join_state old st in
+          if not (equal_state j old) then begin
+            visits.(b) <- visits.(b) + 1;
+            let j = if visits.(b) > max_widen_delay then widen_state old j else j in
+            in_states.(b) <- Some j;
+            enqueue b
+          end
+    in
+    (* Exported entries start a fresh frame with the declared argument
+       interval at [esp+4]; blocks entered by an internal near call
+       start a fresh frame with an unconstrained argument. *)
+    List.iter (fun b -> seed b (routine_state ?arg ())) entry_bs;
+    List.iter (fun b -> seed b (routine_state ())) call_bs;
+    let no_record _ ~write:_ ~size:_ _ = () in
+    let no_ret _ _ = () in
+    let run_block ~record ~ret_check (b : Vcfg.block) st0 =
+      let st = ref st0 in
+      for i = b.Vcfg.b_start to b.Vcfg.b_start + b.Vcfg.b_len - 1 do
+        st := transfer ~record ~ret_check i !st cfg.Vcfg.instrs.(i)
+      done;
+      !st
+    in
+    while not (Queue.is_empty q) do
+      let b = Queue.pop q in
+      pending.(b) <- false;
+      match in_states.(b) with
+      | None -> ()
+      | Some st_in ->
+          let out = run_block ~record:no_record ~ret_check:no_ret cfg.Vcfg.blocks.(b) st_in in
+          List.iter (fun s -> seed s out) cfg.Vcfg.blocks.(b).Vcfg.b_succs
+    done;
+    (* Final pass from the fixed entry states: record accesses, check
+       stack discipline at returns. *)
+    let region_lo, region_hi = region in
+    let record i ~write ~size a =
+      let cls = classify ~region ~size a in
+      accesses := { a_index = i; a_write = write; a_size = size; a_ea = a; a_class = cls } :: !accesses;
+      if cls = Oob then
+        diag ~index:i Bounds Error "%s of %d byte%s at %a provably outside [%#x, %#x)"
+          (if write then "store" else "load")
+          size
+          (if size = 1 then "" else "s")
+          (fun () v -> Fmt.str "%a" Vdomain.pp v)
+          a region_lo region_hi
+    in
+    let ret_check i esp =
+      match esp with
+      | Vdomain.Sp (0, 0) -> ()
+      | v ->
+          (* callers that opt out (trusted kernel modules, whose
+             non-local exits cross routine frames) still get the
+             verdict, just not as an error *)
+          diag ~index:i Stack
+            (if check_stack then Error else Info)
+            "return with unbalanced stack (esp = %s, expected sp+0)"
+            (Fmt.str "%a" Vdomain.pp v)
+    in
+    Array.iteri
+      (fun bi st -> match st with Some st -> ignore (run_block ~record ~ret_check cfg.Vcfg.blocks.(bi) st) | None -> ())
+      in_states
+  end;
+  {
+    r_name = name;
+    r_instrs = n;
+    r_blocks = nb;
+    r_diags = List.rev !diags;
+    r_accesses = List.rev !accesses;
+    r_back_edges = n_back;
+    r_unreachable = !unreachable;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let count_class report cls = List.length (List.filter (fun a -> a.a_class = cls) report.r_accesses)
+
+let pp_diag ppf d =
+  let sev = match d.d_severity with Info -> "info" | Error -> "ERROR" in
+  match d.d_index with
+  | Some i -> Fmt.pf ppf "[%s] %s @%d: %s" (check_name d.d_check) sev i d.d_msg
+  | None -> Fmt.pf ppf "[%s] %s: %s" (check_name d.d_check) sev d.d_msg
+
+let pp_report ppf r =
+  Fmt.pf ppf "verify %s: %s (%d instrs, %d blocks)@." r.r_name
+    (if ok r then "OK" else "REJECT")
+    r.r_instrs r.r_blocks;
+  Fmt.pf ppf "  accesses: %d proved, %d stack-relative, %d runtime-checked, %d out-of-bounds@."
+    (count_class r Proved) (count_class r Stack_rel) (count_class r Runtime) (count_class r Oob);
+  Fmt.pf ppf "  back edges: %d; unreachable blocks: %d@." r.r_back_edges r.r_unreachable;
+  List.iter (fun d -> Fmt.pf ppf "  %a@." pp_diag d) r.r_diags
+
+let report_json r =
+  let module J = Obs.Json in
+  let check_status c =
+    if List.exists (fun d -> d.d_severity = Error && d.d_check = c) r.r_diags then "error" else "ok"
+  in
+  J.Obj
+    [
+      ("image", J.String r.r_name);
+      ("ok", J.Bool (ok r));
+      ("instrs", J.Int r.r_instrs);
+      ("blocks", J.Int r.r_blocks);
+      ("back_edges", J.Int r.r_back_edges);
+      ("unreachable_blocks", J.Int r.r_unreachable);
+      ( "accesses",
+        J.Obj
+          (List.map
+             (fun c -> (class_name c, J.Int (count_class r c)))
+             [ Proved; Stack_rel; Runtime; Oob ]) );
+      ( "checks",
+        J.Obj
+          (List.map
+             (fun c -> (check_name c, J.String (check_status c)))
+             [ Cfg; Bounds; Privileged; Indirect; Stack; Termination ]) );
+      ( "diagnostics",
+        J.List
+          (List.map
+             (fun d ->
+               J.Obj
+                 [
+                   ("check", J.String (check_name d.d_check));
+                   ("severity", J.String (match d.d_severity with Info -> "info" | Error -> "error"));
+                   ("index", match d.d_index with Some i -> J.Int i | None -> J.Null);
+                   ("msg", J.String d.d_msg);
+                 ])
+             r.r_diags) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Policy and enforcement                                              *)
+(* ------------------------------------------------------------------ *)
+
+type policy = Off | Warn | Reject
+
+(* Default Warn: existing workloads (including the fault-injection
+   examples, which load deliberately rogue images) keep running, with
+   the verdict on stderr and in the counters. *)
+let policy : policy ref = ref Warn
+
+exception Rejected of string * report
+
+let c_images = Obs.Counters.counter "verify.images"
+
+let c_rejected = Obs.Counters.counter "verify.rejected"
+
+let c_warned = Obs.Counters.counter "verify.warned"
+
+let c_proved = Obs.Counters.counter "verify.accesses_proved"
+
+let enforce ~mechanism report =
+  match !policy with
+  | Off -> ()
+  | (Warn | Reject) as p ->
+      Obs.Counters.incr c_images;
+      Obs.Counters.add c_proved (count_class report Proved);
+      if not (ok report) then
+        if p = Reject then begin
+          Obs.Counters.incr c_rejected;
+          raise (Rejected (report.r_name, report))
+        end
+        else begin
+          Obs.Counters.incr c_warned;
+          Fmt.epr "palladium-verify[%s]: unsafe image %s:@.%a" mechanism report.r_name
+            (fun ppf r -> List.iter (fun d -> Fmt.pf ppf "  %a@." pp_diag d) (errors r))
+            report
+        end
+
+(* ------------------------------------------------------------------ *)
+(* SFI integration                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sfi_profile ?entries ?externs ?arg ~region ~name program =
+  verify ?entries ?externs ?arg ~region ~lint_privileged:false ~allow_near_indirect:true
+    ~allowed_far:(fun _ -> true) ~name program
+
+let cfg_broken report =
+  List.exists (fun d -> d.d_severity = Error && d.d_check = Cfg) report.r_diags
+
+(* [proved_instrs ... program] returns a predicate on instruction
+   indices (counting [Asm.I] items): true iff *every* memory access of
+   that instruction is provably inside [region], so an SFI guard on it
+   is redundant.  Conservative fallbacks: if the CFG does not decode,
+   or the program contains indirect near control flow (which would
+   invalidate the per-instruction states), nothing is proved. *)
+let proved_instrs ?entries ?externs ?arg ~region (program : Asm.program) =
+  let r = sfi_profile ?entries ?externs ?arg ~region ~name:"sfi-proof" program in
+  let indirect =
+    List.exists (function Asm.I (Instr.Jmp_ind _ | Instr.Call_ind _) -> true | _ -> false) program
+  in
+  if cfg_broken r || indirect then fun _ -> false
+  else begin
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun a ->
+        let so_far = match Hashtbl.find_opt tbl a.a_index with Some b -> b | None -> true in
+        Hashtbl.replace tbl a.a_index (so_far && a.a_class = Proved))
+      r.r_accesses;
+    fun i -> match Hashtbl.find_opt tbl i with Some true -> true | _ -> false
+  end
+
+(* "All stores guarded": every explicit or implicit store in [program]
+   must be stack-relative (confined by SS) or have an address provably
+   inside [region].  This is the SFI containment property — note the
+   *address* must be in the region (a word store at the last region
+   byte pokes up to 3 bytes past, exactly like the runtime coercion),
+   which is weaker than [Proved] for whole-access containment. *)
+let sfi_check ?entries ?externs ?arg ~region (program : Asm.program) =
+  let lo, hi = region in
+  let r = sfi_profile ?entries ?externs ?arg ~region ~name:"sfi-check" program in
+  let indirect =
+    List.exists (function Asm.I (Instr.Jmp_ind _ | Instr.Call_ind _) -> true | _ -> false) program
+  in
+  if cfg_broken r then Stdlib.Error "control flow does not decode statically"
+  else if indirect then Stdlib.Error "indirect near control flow defeats the analysis"
+  else
+    let contained a =
+      match a.a_ea with
+      | Vdomain.Sp _ -> true
+      | Vdomain.Itv (l, h) -> l >= lo && h < hi
+      | Vdomain.Top | Vdomain.Bot -> a.a_ea = Vdomain.Bot
+    in
+    match List.filter (fun a -> a.a_write && not (contained a)) r.r_accesses with
+    | [] -> Stdlib.Ok ()
+    | a :: _ ->
+        Stdlib.Error
+          (Printf.sprintf "instruction %d: store at %s not provably inside [%#x, %#x)" a.a_index
+             (Fmt.str "%a" Vdomain.pp a.a_ea) lo hi)

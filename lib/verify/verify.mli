@@ -1,0 +1,154 @@
+(** Load-time extension verifier.
+
+    Static analysis over a raw [Asm.program] (before assembly, before
+    any loader-generated stubs): control-flow decoding into basic
+    blocks, a catalogue of instruction lints, and a fixpoint abstract
+    interpretation with an interval domain ({!Vdomain}) that bounds
+    every memory operand's effective address against the extension's
+    region.  Loaders call {!verify} + {!enforce} behind the global
+    {!policy}; the SFI rewriter uses {!proved_instrs} to elide guards
+    the analysis proves redundant ([Sfi.Verified]). *)
+
+(** {1 Reports} *)
+
+type check =
+  | Cfg  (** targets resolve, labels unique, no fall-off-the-end *)
+  | Bounds  (** effective addresses vs the extension region *)
+  | Privileged  (** sreg writes, far/interrupt returns, [int], [hlt] *)
+  | Indirect  (** computed near/far transfers, unvetted selectors *)
+  | Stack  (** ESP back at entry depth on every [ret] *)
+  | Termination  (** back edges, when termination is required *)
+
+type severity = Info | Error
+
+type diag = {
+  d_check : check;
+  d_severity : severity;
+  d_index : int option;  (** instruction index, when attributable *)
+  d_msg : string;
+}
+
+type access_class =
+  | Proved  (** whole access provably inside the region *)
+  | Stack_rel  (** stack-relative: confined by SS, not the region *)
+  | Runtime  (** not statically bounded; hardware checks it at run time *)
+  | Oob  (** provably outside the region: always faults *)
+
+type access = {
+  a_index : int;
+  a_write : bool;
+  a_size : int;
+  a_ea : Vdomain.t;
+  a_class : access_class;
+}
+
+type report = {
+  r_name : string;
+  r_instrs : int;
+  r_blocks : int;
+  r_diags : diag list;
+  r_accesses : access list;
+  r_back_edges : int;
+  r_unreachable : int;
+}
+
+val ok : report -> bool
+(** No [Error]-severity diagnostics. *)
+
+val errors : report -> diag list
+
+val check_name : check -> string
+
+val count_class : report -> access_class -> int
+
+val pp_diag : Format.formatter -> diag -> unit
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_json : report -> Obs.Json.t
+
+(** {1 Analysis} *)
+
+val verify :
+  ?org:int ->
+  ?entries:string list ->
+  ?externs:(string -> bool) ->
+  ?region:int * int ->
+  ?arg:int * int ->
+  ?allowed_far:(int -> bool) ->
+  ?allow_far_indirect:bool ->
+  ?allow_near_indirect:bool ->
+  ?lint_privileged:bool ->
+  ?require_termination:bool ->
+  ?check_stack:bool ->
+  name:string ->
+  Asm.program ->
+  report
+(** [verify ~name program] analyses [program] and returns the report.
+
+    - [org]: segment offset the text will be placed at (default 0);
+      absolute branch targets are resolved against it.
+    - [entries]: exported symbols — analysis entry points, each with a
+      fresh stack frame and the [arg] interval at [esp+4].  When empty
+      (or nothing resolves), instruction 0 is the entry.
+    - [externs]: symbols the loader will resolve (imports, data/bss,
+      kernel services); calls/jumps to them leave the program.
+    - [region]: half-open [lo, hi) byte range memory accesses are
+      bounded against (default: the full 32-bit space).
+    - [arg]: interval of the argument word at [esp+4] on entry.
+    - [allowed_far]: vetted far-call selectors (kernel gate, services).
+    - [allow_far_indirect] (default true): [lcall *o] is vetted by the
+      hardware gate at run time.
+    - [allow_near_indirect] (default false): [jmp *o]/[call *o] defeat
+      the CFG and are errors unless the caller opts in.
+    - [lint_privileged] (default true): flag sreg writes, [lret],
+      [int], [iret], [hlt] and kernel upcalls.
+    - [require_termination] (default false): any CFG back edge is an
+      error (BPF-derived filters must terminate).
+    - [check_stack] (default true): an unbalanced ESP at [ret] is an
+      error; when false it is reported as info only (trusted kernel
+      modules with cross-routine non-local exits). *)
+
+(** {1 Policy and enforcement} *)
+
+type policy = Off | Warn | Reject
+
+val policy : policy ref
+(** Global load-time verification policy, default [Warn].  Re-exported
+    as [Pconfig.verify_policy]. *)
+
+exception Rejected of string * report
+(** [(image name, report)] — raised by {!enforce} under [Reject]. *)
+
+val enforce : mechanism:string -> report -> unit
+(** Apply the current {!policy} to a report: [Off] ignores it, [Warn]
+    prints error diagnostics to stderr, [Reject] raises {!Rejected}.
+    Outcomes are counted under [verify.*]. *)
+
+(** {1 SFI integration} *)
+
+val proved_instrs :
+  ?entries:string list ->
+  ?externs:(string -> bool) ->
+  ?arg:int * int ->
+  region:int * int ->
+  Asm.program ->
+  int ->
+  bool
+(** Predicate on instruction indices (counting [Asm.I] items): true
+    iff every memory access of that instruction is provably inside
+    [region], making an SFI guard redundant.  Conservatively false for
+    everything when the CFG does not decode or the program contains
+    indirect near control flow. *)
+
+val sfi_check :
+  ?entries:string list ->
+  ?externs:(string -> bool) ->
+  ?arg:int * int ->
+  region:int * int ->
+  Asm.program ->
+  (unit, string) result
+(** The SFI containment property: every store is stack-relative or has
+    an address provably inside [region] (address-in-region, matching
+    the runtime coercion's guarantee).  [Error] names the first
+    offending instruction. *)

@@ -84,4 +84,15 @@ let () =
   validate "ipc";
   Bench_runs.ablation ~json_dir ~sizes:[ 32 ] ();
   validate "ablation";
+  Bench_runs.sfi ~json_dir ~packets:12 ();
+  validate "sfi";
+  (* the headline claim of the verifier benchmark: elision keeps the
+     guard count strictly below blanket SFI *)
+  let doc = load "sfi" in
+  let guards = mem "guards" doc in
+  (match (J.to_int (mem "sfi_full" guards), J.to_int (mem "sfi_verified" guards)) with
+  | Some full, Some ver when ver < full -> ()
+  | Some full, Some ver ->
+      fail "sfi: verified guard count %d not below full %d" ver full
+  | _ -> fail "sfi: guard counts missing");
   print_endline "bench-smoke: all subcommands emitted valid artifacts"

@@ -1,0 +1,373 @@
+(* Tests for the load-time extension verifier: acceptance of every
+   shipped image, named rejections for the unsafe classes, robustness
+   over random programs, the SFI containment property (including the
+   guard sequences for the formerly-escaping instructions) and
+   loader-policy integration. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let i x = Asm.I x
+
+let reg r = Operand.Reg r
+
+let imm v = Operand.Imm v
+
+let dref ?disp r = Operand.deref ?disp r
+
+let region = (0, Pconfig.kernel_ext_segment_bytes)
+
+(* Mirror of the loaders' profile: entries from exports, externs from
+   the image's own symbol tables. *)
+let report_of ?require_termination (image : Image.t) =
+  let data_names =
+    List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
+    @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
+  in
+  let externs name =
+    List.mem name data_names || List.mem name image.Image.imports
+  in
+  Verify.verify ~entries:image.Image.exports ~externs ~region
+    ~allowed_far:(fun _ -> true)
+    ?require_termination ~name:image.Image.name image.Image.text
+
+let has_error check (r : Verify.report) =
+  List.exists
+    (fun (d : Verify.diag) ->
+      d.Verify.d_check = check && d.Verify.d_severity = Verify.Error)
+    r.Verify.r_diags
+
+(* --- acceptance ----------------------------------------------------- *)
+
+let test_shipped_images_accepted () =
+  List.iter
+    (fun image ->
+      let r = report_of image in
+      if not (Verify.ok r) then
+        Alcotest.failf "%s rejected: %a" image.Image.name Verify.pp_report r)
+    [
+      Ulib.null_image;
+      Ulib.strrev_image;
+      Ulib.libc_image;
+      Ulib.strlen_client_image;
+      Ulib.counter_image;
+      Ulib.service_client_image ~slot_addr:0x2000;
+      Ulib.work_image ~units:16;
+      Ulib.rogue_write_image;
+      Ulib.rogue_read_image;
+      Ulib.rogue_loop_image;
+      Native_compile.image (Filter_expr.canonical 4);
+    ]
+
+(* The compiled filter also proves termination (it is branch-forward
+   only), which Native_compile.load requires. *)
+let test_filter_terminates () =
+  let r =
+    report_of ~require_termination:true
+      (Native_compile.image (Filter_expr.canonical 4))
+  in
+  check_bool "filter verifies with termination required" true (Verify.ok r)
+
+(* --- the five unsafe classes, each with its named check ------------- *)
+
+let test_rejects_oob_store () =
+  let r =
+    report_of
+      (Image.create ~name:"oob" ~exports:[ "f" ]
+         [
+           Asm.L "f";
+           i (Instr.Mov (reg Reg.EAX, imm (snd region)));
+           i (Instr.Mov (dref Reg.EAX, imm 1));
+           i Instr.Ret;
+         ])
+  in
+  check_bool "rejected" false (Verify.ok r);
+  check_bool "bounds error" true (has_error Verify.Bounds r)
+
+let test_rejects_unknown_target () =
+  let r =
+    report_of
+      (Image.create ~name:"wild" ~exports:[ "f" ]
+         [ Asm.L "f"; i (Instr.Jmp (Instr.Label "nowhere")) ])
+  in
+  check_bool "rejected" false (Verify.ok r);
+  check_bool "cfg error" true (has_error Verify.Cfg r);
+  (* an absolute branch outside the image is the same class *)
+  let r2 = report_of Ulib.rogue_jump_kernel_image in
+  check_bool "kernel jump rejected" true (has_error Verify.Cfg r2)
+
+let test_rejects_privileged () =
+  let r = report_of Ulib.rogue_syscall_image in
+  check_bool "rejected" false (Verify.ok r);
+  check_bool "privileged error" true (has_error Verify.Privileged r);
+  let r2 =
+    report_of
+      (Image.create ~name:"sreg" ~exports:[ "f" ]
+         [
+           Asm.L "f";
+           i (Instr.Mov_to_sreg (Reg.DS, reg Reg.EAX));
+           i Instr.Ret;
+         ])
+  in
+  check_bool "sreg write rejected" true (has_error Verify.Privileged r2)
+
+let test_rejects_unbalanced_stack () =
+  let r =
+    report_of
+      (Image.create ~name:"leak" ~exports:[ "f" ]
+         [ Asm.L "f"; i (Instr.Push (reg Reg.EAX)); i Instr.Ret ])
+  in
+  check_bool "rejected" false (Verify.ok r);
+  check_bool "stack error" true (has_error Verify.Stack r)
+
+let test_rejects_indirect_and_nontermination () =
+  let r =
+    report_of
+      (Image.create ~name:"ind" ~exports:[ "f" ]
+         [ Asm.L "f"; i (Instr.Jmp_ind (reg Reg.EAX)) ])
+  in
+  check_bool "indirect rejected" false (Verify.ok r);
+  check_bool "indirect error" true (has_error Verify.Indirect r);
+  let r2 = report_of ~require_termination:true Ulib.rogue_loop_image in
+  check_bool "loop rejected under termination" false (Verify.ok r2);
+  check_bool "termination error" true (has_error Verify.Termination r2)
+
+(* --- robustness: the verifier never raises --------------------------- *)
+
+let arb_program =
+  let open QCheck.Gen in
+  let any_reg =
+    oneofl
+      [ Reg.EAX; Reg.EBX; Reg.ECX; Reg.EDX; Reg.ESI; Reg.EDI; Reg.EBP; Reg.ESP ]
+  in
+  let label = oneofl [ "l0"; "l1"; "l2"; "nowhere" ] in
+  let operand =
+    oneof
+      [
+        map (fun r -> Operand.Reg r) any_reg;
+        map (fun n -> Operand.Imm n) (int_bound 0x10000);
+        map2 (fun r d -> Operand.deref ~disp:d r) any_reg (int_bound 4096);
+        map Operand.label label;
+      ]
+  in
+  let target =
+    oneof
+      [
+        map (fun l -> Instr.Label l) label;
+        map (fun a -> Instr.Abs a) (int_bound 256);
+      ]
+  in
+  let instr =
+    oneof
+      [
+        map2 (fun d s -> Instr.Mov (d, s)) operand operand;
+        map (fun o -> Instr.Push o) operand;
+        map (fun o -> Instr.Pop o) operand;
+        map3
+          (fun op d s -> Instr.Alu (op, d, s))
+          (oneofl [ Instr.Add; Instr.Sub; Instr.And; Instr.Or; Instr.Xor ])
+          operand operand;
+        map2 (fun a b -> Instr.Xchg (a, b)) operand operand;
+        map (fun o -> Instr.Neg o) operand;
+        map (fun o -> Instr.Not o) operand;
+        map (fun t -> Instr.Jmp t) target;
+        map2 (fun c t -> Instr.Jcc (c, t)) (oneofl [ Instr.Eq; Instr.Ne ]) target;
+        map (fun t -> Instr.Call t) target;
+        return Instr.Ret;
+        map (fun n -> Instr.Int_ n) (int_bound 255);
+        map (fun o -> Instr.Jmp_ind o) operand;
+        return Instr.Hlt;
+      ]
+  in
+  let item =
+    frequency
+      [ (6, map (fun x -> Asm.I x) instr); (1, map (fun l -> Asm.L l) label) ]
+  in
+  QCheck.make
+    ~print:(fun p -> Fmt.str "%d items" (List.length p))
+    (list_size (int_bound 40) item)
+
+let prop_never_raises =
+  QCheck.Test.make ~count:300 ~name:"verify never raises on random programs"
+    arb_program (fun program ->
+      let r =
+        Verify.verify ~entries:[ "l0" ]
+          ~externs:(fun s -> s = "nowhere")
+          ~region ~name:"fuzz" program
+      in
+      ignore (Verify.ok r);
+      ignore (Fmt.str "%a" Verify.pp_report r);
+      ignore (Verify.report_json r);
+      true)
+
+(* --- SFI regression: the formerly-escaping stores -------------------- *)
+
+(* Each of these stores through an address provably outside the
+   region; the raw program must fail the containment check and the
+   rewritten one must pass it (the fix for the Xchg/Neg/Not/Pop escape
+   in the original rewriter). *)
+let test_sfi_containment_regression () =
+  let sfi_region = { Sfi.base = 0; size = 4096 } in
+  let vregion = (0, 4096) in
+  let escape body = [ Asm.L "f"; i (Instr.Mov (reg Reg.EAX, imm 0x100000)) ] @ body @ [ i Instr.Ret ] in
+  List.iter
+    (fun (name, body) ->
+      let raw = escape body in
+      (match Verify.sfi_check ~entries:[ "f" ] ~region:vregion raw with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "%s: raw escape not caught" name);
+      let rewritten = Sfi.rewrite_program Sfi.Write_only sfi_region raw in
+      match Verify.sfi_check ~entries:[ "f" ] ~region:vregion rewritten with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: rewritten still escapes: %s" name msg)
+    [
+      ("mov", [ i (Instr.Mov (dref Reg.EAX, imm 1)) ]);
+      ("xchg", [ i (Instr.Xchg (dref Reg.EAX, reg Reg.EBX)) ]);
+      ("neg", [ i (Instr.Neg (dref Reg.EAX)) ]);
+      ("not", [ i (Instr.Not (dref Reg.EAX)) ]);
+      ("pop", [ i (Instr.Push (reg Reg.EBX)); i (Instr.Pop (dref Reg.EAX)) ]);
+    ]
+
+(* Execution equivalence of the new guard sequences: a module mixing
+   neg/not/xchg/push-mem/pop-mem computes the same value raw and
+   sandboxed (full-width region: coercion is the identity). *)
+let test_guard_sequences_execute () =
+  let k = Kernel.boot () in
+  let task = Kernel.create_task k ~name:"t" in
+  let image name =
+    Image.create ~name
+      ~bss:[ Image.bss_item ~align:4096 "buf" 4096 ]
+      ~exports:[ "mix" ]
+      [
+        Asm.L "mix";
+        i (Instr.Mov (reg Reg.EDX, dref ~disp:4 Reg.ESP));
+        i (Instr.Mov (dref Reg.EDX, imm 5));
+        i (Instr.Neg (dref Reg.EDX));
+        i (Instr.Not (dref Reg.EDX)); (* -5 notted = 4 *)
+        i (Instr.Mov (reg Reg.EBX, imm 7));
+        i (Instr.Xchg (dref Reg.EDX, reg Reg.EBX)); (* mem=7, ebx=4 *)
+        i (Instr.Push (dref Reg.EDX)); (* push 7 *)
+        i (Instr.Pop (dref ~disp:4 Reg.EDX)); (* mem+4 = 7 *)
+        i (Instr.Mov (reg Reg.EAX, dref Reg.EDX)); (* 7 *)
+        i (Instr.Alu (Instr.Add, reg Reg.EAX, reg Reg.EBX)); (* 11 *)
+        i (Instr.Alu (Instr.Add, reg Reg.EAX, dref ~disp:4 Reg.EDX)); (* 18 *)
+        i Instr.Ret;
+      ]
+  in
+  let run image =
+    let km = Kmod.insmod k image in
+    match Kmod.invoke km task ~fn:"mix" ~arg:(Kmod.symbol km "buf") with
+    | Kernel.Completed, v, _ -> v
+    | _ -> Alcotest.fail "mix run failed"
+  in
+  let raw = run (image "mixraw") in
+  check_int "raw result" 18 raw;
+  let sandboxed =
+    run
+      (Sfi.sandbox_image Sfi.Read_write
+         { Sfi.base = 0; size = 1 lsl 30 }
+         (image "mixsfi"))
+  in
+  check_int "sandboxed result equals raw" raw sandboxed
+
+(* --- verified elision ------------------------------------------------ *)
+
+let test_verified_elides_guards () =
+  let text = Native_compile.filter_text (Filter_expr.canonical 4) in
+  let sfi_region = { Sfi.base = 0; size = 1 lsl 30 } in
+  let arg = (0, (1 lsl 30) - 4096) in
+  let full =
+    Sfi.inserted_instructions ~entries:[ "filter" ] ~arg ~region:sfi_region
+      Sfi.Read_write text
+  in
+  let verified =
+    Sfi.inserted_instructions ~mode:Sfi.Verified ~entries:[ "filter" ] ~arg
+      ~region:sfi_region Sfi.Read_write text
+  in
+  check_bool "guards elided" true (verified < full);
+  check_bool "still some guards" true (verified >= 0)
+
+(* --- loader integration under the Reject policy ---------------------- *)
+
+let with_policy p f =
+  let saved = !Verify.policy in
+  Fun.protect
+    ~finally:(fun () -> Verify.policy := saved)
+    (fun () ->
+      Verify.policy := p;
+      f ())
+
+let test_reject_policy_loaders () =
+  with_policy Verify.Reject (fun () ->
+      (* classic module path *)
+      let k = Kernel.boot () in
+      ignore (Kmod.insmod k Ulib.strrev_image);
+      (* extension segment path: good module loads, rogue raises *)
+      let w = Palladium.boot () in
+      let seg = Palladium.create_kernel_segment w in
+      ignore (Kernel_ext.insmod seg Ulib.counter_image);
+      (match Kernel_ext.insmod seg Ulib.rogue_syscall_image with
+      | _ -> Alcotest.fail "rogue syscall module should have been rejected"
+      | exception Verify.Rejected (name, r) ->
+          check_bool "rejection names the image" true (name = "roguesys");
+          check_bool "privileged diag attached" true
+            (has_error Verify.Privileged r));
+      (* the compiled filter still loads: its termination proof holds *)
+      let seg2 = Palladium.create_kernel_segment w in
+      let task = Kernel.create_task (Palladium.kernel w) ~name:"netd" in
+      let nf = Native_compile.load seg2 (Filter_expr.canonical 2) in
+      let pkt = Packet.to_bytes (Pkt_gen.matching_packet ()) in
+      match Native_compile.run nf task ~packet:pkt with
+      | Ok (v, _) -> check_int "filter accepts the target packet" 1 v
+      | Error e -> Alcotest.failf "filter run: %a" Kernel_ext.pp_invoke_error e)
+
+let test_off_policy_skips () =
+  with_policy Verify.Off (fun () ->
+      (* a statically-rejected image loads when verification is off —
+         run-time protection is then the only line of defence *)
+      let w = Palladium.boot () in
+      let seg = Palladium.create_kernel_segment w in
+      ignore (Kernel_ext.insmod seg Ulib.rogue_syscall_image))
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "all shipped images verify" `Quick
+            test_shipped_images_accepted;
+          Alcotest.test_case "compiled filter proves termination" `Quick
+            test_filter_terminates;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "out-of-bounds store" `Quick test_rejects_oob_store;
+          Alcotest.test_case "unknown control-flow target" `Quick
+            test_rejects_unknown_target;
+          Alcotest.test_case "privileged instruction" `Quick
+            test_rejects_privileged;
+          Alcotest.test_case "unbalanced stack" `Quick
+            test_rejects_unbalanced_stack;
+          Alcotest.test_case "indirect flow and non-termination" `Quick
+            test_rejects_indirect_and_nontermination;
+        ] );
+      ( "robustness",
+        [ QCheck_alcotest.to_alcotest prop_never_raises ] );
+      ( "sfi",
+        [
+          Alcotest.test_case "containment regression" `Quick
+            test_sfi_containment_regression;
+          Alcotest.test_case "guard sequences execute correctly" `Quick
+            test_guard_sequences_execute;
+          Alcotest.test_case "verified mode elides guards" `Quick
+            test_verified_elides_guards;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "Reject gates the loaders" `Quick
+            test_reject_policy_loaders;
+          Alcotest.test_case "Off skips verification" `Quick
+            test_off_policy_skips;
+        ] );
+    ]
