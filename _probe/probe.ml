@@ -1,0 +1,24 @@
+(* Probe: loop-widened register shifted left — does the verifier
+   unsoundly prove an attacker-controlled address in-bounds? *)
+let () =
+  let open Asm in
+  let prog = [
+    L "entry";
+    I (Instr.Mov (Operand.Reg Reg.EAX, Operand.Imm 0));
+    L "loop";
+    I (Instr.Alu (Instr.Add, Operand.Reg Reg.EAX, Operand.Imm 1));
+    I (Instr.Cmp (Operand.Reg Reg.EAX, Operand.Imm 100));
+    I (Instr.Jcc (Instr.Ne, Instr.Label "loop"));
+    (* eax now abstractly widened to [0, +inf]; concretely 100 *)
+    I (Instr.Shl (Operand.Reg Reg.EAX, 31));
+    (* concretely eax = 100 * 2^31 mod 2^32 = 0x... huge; abstractly? *)
+    I (Instr.Mov (Operand.mem ~base:Reg.EAX (), Operand.Imm 1));
+    I Instr.Ret;
+  ] in
+  let r = Verify.verify ~entries:["entry"] ~region:(0, 256*1024) ~name:"probe" prog in
+  Fmt.pr "%a@." Verify.pp_report r;
+  List.iter (fun a ->
+    Fmt.pr "access @%d write=%b ea=%a class=%s@." a.Verify.a_index a.Verify.a_write
+      Vdomain.pp a.Verify.a_ea (Verify.class_name a.Verify.a_class))
+    r.Verify.r_accesses;
+  Fmt.pr "shl raw: (1 lsl 40) lsl 31 = %d@." ((1 lsl 40) lsl 31)
