@@ -869,6 +869,78 @@ let sfi ?(json_dir = ".") ?(packets = 48) () =
       ("matched", Int !matches);
     ]
 
+(* --- Audit cost: full vs incremental re-audit -------------------------- *)
+
+(* How much does the protection-state auditor cost?  A full audit
+   snapshots every descriptor table, page directory and TSS and runs
+   the whole invariant catalogue plus the reachability proof; an
+   incremental re-audit consults the generation fingerprint and skips
+   when nothing protection-relevant changed.  Host wall-clock
+   (Sys.time), not simulated cycles: the auditor runs in the loader,
+   outside the simulated machine. *)
+let audit ?(json_dir = ".") ?(full_iters = 25) () =
+  let since = Obs.Counters.snapshot () in
+  let world = Audit_scenarios.build () in
+  let kernel = world.Audit_scenarios.kernel in
+  let time_sec f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let h_usec = Obs.Histogram.create () in
+  let full_total =
+    time_sec (fun () ->
+        for _ = 1 to full_iters do
+          let t = time_sec (fun () -> ignore (Audit_scenarios.audit_world world)) in
+          Obs.Histogram.observe h_usec (max 1 (int_of_float (t *. 1e6)))
+        done)
+  in
+  (* Prime the generation cache, then hammer the incremental path: the
+     machine state is untouched, so every call must skip. *)
+  Paudit.maybe_audit ~context:"bench" kernel;
+  let incr_iters = full_iters * 200 in
+  let incr_total =
+    time_sec (fun () ->
+        for _ = 1 to incr_iters do
+          Paudit.maybe_audit ~context:"bench" kernel
+        done)
+  in
+  let per_full = full_total /. float_of_int full_iters in
+  let per_incr = max 1e-9 (incr_total /. float_of_int incr_iters) in
+  let report = Audit_scenarios.audit_world world in
+  Printf.printf
+    "audit: %d invariants + reachability over %d GDT/IDT/LDT entries\n"
+    report.Audit.Engine.rp_checked
+    (report.Audit.Engine.rp_reach.Audit.Reach.r_nodes
+    + List.length report.Audit.Engine.rp_reach.Audit.Reach.r_audited);
+  Printf.printf "  full audit        %8.1f usec  (%7.0f audits/sec)\n"
+    (per_full *. 1e6)
+    (1.0 /. max 1e-9 per_full);
+  Printf.printf "  incremental skip  %8.3f usec  (%7.0f checks/sec, %.0fx)\n"
+    (per_incr *. 1e6) (1.0 /. per_incr) (per_full /. per_incr);
+  let open Obs.Json in
+  emit ~json_dir ~name:"audit" ~since
+    ~histogram:("audit_full_usec", h_usec)
+    [
+      ( "full",
+        Obj
+          [
+            ("iterations", Int full_iters);
+            ("usec_per_audit", Float (per_full *. 1e6));
+            ("audits_per_sec", Float (1.0 /. max 1e-9 per_full));
+          ] );
+      ( "incremental",
+        Obj
+          [
+            ("iterations", Int incr_iters);
+            ("usec_per_check", Float (per_incr *. 1e6));
+            ("checks_per_sec", Float (1.0 /. per_incr));
+            ("speedup", Float (per_full /. per_incr));
+          ] );
+      ("invariants", Int (List.length Audit.Invariant.catalogue));
+      ("findings", Int (List.length report.Audit.Engine.rp_findings));
+    ]
+
 (* --- Bechamel wall-clock suite ---------------------------------------- *)
 
 let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
@@ -958,7 +1030,10 @@ let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
 (* --- Driver ------------------------------------------------------------ *)
 
 let subcommands =
-  [ "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation"; "sfi" ]
+  [
+    "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation"; "sfi";
+    "audit";
+  ]
 
 (* Run the requested subset (everything when [args] is empty; bechamel
    only when asked for by name, as in the original CLI). *)
@@ -974,4 +1049,5 @@ let run_main args =
   if want "ipc" then ipc_cmp ~palladium_cycles:!palladium_cycles ();
   if want "ablation" then ablation ();
   if want "sfi" then sfi ();
+  if want "audit" then audit ();
   if List.mem "bechamel" args then bechamel ()

@@ -195,7 +195,10 @@ let stats_cmd =
 (* --- trace: event ring buffer dump ----------------------------------------- *)
 
 let trace_kinds =
-  [ "priv"; "fault"; "module"; "call"; "syscall"; "watchdog"; "custom" ]
+  [
+    "priv"; "fault"; "module"; "call"; "syscall"; "watchdog"; "desc"; "audit";
+    "custom";
+  ]
 
 let run_trace iterations with_fault capacity json filter =
   (match filter with
@@ -492,6 +495,156 @@ let verify_cmd =
           images and the unsafe demo programs, printing per-check reports.")
     Term.(const run_verify $ image $ out_dir)
 
+(* --- audit: protection-state auditor over the scenario catalogue ----------- *)
+
+(* Shared --verify-policy/--audit-policy flags; the environment
+   (PALLADIUM_VERIFY/PALLADIUM_AUDIT) seeds the defaults, the flags
+   override it. *)
+let verify_policy_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "verify-policy" ] ~docv:"POLICY"
+        ~doc:"Load-time verifier policy: off, warn or reject.")
+
+let audit_policy_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-policy" ] ~docv:"POLICY"
+        ~doc:"Protection-state audit policy: off, warn or reject.")
+
+let apply_policies verify audit =
+  let set what parse assign = function
+    | None -> ()
+    | Some s -> (
+        match parse s with
+        | Some p -> assign p
+        | None ->
+            Printf.eprintf
+              "palladium: invalid --%s-policy %S (expected off|warn|reject)\n"
+              what s;
+            exit 2)
+  in
+  set "verify" Pconfig.verify_policy_of_string
+    (fun p -> Pconfig.verify_policy := p)
+    verify;
+  set "audit" Pconfig.audit_policy_of_string
+    (fun p -> Pconfig.audit_policy := p)
+    audit
+
+let finding_ids (r : Audit.Engine.report) =
+  List.sort_uniq String.compare
+    (List.map (fun f -> f.Audit.Finding.f_id) r.Audit.Engine.rp_findings)
+
+(* Run one scenario and check its expectation: clean scenarios must
+   audit to zero findings; each misconfiguration must yield findings
+   citing exactly its intended invariant. *)
+let run_one_audit ~out_dir ~verbose name =
+  let write ~expected r ok =
+    let path =
+      Obs.Bench_json.write ~dir:out_dir ~prefix:"AUDIT_" ~name
+        ~body:
+          [
+            ("scenario", Obs.Json.String name);
+            ("expected", Obs.Json.String expected);
+            ("ok", Obs.Json.Bool ok);
+            ("report", Audit.Engine.report_json r);
+          ]
+        ()
+    in
+    if verbose then Printf.printf "[%s]\n" path
+  in
+  let describe r ok expected =
+    Printf.printf "audit %-24s %-28s (expected %s)%s\n" name
+      (match finding_ids r with
+      | [] -> "clean"
+      | ids -> String.concat "," ids)
+      expected
+      (if ok then "" else "  <-- MISMATCH");
+    if verbose || not ok then
+      List.iter
+        (fun f -> Fmt.pr "    %a@." Audit.Finding.pp f)
+        r.Audit.Engine.rp_findings
+  in
+  match List.assoc_opt name Audit_scenarios.clean_scenarios with
+  | Some builder ->
+      let kernel = builder () in
+      let r = Audit.Engine.run (Paudit.capture kernel) in
+      let ok = Audit.Engine.ok r in
+      describe r ok "clean";
+      write ~expected:"clean" r ok;
+      ok
+  | None -> (
+      match Audit_scenarios.find_misconfig name with
+      | None ->
+          Printf.eprintf
+            "palladium: unknown audit scenario %S (or use 'all'); known: %s\n"
+            name
+            (String.concat ", "
+               (List.map fst Audit_scenarios.clean_scenarios
+               @ List.map
+                   (fun m -> m.Audit_scenarios.mc_name)
+                   Audit_scenarios.misconfigs));
+          exit 2
+      | Some m ->
+          let world = Audit_scenarios.build () in
+          m.Audit_scenarios.mc_apply world;
+          let r = Audit_scenarios.audit_world world in
+          let ids = finding_ids r in
+          let ok = ids = [ m.Audit_scenarios.mc_id ] in
+          describe r ok m.Audit_scenarios.mc_id;
+          write ~expected:m.Audit_scenarios.mc_id r ok;
+          ok)
+
+let run_audit name out_dir verbose verify_policy audit_policy =
+  apply_policies verify_policy audit_policy;
+  match name with
+  | "all" ->
+      let names =
+        List.map fst Audit_scenarios.clean_scenarios
+        @ List.map (fun m -> m.Audit_scenarios.mc_name) Audit_scenarios.misconfigs
+      in
+      let bad =
+        List.filter
+          (fun n -> not (run_one_audit ~out_dir ~verbose n))
+          names
+      in
+      Printf.printf "%d scenario(s), %d mismatch(es)\n" (List.length names)
+        (List.length bad);
+      if bad <> [] then exit 1
+  | name -> if not (run_one_audit ~out_dir ~verbose:true name) then exit 1
+
+let audit_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Clean scenario (boot, app, kernelext, full), a misconfiguration \
+             from the injected catalogue, or 'all'.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Directory for the AUDIT_<scenario>.json artifacts.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every finding.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run the protection-state auditor (invariant catalogue + \
+          privilege-transfer reachability) over clean machine states and the \
+          injected-misconfiguration catalogue, checking each against its \
+          expected verdict.")
+    Term.(
+      const run_audit $ scenario $ out_dir $ verbose $ verify_policy_flag
+      $ audit_policy_flag)
+
 (* --- vmmap: inspect an application's address space ------------------------- *)
 
 let run_vmmap () =
@@ -514,7 +667,7 @@ let main =
           for safe software extensions, on a simulated x86.")
     [
       call_cmd; filter_cmd; webserver_cmd; rpc_cmd; stats_cmd; trace_cmd;
-      profile_cmd; verify_cmd; vmmap_cmd;
+      profile_cmd; verify_cmd; audit_cmd; vmmap_cmd;
     ]
 
 let () = exit (Cmd.eval main)

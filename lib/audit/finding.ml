@@ -1,0 +1,61 @@
+(* Audit findings.  Modeled on Fault.t: a small closed description of
+   what is wrong and where, cheap to construct and render.  The id ties
+   a finding back to the invariant catalogue (INV-xx / REACH-xx). *)
+
+type subject =
+  | Gdt_slot of int
+  | Ldt_slot of { pid : int; slot : int }
+  | Idt_vector of int
+  | Tss_ring of { pid : int; ring : int }
+  | Page of { pid : int option; vpn : int }
+  | Frame of int
+  | Task_state of int
+  | Machine
+
+type t = { f_id : string; f_subject : subject; f_msg : string }
+
+let v ~id subject fmt =
+  Format.kasprintf (fun msg -> { f_id = id; f_subject = subject; f_msg = msg }) fmt
+
+let pp_subject ppf = function
+  | Gdt_slot i -> Fmt.pf ppf "GDT[%d]" i
+  | Ldt_slot { pid; slot } -> Fmt.pf ppf "LDT(pid %d)[%d]" pid slot
+  | Idt_vector v -> Fmt.pf ppf "IDT[%#x]" v
+  | Tss_ring { pid; ring } -> Fmt.pf ppf "TSS(pid %d).sp%d" pid ring
+  | Page { pid = Some pid; vpn } -> Fmt.pf ppf "page(pid %d)[vpn %#x]" pid vpn
+  | Page { pid = None; vpn } -> Fmt.pf ppf "page(boot)[vpn %#x]" vpn
+  | Frame pfn -> Fmt.pf ppf "frame[pfn %#x]" pfn
+  | Task_state pid -> Fmt.pf ppf "task(pid %d)" pid
+  | Machine -> Fmt.string ppf "machine"
+
+let pp ppf t = Fmt.pf ppf "%s @ %a: %s" t.f_id pp_subject t.f_subject t.f_msg
+
+module J = Obs.Json
+
+let subject_json s =
+  let obj kind fields = J.Obj (("kind", J.String kind) :: fields) in
+  match s with
+  | Gdt_slot i -> obj "gdt_slot" [ ("slot", J.Int i) ]
+  | Ldt_slot { pid; slot } ->
+      obj "ldt_slot" [ ("pid", J.Int pid); ("slot", J.Int slot) ]
+  | Idt_vector v -> obj "idt_vector" [ ("vector", J.Int v) ]
+  | Tss_ring { pid; ring } ->
+      obj "tss_ring" [ ("pid", J.Int pid); ("ring", J.Int ring) ]
+  | Page { pid; vpn } ->
+      obj "page"
+        [
+          ( "pid",
+            match pid with Some p -> J.Int p | None -> J.String "boot" );
+          ("vpn", J.Int vpn);
+        ]
+  | Frame pfn -> obj "frame" [ ("pfn", J.Int pfn) ]
+  | Task_state pid -> obj "task" [ ("pid", J.Int pid) ]
+  | Machine -> obj "machine" []
+
+let to_json t =
+  J.Obj
+    [
+      ("id", J.String t.f_id);
+      ("subject", subject_json t.f_subject);
+      ("msg", J.String t.f_msg);
+    ]

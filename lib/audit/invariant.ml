@@ -1,0 +1,849 @@
+(* The invariant catalogue.
+
+   Scoping rules keep the invariants disjoint, so that a single
+   misconfiguration is cited by exactly one id (asserted by the
+   injected-misconfiguration catalogue in test/test_audit.ml):
+
+   - Geometry of the four boot GDT segments belongs to INV-02/03;
+     kernel-extension segments to INV-04/05; LDT segments to INV-08.
+   - Gate *target* integrity (must be code) is INV-11 for every gate;
+     gate *registration* is split by site: LDT AppCallGates are
+     INV-10, the IDT syscall vector is INV-15, DPL 1 kernel-service
+     gates are INV-16.  Gates at unregistered sites are the
+     reachability cut's problem (REACH-01), not the catalogue's.
+   - Page-level checks partition by region and cause: PTE/area PPL
+     disagreement is INV-17, PTEs without a VM area INV-18, kernel
+     pages marked user INV-19, frame aliasing INV-20 (user-writable
+     frames only, so INV-19 and INV-20 cannot both fire). *)
+
+module P = X86.Privilege
+module Sel = X86.Selector
+module Desc = X86.Descriptor
+module S = Snapshot
+module F = Finding
+
+type t = {
+  iv_id : string;
+  iv_name : string;
+  iv_paper : string;
+  iv_doc : string;
+  iv_check : Snapshot.t -> Finding.t list;
+}
+
+let user_limit = X86.Layout.user_limit
+
+let kernel_base = X86.Layout.kernel_base
+
+let kernel_limit = X86.Layout.kernel_limit
+
+let ext_base = X86.Layout.kernel_ext_base
+
+let ext_end = ext_base + X86.Layout.kernel_ext_region_size
+
+let ring = P.to_int
+
+(* Inclusive linear range covered by a segment descriptor. *)
+let seg_range (d : Desc.t) = (d.Desc.base, d.Desc.base + d.Desc.limit)
+
+let ranges_overlap (a1, b1) (a2, b2) = a1 <= b2 && a2 <= b1
+
+let is_flat_user (d : Desc.t) = d.Desc.base = 0 && d.Desc.limit = user_limit
+
+let gate_of (d : Desc.t) =
+  match d.Desc.kind with
+  | Desc.Call_gate g | Desc.Interrupt_gate g | Desc.Trap_gate g -> Some g
+  | Desc.Code _ | Desc.Data _ | Desc.Tss_desc _ -> None
+
+(* --- INV-01 ------------------------------------------------------- *)
+
+let check_gdt_null (s : S.t) =
+  match S.find_gdt s 0 with
+  | None -> []
+  | Some d ->
+      [
+        F.v ~id:"INV-01" (F.Gdt_slot 0)
+          "GDT slot 0 must stay the unusable null descriptor, found %a"
+          Desc.pp d;
+      ]
+
+(* --- INV-02 / INV-03: boot segment geometry ------------------------ *)
+
+let check_fixed_slot ~id ~what ~slot ~want_code ~base ~limit ~dpl (s : S.t) =
+  match S.find_gdt s slot with
+  | None -> [ F.v ~id (F.Gdt_slot slot) "%s descriptor is missing" what ]
+  | Some d ->
+      let bad fmt = F.v ~id (F.Gdt_slot slot) fmt in
+      let kind_ok = if want_code then Desc.is_code d else Desc.is_data d in
+      List.concat
+        [
+          (if not d.Desc.present then [ bad "%s descriptor not present" what ]
+           else []);
+          (if not kind_ok then
+             [
+               bad "%s descriptor has the wrong kind: %a" what Desc.pp_kind
+                 d.Desc.kind;
+             ]
+           else []);
+          (if not (P.equal d.Desc.dpl dpl) then
+             [
+               bad "%s descriptor must be DPL %d, found DPL %d" what
+                 (ring dpl) (ring d.Desc.dpl);
+             ]
+           else []);
+          (if d.Desc.base <> base || d.Desc.limit <> limit then
+             [
+               bad "%s descriptor must span %#x..%#x, spans %#x..%#x" what
+                 base (base + limit) d.Desc.base
+                 (d.Desc.base + d.Desc.limit);
+             ]
+           else []);
+        ]
+
+let check_kernel_core_segs s =
+  check_fixed_slot ~id:"INV-02" ~what:"kernel code"
+    ~slot:X86.Layout.gdt_kernel_code ~want_code:true ~base:kernel_base
+    ~limit:kernel_limit ~dpl:P.R0 s
+  @ check_fixed_slot ~id:"INV-02" ~what:"kernel data"
+      ~slot:X86.Layout.gdt_kernel_data ~want_code:false ~base:kernel_base
+      ~limit:kernel_limit ~dpl:P.R0 s
+
+let check_user_flat_segs s =
+  check_fixed_slot ~id:"INV-03" ~what:"user code" ~slot:X86.Layout.gdt_user_code
+    ~want_code:true ~base:0 ~limit:user_limit ~dpl:P.R3 s
+  @ check_fixed_slot ~id:"INV-03" ~what:"user data"
+      ~slot:X86.Layout.gdt_user_data ~want_code:false ~base:0 ~limit:user_limit
+      ~dpl:P.R3 s
+
+(* --- INV-04: kernel-extension segments in range & registered ------- *)
+
+let check_ext_seg_range (s : S.t) =
+  let live = S.live_segments s in
+  let registered_slots =
+    List.concat_map (fun (rs : S.registered_segment) -> [ rs.S.rs_cs; rs.S.rs_ds ]) live
+  in
+  let per_segment =
+    List.concat_map
+      (fun (rs : S.registered_segment) ->
+        List.concat_map
+          (fun (slot, want_code) ->
+            match S.find_gdt s slot with
+            | None ->
+                [
+                  F.v ~id:"INV-04" (F.Gdt_slot slot)
+                    "extension segment %s: descriptor missing" rs.S.rs_name;
+                ]
+            | Some d ->
+                let bad fmt = F.v ~id:"INV-04" (F.Gdt_slot slot) fmt in
+                let kind_ok =
+                  if want_code then Desc.is_code d else Desc.is_data d
+                in
+                let lo, hi = seg_range d in
+                List.concat
+                  [
+                    (if not kind_ok then
+                       [
+                         bad "extension segment %s: wrong descriptor kind %a"
+                           rs.S.rs_name Desc.pp_kind d.Desc.kind;
+                       ]
+                     else []);
+                    (if not (P.equal d.Desc.dpl P.R1) then
+                       [
+                         bad
+                           "extension segment %s must be DPL 1 (SPL 1), found \
+                            DPL %d"
+                           rs.S.rs_name (ring d.Desc.dpl);
+                       ]
+                     else []);
+                    (if lo < ext_base || hi >= ext_end then
+                       [
+                         bad
+                           "extension segment %s spans %#x..%#x, outside the \
+                            extension region %#x..%#x — it can reach the \
+                            kernel core"
+                           rs.S.rs_name lo hi ext_base (ext_end - 1);
+                       ]
+                     else []);
+                  ])
+          [ (rs.S.rs_cs, true); (rs.S.rs_ds, false) ])
+      live
+  in
+  (* Any other DPL 1 code/data descriptor in the GDT is an extension
+     segment nobody registered. *)
+  let rogue =
+    List.filter_map
+      (fun (slot, (d : Desc.t)) ->
+        if
+          (Desc.is_code d || Desc.is_data d)
+          && P.equal d.Desc.dpl P.R1
+          && not (List.mem slot registered_slots)
+        then
+          Some
+            (F.v ~id:"INV-04" (F.Gdt_slot slot)
+               "unregistered DPL 1 segment %a — not part of any loaded \
+                extension segment"
+               Desc.pp d)
+        else None)
+      s.S.s_gdt
+  in
+  per_segment @ rogue
+
+(* --- INV-05: cs/ds aliasing and pairwise disjointness -------------- *)
+
+let check_ext_seg_aliasing (s : S.t) =
+  let live = S.live_segments s in
+  let range_of slot = Option.map seg_range (S.find_gdt s slot) in
+  let pair_findings =
+    List.filter_map
+      (fun (rs : S.registered_segment) ->
+        match (range_of rs.S.rs_cs, range_of rs.S.rs_ds) with
+        | Some cs_r, Some ds_r when cs_r <> ds_r ->
+            Some
+              (F.v ~id:"INV-05" (F.Gdt_slot rs.S.rs_ds)
+                 "extension segment %s: code covers %#x..%#x but data covers \
+                  %#x..%#x — the pair must alias the same range"
+                 rs.S.rs_name (fst cs_r) (snd cs_r) (fst ds_r) (snd ds_r))
+        | _ -> None)
+      live
+  in
+  let rec disjoint = function
+    | [] -> []
+    | (rs : S.registered_segment) :: rest ->
+        let r1 = range_of rs.S.rs_cs in
+        List.filter_map
+          (fun (rs' : S.registered_segment) ->
+            match (r1, range_of rs'.S.rs_cs) with
+            | Some a, Some b when ranges_overlap a b ->
+                Some
+                  (F.v ~id:"INV-05" (F.Gdt_slot rs'.S.rs_cs)
+                     "extension segments %s and %s overlap" rs.S.rs_name
+                     rs'.S.rs_name)
+            | _ -> None)
+          rest
+        @ disjoint rest
+  in
+  pair_findings @ disjoint live
+
+(* --- INV-06: no conforming code anywhere --------------------------- *)
+
+let check_no_conforming (s : S.t) =
+  let of_table subject entries =
+    List.filter_map
+      (fun (slot, (d : Desc.t)) ->
+        if Desc.is_code d && Desc.is_conforming d then
+          Some
+            (F.v ~id:"INV-06" (subject slot)
+               "conforming code segment %a — would let less privileged code \
+                run at its caller's CPL, bypassing the ring checks"
+               Desc.pp d)
+        else None)
+      entries
+  in
+  of_table (fun slot -> F.Gdt_slot slot) s.S.s_gdt
+  @ List.concat_map
+      (fun (tk : S.task) ->
+        of_table (fun slot -> F.Ldt_slot { pid = tk.S.t_pid; slot }) tk.S.t_ldt)
+      s.S.s_tasks
+
+(* --- INV-07: GDT DPL partition ------------------------------------- *)
+
+let check_gdt_dpl (s : S.t) =
+  List.filter_map
+    (fun (slot, (d : Desc.t)) ->
+      if (Desc.is_code d || Desc.is_data d) && P.equal d.Desc.dpl P.R2 then
+        Some
+          (F.v ~id:"INV-07" (F.Gdt_slot slot)
+             "DPL 2 segment in the shared GDT: %a — SPL 2 application \
+              segments are per-task and belong in LDTs"
+             Desc.pp d)
+      else None)
+    s.S.s_gdt
+
+(* --- INV-08: LDT segment shape ------------------------------------- *)
+
+let check_ldt_seg_shape (s : S.t) =
+  List.concat_map
+    (fun (tk : S.task) ->
+      List.concat_map
+        (fun (slot, (d : Desc.t)) ->
+          let subj = F.Ldt_slot { pid = tk.S.t_pid; slot } in
+          let bad fmt = F.v ~id:"INV-08" subj fmt in
+          let dpl_ok = P.equal d.Desc.dpl P.R2 || P.equal d.Desc.dpl P.R3 in
+          if Desc.is_code d then
+            List.concat
+              [
+                (if not dpl_ok then
+                   [ bad "LDT code segment at DPL %d" (ring d.Desc.dpl) ]
+                 else []);
+                (if not (is_flat_user d) then
+                   [
+                     bad
+                       "LDT code segment must span exactly 0..3 GB, spans \
+                        %#x..%#x"
+                       d.Desc.base
+                       (d.Desc.base + d.Desc.limit);
+                   ]
+                 else []);
+              ]
+          else if Desc.is_data d then
+            List.concat
+              [
+                (if not dpl_ok then
+                   [ bad "LDT data segment at DPL %d" (ring d.Desc.dpl) ]
+                 else []);
+                (if d.Desc.base + d.Desc.limit > user_limit then
+                   [
+                     bad "LDT data segment reaches %#x, beyond user space"
+                       (d.Desc.base + d.Desc.limit);
+                   ]
+                 else []);
+                (* Narrow windows (the Guard service) are fine — but
+                   only at DPL 2, where extensions cannot load them. *)
+                (if
+                   (not (is_flat_user d)) && not (P.equal d.Desc.dpl P.R2)
+                 then
+                   [
+                     bad
+                       "non-flat LDT data segment at DPL %d — guard windows \
+                        must be DPL 2"
+                       (ring d.Desc.dpl);
+                   ]
+                 else []);
+              ]
+          else [])
+        tk.S.t_ldt)
+    s.S.s_tasks
+
+(* --- INV-09: LDT slot 0 hygiene ------------------------------------ *)
+
+let check_ldt_slot0 (s : S.t) =
+  List.filter_map
+    (fun (tk : S.task) ->
+      match S.find_ldt tk 0 with
+      | None -> None
+      | Some d ->
+          Some
+            (F.v ~id:"INV-09" (F.Ldt_slot { pid = tk.S.t_pid; slot = 0 })
+               "LDT slot 0 must stay empty (null-selector hygiene), found %a"
+               Desc.pp d))
+    s.S.s_tasks
+
+(* --- INV-10: AppCallGate registration ------------------------------ *)
+
+let check_appgate_registered (s : S.t) =
+  List.concat_map
+    (fun (tk : S.task) ->
+      List.concat_map
+        (fun (slot, (d : Desc.t)) ->
+          match d.Desc.kind with
+          | Desc.Call_gate g ->
+              let subj = F.Ldt_slot { pid = tk.S.t_pid; slot } in
+              let bad fmt = F.v ~id:"INV-10" subj fmt in
+              List.concat
+                [
+                  (if not tk.S.t_promoted then
+                     [ bad "call gate in the LDT of an unpromoted task" ]
+                   else []);
+                  (if not (P.equal g.Desc.gate_dpl P.R3) then
+                     [
+                       bad "AppCallGate must be DPL 3, found DPL %d"
+                         (ring g.Desc.gate_dpl);
+                     ]
+                   else []);
+                  (if g.Desc.param_count <> 0 then
+                     [
+                       bad
+                         "AppCallGate must copy no parameters, found \
+                          param_count %d"
+                         g.Desc.param_count;
+                     ]
+                   else []);
+                  (match tk.S.t_app_cs with
+                  | Some app_cs when Sel.equal g.Desc.target app_cs -> []
+                  | Some app_cs ->
+                      [
+                        bad "AppCallGate targets %a, not the task's app_cs %a"
+                          Sel.pp g.Desc.target Sel.pp app_cs;
+                      ]
+                  | None -> [ bad "AppCallGate in a task with no app_cs" ]);
+                  (if not (List.mem (slot, g.Desc.entry) tk.S.t_gates) then
+                     [
+                       bad
+                         "AppCallGate entry %#x was never registered through \
+                          set_call_gate for this slot"
+                         g.Desc.entry;
+                     ]
+                   else []);
+                ]
+          | _ -> [])
+        tk.S.t_ldt)
+    s.S.s_tasks
+
+(* --- INV-11: every gate must target executable code ---------------- *)
+
+let check_gate_targets (s : S.t) =
+  let check_gate subj task (g : Desc.gate) =
+    if Sel.is_null g.Desc.target then
+      [ F.v ~id:"INV-11" subj "gate targets the null selector" ]
+    else
+      match S.resolve s task g.Desc.target with
+      | None ->
+          [
+            F.v ~id:"INV-11" subj "gate target %a resolves to no descriptor"
+              Sel.pp g.Desc.target;
+          ]
+      | Some d ->
+          List.concat
+            [
+              (if not (Desc.is_code d) then
+                 [
+                   F.v ~id:"INV-11" subj
+                     "gate target %a is not a code segment: %a" Sel.pp
+                     g.Desc.target Desc.pp_kind d.Desc.kind;
+                 ]
+               else []);
+              (if Desc.is_code d && not d.Desc.present then
+                 [ F.v ~id:"INV-11" subj "gate target segment not present" ]
+               else []);
+            ]
+  in
+  let of_entries subject task entries =
+    List.concat_map
+      (fun (slot, d) ->
+        match gate_of d with
+        | Some g -> check_gate (subject slot) task g
+        | None -> [])
+      entries
+  in
+  of_entries (fun slot -> F.Gdt_slot slot) None s.S.s_gdt
+  @ of_entries (fun v -> F.Idt_vector v) None s.S.s_idt
+  @ List.concat_map
+      (fun (tk : S.task) ->
+        of_entries
+          (fun slot -> F.Ldt_slot { pid = tk.S.t_pid; slot })
+          (Some tk) tk.S.t_ldt)
+      s.S.s_tasks
+
+(* --- INV-12: TSS stack selector DPLs ------------------------------- *)
+
+let check_tss_stack_dpl (s : S.t) =
+  List.concat_map
+    (fun (tk : S.task) ->
+      List.concat_map
+        (fun (r, (stack : Tss.stack)) ->
+          let subj = F.Tss_ring { pid = tk.S.t_pid; ring = ring r } in
+          let bad fmt = F.v ~id:"INV-12" subj fmt in
+          let sel = stack.Tss.stack_selector in
+          List.concat
+            [
+              (if not (P.equal (Sel.rpl sel) r) then
+                 [
+                   bad "ring-%d stack selector has RPL %d" (ring r)
+                     (ring (Sel.rpl sel));
+                 ]
+               else []);
+              (match S.resolve s (Some tk) sel with
+              | None ->
+                  [ bad "ring-%d stack selector %a dangles" (ring r) Sel.pp sel ]
+              | Some d ->
+                  List.concat
+                    [
+                      (if not (Desc.is_data d && Desc.is_writable d) then
+                         [
+                           bad
+                             "ring-%d stack segment must be writable data, \
+                              found %a"
+                             (ring r) Desc.pp_kind d.Desc.kind;
+                         ]
+                       else []);
+                      (if not (P.equal d.Desc.dpl r) then
+                         [
+                           bad
+                             "ring-%d stack segment has DPL %d — the inner \
+                              stack's DPL must match its ring"
+                             (ring r) (ring d.Desc.dpl);
+                         ]
+                       else []);
+                    ]);
+            ])
+        tk.S.t_stacks)
+    s.S.s_tasks
+
+(* --- INV-13: every task needs a kernel (ring 0) stack -------------- *)
+
+let check_tss_ring0 (s : S.t) =
+  List.concat_map
+    (fun (tk : S.task) ->
+      let subj = F.Tss_ring { pid = tk.S.t_pid; ring = 0 } in
+      match List.assoc_opt P.R0 tk.S.t_stacks with
+      | None ->
+          [
+            F.v ~id:"INV-13" subj
+              "no ring-0 stack — any trap from this task would have nowhere \
+               to switch to";
+          ]
+      | Some stack ->
+          List.concat
+            [
+              (if not (Sel.equal stack.Tss.stack_selector s.S.s_kds) then
+                 [
+                   F.v ~id:"INV-13" subj
+                     "ring-0 stack selector %a is not the kernel data segment"
+                     Sel.pp stack.Tss.stack_selector;
+                 ]
+               else []);
+              (if
+                 stack.Tss.stack_pointer < 0
+                 || stack.Tss.stack_pointer > kernel_limit + 1
+               then
+                 [
+                   F.v ~id:"INV-13" subj
+                     "ring-0 stack pointer %#x outside the kernel segment"
+                     stack.Tss.stack_pointer;
+                 ]
+               else []);
+            ])
+    s.S.s_tasks
+
+(* --- INV-14 / INV-15: IDT shape and the syscall vector ------------- *)
+
+let syscall_vector = 0x80
+
+let check_idt_shape (s : S.t) =
+  List.filter_map
+    (fun (v, (d : Desc.t)) ->
+      match d.Desc.kind with
+      | Desc.Interrupt_gate _ | Desc.Trap_gate _ -> None
+      | k ->
+          Some
+            (F.v ~id:"INV-14" (F.Idt_vector v)
+               "IDT descriptors must be interrupt or trap gates, found %a"
+               Desc.pp_kind k))
+    s.S.s_idt
+
+let check_idt_entries (s : S.t) =
+  let bounds =
+    List.concat_map
+      (fun (v, (d : Desc.t)) ->
+        match d.Desc.kind with
+        | Desc.Interrupt_gate g | Desc.Trap_gate g -> (
+            match S.resolve s None g.Desc.target with
+            | Some td when Desc.is_code td && g.Desc.entry > td.Desc.limit ->
+                [
+                  F.v ~id:"INV-15" (F.Idt_vector v)
+                    "handler entry %#x lies beyond its segment limit %#x"
+                    g.Desc.entry td.Desc.limit;
+                ]
+            | _ -> [])
+        | _ -> [])
+      s.S.s_idt
+  in
+  let vec80 =
+    let subj = F.Idt_vector syscall_vector in
+    match S.find_idt s syscall_vector with
+    | None -> [ F.v ~id:"INV-15" subj "the int-0x80 syscall vector is missing" ]
+    | Some d -> (
+        match d.Desc.kind with
+        | Desc.Interrupt_gate g ->
+            List.concat
+              [
+                (if not (P.equal g.Desc.gate_dpl P.R3) then
+                   [
+                     F.v ~id:"INV-15" subj
+                       "syscall gate must be DPL 3, found DPL %d"
+                       (ring g.Desc.gate_dpl);
+                   ]
+                 else []);
+                (if not (Sel.equal g.Desc.target s.S.s_kcs) then
+                   [
+                     F.v ~id:"INV-15" subj
+                       "syscall gate targets %a, not the kernel code segment"
+                       Sel.pp g.Desc.target;
+                   ]
+                 else []);
+                (if g.Desc.entry <> s.S.s_syscall_entry then
+                   [
+                     F.v ~id:"INV-15" subj
+                       "syscall gate entry %#x is not the registered syscall \
+                        stub %#x — every system call would land elsewhere"
+                       g.Desc.entry s.S.s_syscall_entry;
+                   ]
+                 else []);
+              ]
+        | k ->
+            (* its shape is INV-14's complaint; entry integrity is moot *)
+            ignore k;
+            [])
+  in
+  bounds @ vec80
+
+(* --- INV-16: DPL 1 kernel-service gates are registered ------------- *)
+
+let check_ksvc_gates (s : S.t) =
+  let live = S.live_segments s in
+  let registered = List.concat_map (fun (rs : S.registered_segment) -> rs.S.rs_gates) live in
+  List.concat_map
+    (fun (slot, (d : Desc.t)) ->
+      match d.Desc.kind with
+      | Desc.Call_gate g when P.equal g.Desc.gate_dpl P.R1 -> (
+          let subj = F.Gdt_slot slot in
+          match List.assoc_opt slot registered with
+          | None ->
+              [
+                F.v ~id:"INV-16" subj
+                  "DPL 1 call gate (entry %#x) at a slot no extension \
+                   segment registered"
+                  g.Desc.entry;
+              ]
+          | Some entry when entry <> g.Desc.entry ->
+              [
+                F.v ~id:"INV-16" subj
+                  "DPL 1 call gate entry %#x does not match the registered \
+                   kernel-service stub %#x"
+                  g.Desc.entry entry;
+              ]
+          | Some _ -> [])
+      | _ -> [])
+    s.S.s_gdt
+
+(* --- INV-17 / INV-18: user-space PTEs vs. VM intent ---------------- *)
+
+let page_size = X86.Layout.page_size
+
+let check_ppl_consistency (s : S.t) =
+  List.concat_map
+    (fun (tk : S.task) ->
+      List.filter_map
+        (fun (pg : S.page) ->
+          if S.is_kernel_vpn pg.S.pg_vpn then None
+          else
+            match S.area_covering tk (pg.S.pg_vpn * page_size) with
+            | None -> None (* INV-18's complaint *)
+            | Some a ->
+                let want_user = a.S.ar_ppl = P.User in
+                if pg.S.pg_user <> want_user then
+                  Some
+                    (F.v ~id:"INV-17"
+                       (F.Page { pid = Some tk.S.t_pid; vpn = pg.S.pg_vpn })
+                       "U/S bit says PPL %d but the %s area %s is PPL %d — \
+                        the hardware no longer enforces what init_PL/\
+                        set_range recorded"
+                       (if pg.S.pg_user then 1 else 0)
+                       (Vm_area.kind_name a.S.ar_kind)
+                       a.S.ar_label
+                       (if want_user then 1 else 0))
+                else None)
+        tk.S.t_pages)
+    s.S.s_tasks
+
+let check_pte_coverage (s : S.t) =
+  List.concat_map
+    (fun (tk : S.task) ->
+      List.filter_map
+        (fun (pg : S.page) ->
+          if S.is_kernel_vpn pg.S.pg_vpn then None
+          else
+            match S.area_covering tk (pg.S.pg_vpn * page_size) with
+            | Some _ -> None
+            | None ->
+                Some
+                  (F.v ~id:"INV-18"
+                     (F.Page { pid = Some tk.S.t_pid; vpn = pg.S.pg_vpn })
+                     "mapped user page (pfn %#x) covered by no VM area"
+                     pg.S.pg_pfn))
+        tk.S.t_pages)
+    s.S.s_tasks
+
+(* --- INV-19: the kernel window is supervisor everywhere ------------ *)
+
+let check_kernel_ppl (s : S.t) =
+  let of_pages pid pages =
+    List.filter_map
+      (fun (pg : S.page) ->
+        if S.is_kernel_vpn pg.S.pg_vpn && pg.S.pg_user then
+          Some
+            (F.v ~id:"INV-19" (F.Page { pid; vpn = pg.S.pg_vpn })
+               "kernel page marked user-accessible (PPL 1) — ring 3 can \
+                reach the 3-4 GB window")
+        else None)
+      pages
+  in
+  of_pages None s.S.s_boot_pages
+  @ List.concat_map
+      (fun (tk : S.task) -> of_pages (Some tk.S.t_pid) tk.S.t_pages)
+      s.S.s_tasks
+
+(* --- INV-20: no extension-writable frame aliases kernel memory ----- *)
+
+let check_no_alias (s : S.t) =
+  (* Frames an extension can write: user-space pages that are both
+     user-accessible and writable, in any task. *)
+  let ext_writable = Hashtbl.create 64 in
+  List.iter
+    (fun (tk : S.task) ->
+      List.iter
+        (fun (pg : S.page) ->
+          if
+            (not (S.is_kernel_vpn pg.S.pg_vpn))
+            && pg.S.pg_user && pg.S.pg_writable
+          then
+            Hashtbl.replace ext_writable pg.S.pg_pfn (tk.S.t_pid, pg.S.pg_vpn))
+        tk.S.t_pages)
+    s.S.s_tasks;
+  let seen = Hashtbl.create 8 in
+  let of_pages pages =
+    List.filter_map
+      (fun (pg : S.page) ->
+        if
+          S.is_kernel_vpn pg.S.pg_vpn
+          && Hashtbl.mem ext_writable pg.S.pg_pfn
+          && not (Hashtbl.mem seen pg.S.pg_pfn)
+        then begin
+          Hashtbl.replace seen pg.S.pg_pfn ();
+          let pid, vpn = Hashtbl.find ext_writable pg.S.pg_pfn in
+          Some
+            (F.v ~id:"INV-20" (F.Frame pg.S.pg_pfn)
+               "frame is writable from user/extension space (pid %d, vpn \
+                %#x) and also mapped into the kernel window at vpn %#x"
+               pid vpn pg.S.pg_vpn)
+        end
+        else None)
+      pages
+  in
+  of_pages s.S.s_boot_pages
+  @ List.concat_map (fun (tk : S.task) -> of_pages tk.S.t_pages) s.S.s_tasks
+
+(* --- INV-21: promoted-task segment roles --------------------------- *)
+
+let check_task_seg_roles (s : S.t) =
+  List.concat_map
+    (fun (tk : S.task) ->
+      if not tk.S.t_promoted then []
+      else
+        let subj = F.Task_state tk.S.t_pid in
+        let bad fmt = F.v ~id:"INV-21" subj fmt in
+        let role name sel_opt ~want_code ~dpl ~writable =
+          match sel_opt with
+          | None -> [ bad "promoted task lost its %s selector" name ]
+          | Some sel -> (
+              match S.resolve s (Some tk) sel with
+              | None -> [ bad "%s selector %a dangles" name Sel.pp sel ]
+              | Some d ->
+                  let kind_ok =
+                    if want_code then Desc.is_code d
+                    else Desc.is_data d && ((not writable) || Desc.is_writable d)
+                  in
+                  List.concat
+                    [
+                      (if not kind_ok then
+                         [
+                           bad "%s must be a %s segment, found %a" name
+                             (if want_code then "code"
+                              else "writable data")
+                             Desc.pp_kind d.Desc.kind;
+                         ]
+                       else []);
+                      (if not (P.equal d.Desc.dpl dpl) then
+                         [
+                           bad "%s must be DPL %d, found DPL %d" name
+                             (ring dpl) (ring d.Desc.dpl);
+                         ]
+                       else []);
+                    ])
+        in
+        role "app_cs" tk.S.t_app_cs ~want_code:true ~dpl:P.R2 ~writable:false
+        @ role "app_ss" tk.S.t_app_ss ~want_code:false ~dpl:P.R2 ~writable:true
+        @ role "ext_cs" tk.S.t_ext_cs ~want_code:true ~dpl:P.R3 ~writable:false)
+    s.S.s_tasks
+
+(* --- catalogue ------------------------------------------------------ *)
+
+let iv ~id ~name ~paper ~doc check =
+  { iv_id = id; iv_name = name; iv_paper = paper; iv_doc = doc; iv_check = check }
+
+let catalogue =
+  [
+    iv ~id:"INV-01" ~name:"gdt-null-slot" ~paper:"§3"
+      ~doc:"GDT slot 0 stays the unusable null descriptor" check_gdt_null;
+    iv ~id:"INV-02" ~name:"kernel-core-segments" ~paper:"§3, Fig. 2"
+      ~doc:"kernel code/data descriptors: DPL 0, spanning exactly 3-4 GB"
+      check_kernel_core_segs;
+    iv ~id:"INV-03" ~name:"user-flat-segments" ~paper:"§3, Fig. 2"
+      ~doc:"user code/data descriptors: DPL 3, spanning exactly 0-3 GB"
+      check_user_flat_segs;
+    iv ~id:"INV-04" ~name:"ext-segment-range" ~paper:"§4.3, Fig. 3"
+      ~doc:
+        "kernel-extension segments: DPL 1, inside the extension region, and \
+         every DPL 1 segment registered"
+      check_ext_seg_range;
+    iv ~id:"INV-05" ~name:"ext-segment-aliasing" ~paper:"§4.3"
+      ~doc:
+        "each extension segment's cs/ds alias one range; distinct segments \
+         are disjoint"
+      check_ext_seg_aliasing;
+    iv ~id:"INV-06" ~name:"no-conforming-code" ~paper:"§3"
+      ~doc:"no conforming code segment in the GDT or any LDT"
+      check_no_conforming;
+    iv ~id:"INV-07" ~name:"gdt-dpl-partition" ~paper:"§4.4"
+      ~doc:"no DPL 2 segment in the shared GDT (SPL 2 state is per-task)"
+      check_gdt_dpl;
+    iv ~id:"INV-08" ~name:"ldt-segment-shape" ~paper:"§4.4.1"
+      ~doc:
+        "LDT code segments are flat 0-3 GB at DPL 2/3; data segments stay in \
+         user space, non-flat windows only at DPL 2"
+      check_ldt_seg_shape;
+    iv ~id:"INV-09" ~name:"ldt-null-hygiene" ~paper:"§3"
+      ~doc:"LDT slot 0 stays empty (a cleared selector must never resolve)"
+      check_ldt_slot0;
+    iv ~id:"INV-10" ~name:"appgate-registered" ~paper:"§4.4.2, Fig. 6"
+      ~doc:
+        "LDT call gates are DPL 3, zero-parameter, target the task's app_cs \
+         at an entry registered through set_call_gate"
+      check_appgate_registered;
+    iv ~id:"INV-11" ~name:"gate-targets-code" ~paper:"§3"
+      ~doc:"every gate targets a present, executable code segment"
+      check_gate_targets;
+    iv ~id:"INV-12" ~name:"tss-stack-dpl" ~paper:"§3, §4.4.1"
+      ~doc:
+        "every set TSS stack slot holds an RPL-matching selector to writable \
+         data whose DPL equals the ring"
+      check_tss_stack_dpl;
+    iv ~id:"INV-13" ~name:"tss-ring0-stack" ~paper:"§4.4.1"
+      ~doc:"every task has a kernel-segment ring-0 stack" check_tss_ring0;
+    iv ~id:"INV-14" ~name:"idt-gate-shape" ~paper:"§3"
+      ~doc:"IDT entries are interrupt or trap gates only" check_idt_shape;
+    iv ~id:"INV-15" ~name:"idt-entry-integrity" ~paper:"§3, §4.4.2"
+      ~doc:
+        "IDT handler entries lie within their segments; vector 0x80 is the \
+         registered DPL 3 syscall gate into the kernel stub"
+      check_idt_entries;
+    iv ~id:"INV-16" ~name:"ksvc-gate-registered" ~paper:"§4.3, Fig. 4"
+      ~doc:
+        "every DPL 1 call gate sits at a slot a live extension segment \
+         registered, with the registered entry"
+      check_ksvc_gates;
+    iv ~id:"INV-17" ~name:"ppl-consistency" ~paper:"§4.4.1"
+      ~doc:
+        "each mapped user page's U/S bit equals its VM area's recorded PPL \
+         (init_PL/set_range intent)"
+      check_ppl_consistency;
+    iv ~id:"INV-18" ~name:"pte-area-coverage" ~paper:"§4.4"
+      ~doc:"no user-space PTE without a covering VM area" check_pte_coverage;
+    iv ~id:"INV-19" ~name:"kernel-ppl" ~paper:"§3.1"
+      ~doc:"every kernel-window page is supervisor (PPL 0) in every directory"
+      check_kernel_ppl;
+    iv ~id:"INV-20" ~name:"no-ext-alias" ~paper:"§4.3, §4.4"
+      ~doc:
+        "no frame writable from user/extension space is also mapped into the \
+         kernel window"
+      check_no_alias;
+    iv ~id:"INV-21" ~name:"task-segment-roles" ~paper:"§4.4.1"
+      ~doc:
+        "promoted tasks keep app_cs (DPL 2 code), app_ss (DPL 2 writable \
+         data) and ext_cs (DPL 3 code)"
+      check_task_seg_roles;
+  ]
+
+let find key =
+  List.find_opt (fun i -> i.iv_id = key || i.iv_name = key) catalogue
+
+let check_all s = List.concat_map (fun i -> i.iv_check s) catalogue

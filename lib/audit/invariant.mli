@@ -1,0 +1,21 @@
+(** The Palladium protection-invariant catalogue: each entry names one
+    property of the machine state that the paper's isolation argument
+    (sections 3-4) relies on, with a checker over a {!Snapshot.t}. *)
+
+type t = {
+  iv_id : string;  (** stable id cited by findings, e.g. ["INV-04"] *)
+  iv_name : string;  (** short kebab-case slug *)
+  iv_paper : string;  (** paper section / figure the invariant encodes *)
+  iv_doc : string;  (** one-line statement of the property *)
+  iv_check : Snapshot.t -> Finding.t list;
+}
+
+val catalogue : t list
+(** All invariants, in id order.  The privilege-transfer reachability
+    analysis ([REACH-01]) lives in {!Reach}, not here. *)
+
+val find : string -> t option
+(** Look up by id or name. *)
+
+val check_all : Snapshot.t -> Finding.t list
+(** Run the whole catalogue; findings in catalogue order. *)

@@ -1,0 +1,303 @@
+(* Privilege-transfer reachability.
+
+   The catalogue checks each descriptor in isolation; this analysis
+   checks their *composition*.  Nodes are (ring, code segment) pairs:
+   non-conforming code always executes at its descriptor's DPL, so a
+   code segment is one node, not four.  Edges are every transfer the
+   simulated IA-32 subset admits:
+
+     - call gates (GDT or LDT): usable from any CPL numerically <= the
+       gate's DPL, landing in the target segment at the target's DPL;
+     - IDT interrupt/trap gates via software int, same DPL rule;
+     - lret/iret: returns only to numerically larger (less privileged)
+       rings;
+     - same-ring far jmp/call between non-conforming segments of equal
+       DPL.
+
+   We deliberately over-approximate: an LDT gate is given edges from
+   every eligible code node, not just segments of its owning task.  A
+   violation in the over-approximation that survives the audited-gate
+   cut is still a real hole in *some* admissible machine, and the
+   over-approximation can only add paths, never hide one.
+
+   The proof obligation (paper §4.3-4.4): with the loader-registered
+   gate sites removed — IDT vector 0x80, the DPL 1 kernel-service
+   gates each live extension segment registered, and each task's
+   set_call_gate slots — no node at ring 3 or ring 1 reaches ring 0. *)
+
+module P = X86.Privilege
+module Sel = X86.Selector
+module Desc = X86.Descriptor
+module S = Snapshot
+module F = Finding
+module J = Obs.Json
+
+type seg_ref = Rgdt of int | Rldt of { pid : int; slot : int }
+
+type node = { n_ring : int; n_seg : seg_ref }
+
+type gate_site = Ggdt of int | Gldt of { pid : int; slot : int } | Gidt of int
+
+type edge = {
+  e_from : node;
+  e_to : node;
+  e_via : string;
+  e_site : gate_site option;
+  e_audited : bool;
+}
+
+type violation = { v_start : node; v_path : edge list }
+
+type result = {
+  r_nodes : int;
+  r_edges : int;
+  r_audited : gate_site list;
+  r_violations : violation list;
+}
+
+let pp_seg ppf = function
+  | Rgdt slot -> Fmt.pf ppf "gdt[%d]" slot
+  | Rldt { pid; slot } -> Fmt.pf ppf "ldt(pid %d)[%d]" pid slot
+
+let pp_node ppf n = Fmt.pf ppf "r%d:%a" n.n_ring pp_seg n.n_seg
+
+let pp_site ppf = function
+  | Ggdt slot -> Fmt.pf ppf "gdt[%d]" slot
+  | Gldt { pid; slot } -> Fmt.pf ppf "ldt(pid %d)[%d]" pid slot
+  | Gidt v -> Fmt.pf ppf "idt[%#x]" v
+
+let pp_path ppf path =
+  match path with
+  | [] -> Fmt.string ppf "<empty>"
+  | first :: _ ->
+      pp_node ppf first.e_from;
+      List.iter
+        (fun e -> Fmt.pf ppf " --%s--> %a" e.e_via pp_node e.e_to)
+        path
+
+(* Every present, non-conforming code segment is a node at its DPL.
+   Conforming segments are INV-06's finding; excluding them here keeps
+   a planted conforming segment a single-invariant misconfiguration. *)
+let code_nodes (s : S.t) =
+  let of_entries mk entries =
+    List.filter_map
+      (fun (slot, (d : Desc.t)) ->
+        if Desc.is_code d && d.Desc.present && not (Desc.is_conforming d) then
+          Some ({ n_ring = P.to_int d.Desc.dpl; n_seg = mk slot }, d)
+        else None)
+      entries
+  in
+  of_entries (fun slot -> Rgdt slot) s.S.s_gdt
+  @ List.concat_map
+      (fun (tk : S.task) ->
+        of_entries (fun slot -> Rldt { pid = tk.S.t_pid; slot }) tk.S.t_ldt)
+      s.S.s_tasks
+
+let audited_sites (s : S.t) =
+  let gdt =
+    List.concat_map
+      (fun (rs : S.registered_segment) ->
+        List.map (fun (slot, _) -> Ggdt slot) rs.S.rs_gates)
+      (S.live_segments s)
+  in
+  let ldt =
+    List.concat_map
+      (fun (tk : S.task) ->
+        List.map (fun (slot, _) -> Gldt { pid = tk.S.t_pid; slot }) tk.S.t_gates)
+      s.S.s_tasks
+  in
+  (Gidt 0x80 :: gdt) @ ldt
+
+(* Resolve a gate target to its node.  [topt] supplies the LDT context
+   for gates that live in (or point into) a task's LDT. *)
+let target_node (s : S.t) topt (g : Desc.gate) =
+  match S.resolve s topt g.Desc.target with
+  | Some d when Desc.is_code d && d.Desc.present ->
+      let seg =
+        match Sel.table g.Desc.target with
+        | Sel.Gdt -> Some (Rgdt (Sel.index g.Desc.target))
+        | Sel.Ldt -> (
+            match topt with
+            | Some (tk : S.task) ->
+                Some (Rldt { pid = tk.S.t_pid; slot = Sel.index g.Desc.target })
+            | None -> None)
+      in
+      Option.map
+        (fun n_seg -> { n_ring = P.to_int d.Desc.dpl; n_seg })
+        seg
+  | _ -> None
+
+let analyse (s : S.t) =
+  let nodes = List.map fst (code_nodes s) in
+  let audited = audited_sites s in
+  let is_audited site = List.mem site audited in
+  let gate_edges ~via ~site topt (g : Desc.gate) =
+    match target_node s topt g with
+    | None -> []
+    | Some dst ->
+        let dpl = P.to_int g.Desc.gate_dpl in
+        let aud = is_audited site in
+        List.filter_map
+          (fun src ->
+            if src.n_ring <= dpl && src <> dst then
+              Some
+                {
+                  e_from = src;
+                  e_to = dst;
+                  e_via = via;
+                  e_site = Some site;
+                  e_audited = aud;
+                }
+            else None)
+          nodes
+  in
+  let edges_of_table topt mk entries =
+    List.concat_map
+      (fun (slot, (d : Desc.t)) ->
+        match d.Desc.kind with
+        | Desc.Call_gate g -> gate_edges ~via:"call-gate" ~site:(mk slot) topt g
+        | _ -> [])
+      entries
+  in
+  let gdt_gate_edges = edges_of_table None (fun slot -> Ggdt slot) s.S.s_gdt in
+  let ldt_gate_edges =
+    List.concat_map
+      (fun (tk : S.task) ->
+        edges_of_table (Some tk)
+          (fun slot -> Gldt { pid = tk.S.t_pid; slot })
+          tk.S.t_ldt)
+      s.S.s_tasks
+  in
+  let idt_edges =
+    List.concat_map
+      (fun (v, (d : Desc.t)) ->
+        match d.Desc.kind with
+        | Desc.Interrupt_gate g -> gate_edges ~via:"int" ~site:(Gidt v) None g
+        | Desc.Trap_gate g -> gate_edges ~via:"trap" ~site:(Gidt v) None g
+        | _ -> [])
+      s.S.s_idt
+  in
+  let plain_edges =
+    (* lret/iret lowers privilege (numerically larger ring); a far
+       jmp/call to non-conforming code needs DPL = CPL. *)
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun dst ->
+            if src.n_seg = dst.n_seg then None
+            else if dst.n_ring > src.n_ring then
+              Some
+                {
+                  e_from = src;
+                  e_to = dst;
+                  e_via = "lret";
+                  e_site = None;
+                  e_audited = false;
+                }
+            else if dst.n_ring = src.n_ring then
+              Some
+                {
+                  e_from = src;
+                  e_to = dst;
+                  e_via = "far";
+                  e_site = None;
+                  e_audited = false;
+                }
+            else None)
+          nodes)
+      nodes
+  in
+  let edges = gdt_gate_edges @ ldt_gate_edges @ idt_edges @ plain_edges in
+  let adj = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.add adj e.e_from e) edges;
+  (* Multi-source BFS from every SPL 3 / SPL 1 node, refusing audited
+     gate edges.  Reaching ring 0 through what remains is a violation. *)
+  let starts = List.filter (fun n -> n.n_ring = 3 || n.n_ring = 1) nodes in
+  let pred : (node, edge option * node) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem pred n) then begin
+        Hashtbl.replace pred n (None, n);
+        Queue.add n queue
+      end)
+    starts;
+  let path_to n =
+    let rec up acc n =
+      match Hashtbl.find pred n with
+      | None, root -> (root, acc)
+      | Some e, _ -> up (e :: acc) e.e_from
+    in
+    up [] n
+  in
+  let violations = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun e ->
+        if not e.e_audited then
+          if e.e_to.n_ring = 0 then begin
+            (* Record, but do not explore from ring 0: the proof is
+               about *entering* the kernel, not what it can do after. *)
+            let root, prefix = path_to u in
+            violations := { v_start = root; v_path = prefix @ [ e ] } :: !violations
+          end
+          else if not (Hashtbl.mem pred e.e_to) then begin
+            Hashtbl.replace pred e.e_to (Some e, u);
+            Queue.add e.e_to queue
+          end)
+      (Hashtbl.find_all adj u)
+  done;
+  {
+    r_nodes = List.length nodes;
+    r_edges = List.length edges;
+    r_audited = audited;
+    r_violations = List.rev !violations;
+  }
+
+let last_site v =
+  match List.rev v.v_path with
+  | e :: _ -> e.e_site
+  | [] -> None
+
+let findings r =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun v ->
+      let site = last_site v in
+      if Hashtbl.mem seen site then None
+      else begin
+        Hashtbl.replace seen site ();
+        let subj =
+          match site with
+          | Some (Ggdt slot) -> F.Gdt_slot slot
+          | Some (Gldt { pid; slot }) -> F.Ldt_slot { pid; slot }
+          | Some (Gidt v) -> F.Idt_vector v
+          | None -> F.Machine
+        in
+        Some
+          (F.v ~id:"REACH-01" subj
+             "unaudited path into ring 0: %a" pp_path v.v_path)
+      end)
+    r.r_violations
+
+let site_json site = Fmt.str "%a" pp_site site
+
+let result_json r =
+  J.Obj
+    [
+      ("nodes", J.Int r.r_nodes);
+      ("edges", J.Int r.r_edges);
+      ( "audited_gates",
+        J.List (List.map (fun st -> J.String (site_json st)) r.r_audited) );
+      ( "violations",
+        J.List
+          (List.map
+             (fun v ->
+               J.Obj
+                 [
+                   ("start", J.String (Fmt.str "%a" pp_node v.v_start));
+                   ("path", J.String (Fmt.str "%a" pp_path v.v_path));
+                 ])
+             r.r_violations) );
+    ]

@@ -1,0 +1,160 @@
+(* Read-only capture of the live machine state.
+
+   The auditor never analyses the mutable structures directly: a
+   snapshot decouples the checks from concurrent mutation, makes the
+   analysis trivially repeatable, and forces every protection-relevant
+   input through one documented surface (descriptor tables, page
+   directories, TSS stack slots, VM areas, and the loader registries
+   that say what *should* be there). *)
+
+module P = X86.Privilege
+module Sel = X86.Selector
+module DT = X86.Desc_table
+
+type page = { pg_vpn : int; pg_pfn : int; pg_writable : bool; pg_user : bool }
+
+type area = {
+  ar_start : int;
+  ar_end : int;
+  ar_writable : bool;
+  ar_ppl : P.page_level;
+  ar_kind : Vm_area.kind;
+  ar_label : string;
+}
+
+type task = {
+  t_pid : int;
+  t_name : string;
+  t_spl : P.ring;
+  t_promoted : bool;
+  t_app_cs : Sel.t option;
+  t_app_ss : Sel.t option;
+  t_ext_cs : Sel.t option;
+  t_gates : (int * int) list;
+  t_ldt : (int * X86.Descriptor.t) list;
+  t_stacks : (P.ring * Tss.stack) list;
+  t_pages : page list;
+  t_areas : area list;
+}
+
+type registered_segment = {
+  rs_name : string;
+  rs_cs : int;
+  rs_ds : int;
+  rs_base : int;
+  rs_size : int;
+  rs_gates : (int * int) list;
+  rs_dead : bool;
+}
+
+type t = {
+  s_gdt : (int * X86.Descriptor.t) list;
+  s_idt : (int * X86.Descriptor.t) list;
+  s_tasks : task list;
+  s_segments : registered_segment list;
+  s_boot_pages : page list;
+  s_syscall_entry : int;
+  s_kcs : Sel.t;
+  s_kds : Sel.t;
+  s_generation : int;
+}
+
+let table_entries dt =
+  let acc = ref [] in
+  DT.iter dt (fun i d -> acc := (i, d) :: !acc);
+  List.rev !acc
+
+let dir_pages dir =
+  let acc = ref [] in
+  X86.Paging.iter dir (fun vpn (pte : X86.Paging.pte) ->
+      acc :=
+        {
+          pg_vpn = vpn;
+          pg_pfn = pte.X86.Paging.pfn;
+          pg_writable = pte.X86.Paging.writable;
+          pg_user = pte.X86.Paging.user;
+        }
+        :: !acc);
+  List.rev !acc
+
+let capture_area (a : Vm_area.t) =
+  {
+    ar_start = a.Vm_area.va_start;
+    ar_end = a.Vm_area.va_end;
+    ar_writable = a.Vm_area.perms.Vm_area.pw;
+    ar_ppl = a.Vm_area.ppl;
+    ar_kind = a.Vm_area.kind;
+    ar_label = a.Vm_area.label;
+  }
+
+let capture_task (tk : Task.t) =
+  let stacks =
+    List.filter_map
+      (fun ring ->
+        match Tss.stack_slot tk.Task.tss ring with
+        | Some s -> Some (ring, s)
+        | None -> None)
+      [ P.R0; P.R1; P.R2 ]
+  in
+  {
+    t_pid = tk.Task.pid;
+    t_name = tk.Task.name;
+    t_spl = tk.Task.task_spl;
+    t_promoted = Task.is_promoted tk;
+    t_app_cs = tk.Task.app_cs;
+    t_app_ss = tk.Task.app_ss;
+    t_ext_cs = tk.Task.ext_cs;
+    t_gates = tk.Task.gate_entries;
+    t_ldt = table_entries tk.Task.ldt;
+    t_stacks = stacks;
+    t_pages = dir_pages (Address_space.directory tk.Task.asp);
+    t_areas = List.map capture_area (Address_space.areas tk.Task.asp);
+  }
+
+let capture ?(segments = []) ?(generation = 0) kernel =
+  {
+    s_gdt = table_entries (Kernel.gdt kernel);
+    s_idt = table_entries (Kernel.idt kernel);
+    s_tasks = List.rev_map capture_task (Kernel.tasks kernel);
+    s_segments = segments;
+    s_boot_pages = dir_pages (Kernel.boot_directory kernel);
+    s_syscall_entry = Kernel.syscall_entry_offset kernel;
+    s_kcs = Kernel.kernel_code_selector kernel;
+    s_kds = Kernel.kernel_data_selector kernel;
+    s_generation = generation;
+  }
+
+let find_gdt t slot = List.assoc_opt slot t.s_gdt
+
+let find_idt t vector = List.assoc_opt vector t.s_idt
+
+let find_ldt task slot = List.assoc_opt slot task.t_ldt
+
+let find_task t pid = List.find_opt (fun tk -> tk.t_pid = pid) t.s_tasks
+
+let resolve t task sel =
+  if Sel.is_null sel then None
+  else
+    match Sel.table sel with
+    | Sel.Gdt -> find_gdt t (Sel.index sel)
+    | Sel.Ldt -> (
+        match task with
+        | Some tk -> find_ldt tk (Sel.index sel)
+        | None -> None)
+
+let area_covering task addr =
+  List.find_opt (fun a -> addr >= a.ar_start && addr < a.ar_end) task.t_areas
+
+let kernel_vpn = X86.Layout.kernel_base / X86.Layout.page_size
+
+let is_kernel_vpn vpn = vpn >= kernel_vpn
+
+let live_segments t = List.filter (fun rs -> not rs.rs_dead) t.s_segments
+
+let pp ppf t =
+  Fmt.pf ppf
+    "snapshot gen=%d: %d GDT, %d IDT, %d tasks, %d segments, %d boot pages"
+    t.s_generation (List.length t.s_gdt) (List.length t.s_idt)
+    (List.length t.s_tasks)
+    (List.length t.s_segments)
+    (List.length t.s_boot_pages)

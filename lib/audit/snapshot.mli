@@ -1,0 +1,88 @@
+(** Immutable capture of the protection-relevant machine state: every
+    descriptor table, gate, TSS stack slot, page-table entry and VM
+    area, plus the loader-side ground truth (registered extension
+    segments and AppCallGate entries) the invariants check against. *)
+
+type page = { pg_vpn : int; pg_pfn : int; pg_writable : bool; pg_user : bool }
+
+type area = {
+  ar_start : int;
+  ar_end : int;  (** exclusive *)
+  ar_writable : bool;
+  ar_ppl : X86.Privilege.page_level;
+  ar_kind : Vm_area.kind;
+  ar_label : string;
+}
+
+type task = {
+  t_pid : int;
+  t_name : string;
+  t_spl : X86.Privilege.ring;
+  t_promoted : bool;
+  t_app_cs : X86.Selector.t option;
+  t_app_ss : X86.Selector.t option;
+  t_ext_cs : X86.Selector.t option;
+  t_gates : (int * int) list;  (** registered (LDT slot, entry) pairs *)
+  t_ldt : (int * X86.Descriptor.t) list;
+  t_stacks : (X86.Privilege.ring * Tss.stack) list;  (** set slots only *)
+  t_pages : page list;
+  t_areas : area list;
+}
+
+(** A kernel-extension segment as the loader registered it; the
+    auditor compares the live GDT against this. *)
+type registered_segment = {
+  rs_name : string;
+  rs_cs : int;  (** GDT slot of the DPL 1 code descriptor *)
+  rs_ds : int;  (** GDT slot of the DPL 1 data descriptor *)
+  rs_base : int;
+  rs_size : int;
+  rs_gates : (int * int) list;
+      (** sanctioned DPL 1 call gates: (GDT slot, kernel entry offset)
+          — the return gate plus every exposed kernel service *)
+  rs_dead : bool;  (** aborted; its descriptors must be gone *)
+}
+
+type t = {
+  s_gdt : (int * X86.Descriptor.t) list;
+  s_idt : (int * X86.Descriptor.t) list;
+  s_tasks : task list;
+  s_segments : registered_segment list;
+  s_boot_pages : page list;
+  s_syscall_entry : int;  (** kernel offset behind IDT vector 0x80 *)
+  s_kcs : X86.Selector.t;
+  s_kds : X86.Selector.t;
+  s_generation : int;
+}
+
+val capture :
+  ?segments:registered_segment list -> ?generation:int -> Kernel.t -> t
+(** Read-only walk of the kernel's descriptor tables, tasks, page
+    tables and TSSs.  [segments] is the auditor's registry of
+    sanctioned kernel-extension segments (default none);
+    [generation] stamps the snapshot for incremental re-audit. *)
+
+val find_gdt : t -> int -> X86.Descriptor.t option
+
+val find_idt : t -> int -> X86.Descriptor.t option
+
+val find_ldt : task -> int -> X86.Descriptor.t option
+
+val find_task : t -> int -> task option
+
+val resolve : t -> task option -> X86.Selector.t -> X86.Descriptor.t option
+(** Resolve a selector against the snapshot: GDT selectors globally,
+    LDT selectors in [task]'s captured LDT. *)
+
+val area_covering : task -> int -> area option
+(** The VM area covering a linear address, if any. *)
+
+val kernel_vpn : int
+(** First VPN of the 3-4 GB kernel window. *)
+
+val is_kernel_vpn : int -> bool
+
+val live_segments : t -> registered_segment list
+
+val pp : t Fmt.t
+(** One-line summary (table sizes, task/segment counts). *)

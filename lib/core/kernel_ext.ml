@@ -91,7 +91,9 @@ let kernel_delta t = t.seg_base - X86.Layout.kernel_base
 let create kernel ~size =
   if size land X86.Phys_mem.page_mask <> 0 then
     invalid_arg "Kernel_ext.create: size must be page aligned";
-  let seg_base = Kernel.kalloc kernel ~bytes:size in
+  (* Extension segments are carved from the dedicated region above the
+     kernel core (INV-04): kalloc_ext, never kalloc. *)
+  let seg_base = Kernel.kalloc_ext kernel ~bytes:size in
   let gdt = Kernel.gdt kernel in
   let gdt_cs_idx =
     DT.alloc gdt (Desc.code ~base:seg_base ~limit:(size - 1) ~dpl:P.R1 ())
@@ -135,6 +137,13 @@ let create kernel ~size =
          ~target:(Kernel.kernel_code_selector kernel)
          ~entry:kgate_entry ())
   in
+  (* Hand the auditor its ground truth: the segment's slots and range,
+     plus the return gate as the first sanctioned DPL 1 gate. *)
+  Paudit.register_segment kernel
+    ~name:(Printf.sprintf "extseg%d" gdt_cs_idx)
+    ~cs:gdt_cs_idx ~ds:gdt_ds_idx ~base:seg_base ~size;
+  Paudit.add_segment_gate kernel ~cs:gdt_cs_idx ~slot:gdt_gate_idx
+    ~entry:kgate_entry;
   {
     kernel;
     seg_base;
@@ -302,6 +311,7 @@ let insmod ?(require_termination = false) t (image : Image.t) =
     }
   in
   t.modules <- m :: t.modules;
+  Paudit.maybe_audit ~context:("insmod " ^ image.Image.name) t.kernel;
   m
 
 let module_symbol m name = Hashtbl.find_opt m.m_symbols name
@@ -316,7 +326,11 @@ let abort t =
   let gdt = Kernel.gdt t.kernel in
   DT.clear gdt t.gdt_cs_idx;
   DT.clear gdt t.gdt_ds_idx;
-  DT.clear gdt t.gdt_gate_idx
+  DT.clear gdt t.gdt_gate_idx;
+  (* The auditor must stop expecting this segment's descriptors. *)
+  Paudit.mark_segment_dead t.kernel ~cs:t.gdt_cs_idx;
+  List.iter (fun (_, sel) -> DT.clear gdt (Sel.index (Sel.decode sel))) t.ksvcs;
+  t.ksvcs <- []
 
 (* Synchronous protected invocation of an extension function by the
    kernel (Figure 4, steps 4-5-9). *)
@@ -431,6 +445,7 @@ let expose_service t ~name ~(handler : args_linear:int -> int) =
          ~entry ())
   in
   let sel = Sel.encode (Sel.make ~rpl:P.R1 idx) in
+  Paudit.add_segment_gate t.kernel ~cs:t.gdt_cs_idx ~slot:idx ~entry;
   t.ksvcs <- (name, sel) :: t.ksvcs;
   sel
 

@@ -12,7 +12,10 @@ let version = "0.9.0"
 
 type world = { kernel : Kernel.t }
 
-let boot ?params () = { kernel = Kernel.boot ?params () }
+let boot ?params () =
+  let w = { kernel = Kernel.boot ?params () } in
+  Paudit.maybe_audit ~context:"boot" w.kernel;
+  w
 
 let kernel w = w.kernel
 
@@ -30,4 +33,6 @@ let create_plain_process w ~name =
 
 (* A kernel extension segment at SPL 1. *)
 let create_kernel_segment ?(size = Pconfig.kernel_ext_segment_bytes) w =
-  Kernel_ext.create w.kernel ~size
+  let seg = Kernel_ext.create w.kernel ~size in
+  Paudit.maybe_audit ~context:"create_kernel_segment" w.kernel;
+  seg

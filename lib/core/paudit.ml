@@ -1,0 +1,113 @@
+(* Auditor driver: segment registry + incremental re-audit.
+
+   The registry is keyed by Kernel.id rather than hung off Kernel.t so
+   the kern layer stays ignorant of the auditor; Kernel_ext feeds it
+   as segments and gates are created. *)
+
+module S = Audit.Snapshot
+module DT = X86.Desc_table
+
+type seg = {
+  sg_name : string;
+  sg_cs : int;
+  sg_ds : int;
+  sg_base : int;
+  sg_size : int;
+  mutable sg_gates : (int * int) list;
+  mutable sg_dead : bool;
+}
+
+let registry : (int, seg list ref) Hashtbl.t = Hashtbl.create 4
+
+let segs_of kernel =
+  match Hashtbl.find_opt registry (Kernel.id kernel) with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace registry (Kernel.id kernel) r;
+      r
+
+let register_segment kernel ~name ~cs ~ds ~base ~size =
+  let r = segs_of kernel in
+  r :=
+    {
+      sg_name = name;
+      sg_cs = cs;
+      sg_ds = ds;
+      sg_base = base;
+      sg_size = size;
+      sg_gates = [];
+      sg_dead = false;
+    }
+    :: !r
+
+let find_seg kernel ~cs =
+  List.find_opt (fun sg -> sg.sg_cs = cs) !(segs_of kernel)
+
+let add_segment_gate kernel ~cs ~slot ~entry =
+  match find_seg kernel ~cs with
+  | Some sg -> sg.sg_gates <- (slot, entry) :: sg.sg_gates
+  | None -> invalid_arg "Paudit.add_segment_gate: unregistered segment"
+
+let mark_segment_dead kernel ~cs =
+  match find_seg kernel ~cs with
+  | Some sg -> sg.sg_dead <- true
+  | None -> invalid_arg "Paudit.mark_segment_dead: unregistered segment"
+
+let segments kernel =
+  List.rev_map
+    (fun sg ->
+      {
+        S.rs_name = sg.sg_name;
+        rs_cs = sg.sg_cs;
+        rs_ds = sg.sg_ds;
+        rs_base = sg.sg_base;
+        rs_size = sg.sg_size;
+        rs_gates = sg.sg_gates;
+        rs_dead = sg.sg_dead;
+      })
+    !(segs_of kernel)
+
+let generation kernel =
+  let tasks = Kernel.tasks kernel in
+  let dt_writes =
+    DT.writes (Kernel.gdt kernel)
+    + DT.writes (Kernel.idt kernel)
+    + List.fold_left (fun acc tk -> acc + DT.writes tk.Task.ldt) 0 tasks
+  in
+  let pg_gens =
+    X86.Paging.generation (Kernel.boot_directory kernel)
+    + List.fold_left
+        (fun acc tk ->
+          acc + X86.Paging.generation (Address_space.directory tk.Task.asp))
+        0 tasks
+  in
+  let registry_shape =
+    List.fold_left
+      (fun acc sg ->
+        acc + 1 + List.length sg.sg_gates + if sg.sg_dead then 1 else 0)
+      0
+      !(segs_of kernel)
+  in
+  dt_writes + pg_gens + List.length tasks + registry_shape
+
+let capture kernel =
+  S.capture ~segments:(segments kernel) ~generation:(generation kernel) kernel
+
+(* Generation at which each kernel last passed (or warned through) an
+   audit; absent until the first audit. *)
+let last_gen : (int, int) Hashtbl.t = Hashtbl.create 4
+
+let c_skipped = Obs.Counters.counter "audit.skipped"
+
+let force_audit ~context kernel =
+  let r = Audit.Engine.enforce ~context (capture kernel) in
+  Hashtbl.replace last_gen (Kernel.id kernel) r.Audit.Engine.rp_generation;
+  r
+
+let maybe_audit ~context kernel =
+  if !Pconfig.audit_policy <> Audit.Engine.Off then
+    let gen = generation kernel in
+    match Hashtbl.find_opt last_gen (Kernel.id kernel) with
+    | Some g when g = gen -> Obs.Counters.incr c_skipped
+    | _ -> ignore (force_audit ~context kernel)

@@ -1,0 +1,48 @@
+(** Palladium-side driver for the protection-state auditor
+    ([lib/audit]): keeps the per-kernel registry of sanctioned
+    kernel-extension segments and gates (the auditor's ground truth),
+    stamps snapshots with a state generation derived from the
+    descriptor-table write counters and paging generations, and
+    re-audits incrementally — an unchanged generation skips the
+    audit entirely ([audit.skipped] counter). *)
+
+(** {2 Segment registry} *)
+
+val register_segment :
+  Kernel.t -> name:string -> cs:int -> ds:int -> base:int -> size:int -> unit
+(** Record a loaded kernel-extension segment (GDT slots of its DPL 1
+    code/data descriptors and the range the loader carved). *)
+
+val add_segment_gate : Kernel.t -> cs:int -> slot:int -> entry:int -> unit
+(** Sanction a DPL 1 call gate (GDT [slot] targeting kernel offset
+    [entry]) belonging to the segment registered with code slot
+    [cs]. *)
+
+val mark_segment_dead : Kernel.t -> cs:int -> unit
+(** The segment was aborted; its descriptors must now be absent. *)
+
+val segments : Kernel.t -> Audit.Snapshot.registered_segment list
+
+(** {2 Auditing} *)
+
+val generation : Kernel.t -> int
+(** Monotone fingerprint of the protection state: descriptor-table
+    write counters (GDT, IDT, every LDT), paging generations (boot and
+    every task directory), task count and registry shape.  Mutations
+    that bypass the documented interfaces (e.g. poking a [pte] record
+    directly) are invisible to it — exactly like a store that bypasses
+    the MMU. *)
+
+val capture : Kernel.t -> Audit.Snapshot.t
+(** Snapshot with the registry and current generation filled in. *)
+
+val maybe_audit : context:string -> Kernel.t -> unit
+(** Incremental re-audit: no-op under [Off]; skips (and counts
+    [audit.skipped]) when {!generation} is unchanged since the last
+    completed audit of this kernel; otherwise runs
+    [Audit.Engine.enforce].  A rejected audit does not advance the
+    remembered generation, so the next call re-audits. *)
+
+val force_audit : context:string -> Kernel.t -> Audit.Engine.report
+(** Unconditional audit (ignores the generation cache, not the
+    policy); used by the CLI and benchmarks. *)

@@ -28,3 +28,36 @@ let kernel_shared_area_bytes = 8192
    stderr and in the verify.* counters) or [Reject] (unsafe images
    raise [Verify.Rejected]).  See lib/verify and DESIGN.md. *)
 let verify_policy : Verify.policy ref = Verify.policy
+
+(* Protection-state audit policy applied after every protection-
+   mutating operation (boot, app creation, insmod, promotion): [Off],
+   [Warn] (default; findings on stderr and in the audit.* counters) or
+   [Reject] (findings raise [Audit.Engine.Rejected]).  See lib/audit
+   and DESIGN.md section 6. *)
+let audit_policy : Audit.Engine.policy ref = Audit.Engine.policy
+
+let verify_policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Some Verify.Off
+  | "warn" -> Some Verify.Warn
+  | "reject" -> Some Verify.Reject
+  | _ -> None
+
+let audit_policy_of_string = Audit.Engine.policy_of_string
+
+(* Both policies can be seeded from the environment, so CI and ad-hoc
+   runs can flip them without touching call sites:
+   PALLADIUM_VERIFY=off|warn|reject, PALLADIUM_AUDIT=off|warn|reject. *)
+let () =
+  let seed var parse set =
+    match Sys.getenv_opt var with
+    | None -> ()
+    | Some v -> (
+        match parse v with
+        | Some p -> set p
+        | None ->
+            Fmt.epr "palladium: ignoring %s=%S (expected off|warn|reject)@." var
+              v)
+  in
+  seed "PALLADIUM_VERIFY" verify_policy_of_string (fun p -> verify_policy := p);
+  seed "PALLADIUM_AUDIT" audit_policy_of_string (fun p -> audit_policy := p)

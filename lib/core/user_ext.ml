@@ -120,6 +120,7 @@ let create kernel ~name =
   t.appgate_sel <-
     Runtime.syscall_exn rt ~number:Syscall.sys_set_call_gate
       ~a1:t.appgate_addr ~name:"set_call_gate";
+  Paudit.maybe_audit ~context:("promote " ^ name) kernel;
   t
 
 (* set_range wrappers. *)

@@ -19,6 +19,7 @@ module F = X86.Fault
 exception Panic of string
 
 type t = {
+  kid : int; (* kernel instance id, keys external registries *)
   phys : X86.Phys_mem.t;
   code : Code_mem.t;
   gdt : DT.t;
@@ -32,7 +33,8 @@ type t = {
   console : Buffer.t;
   syscalls : Syscall.table;
   watchdog : Watchdog.t;
-  mutable kbrk : int; (* next free kernel linear address *)
+  mutable kbrk : int; (* next free kernel-core linear address *)
+  mutable kext_brk : int; (* next free kernel-extension linear address *)
   mutable kernel_pages : (int * int) list; (* (vpn, pfn), newest first *)
   kcs : Sel.t;
   kds : Sel.t;
@@ -46,9 +48,17 @@ type t = {
 
 let page_size = X86.Phys_mem.page_size
 
+let id t = t.kid
+
 let cpu t = t.cpu
 
 let gdt t = t.gdt
+
+let idt t = t.idt
+
+let tasks t = t.tasks
+
+let boot_directory t = t.boot_dir
 
 let code t = t.code
 
@@ -83,13 +93,11 @@ let find_task t pid = List.find_opt (fun (tk : Task.t) -> tk.Task.pid = pid) t.t
 
 (* --- Kernel memory ------------------------------------------------- *)
 
-(* Allocate kernel memory: backed frames mapped supervisor into the
-   boot directory and every task directory (the kernel occupies the
-   same 3-4 GByte window of every address space, Figure 2). *)
-let kalloc t ~bytes =
-  let addr = t.kbrk in
-  let npages = X86.Layout.pages_spanning ~start:addr ~len:bytes in
-  t.kbrk <- X86.Layout.page_align_up (addr + bytes);
+(* Back [npages] starting at kernel linear [addr] with fresh frames,
+   mapped supervisor into the boot directory and every task directory
+   (the kernel occupies the same 3-4 GByte window of every address
+   space, Figure 2). *)
+let kmap_pages t ~addr ~npages =
   for i = 0 to npages - 1 do
     let vpn = (addr / page_size) + i in
     let pfn = X86.Phys_mem.alloc_frame t.phys in
@@ -101,7 +109,32 @@ let kalloc t ~bytes =
           (Address_space.directory task.Task.asp)
           ~vpn ~pfn ~writable:true ~user:false)
       t.tasks
-  done;
+  done
+
+(* Allocate kernel-core memory.  The core break must never reach the
+   region kernel-extension segments are carved from: the auditor's
+   segment-range invariant (and the paper's Figure 3 layout) depends
+   on the two staying disjoint. *)
+let kalloc t ~bytes =
+  let addr = t.kbrk in
+  let npages = X86.Layout.pages_spanning ~start:addr ~len:bytes in
+  let next = X86.Layout.page_align_up (addr + bytes) in
+  if next > X86.Layout.kernel_ext_base then
+    raise (Panic "kalloc: kernel core break ran into the extension region");
+  t.kbrk <- next;
+  kmap_pages t ~addr ~npages;
+  addr
+
+(* Allocate kernel memory inside the extension region (section 4.3:
+   extension segments live in their own carve-out above the core). *)
+let kalloc_ext t ~bytes =
+  let addr = t.kext_brk in
+  let npages = X86.Layout.pages_spanning ~start:addr ~len:bytes in
+  let next = X86.Layout.page_align_up (addr + bytes) in
+  if next > X86.Layout.kernel_ext_base + X86.Layout.kernel_ext_region_size then
+    raise (Panic "kalloc_ext: kernel extension region exhausted");
+  t.kext_brk <- next;
+  kmap_pages t ~addr ~npages;
   addr
 
 (* Kernel-segment offset of a kernel linear address (kernel segments
@@ -317,6 +350,8 @@ let sys_set_call_gate (ctx : Syscall.context) =
           Desc.call_gate ~dpl:P.R3 ~target:app_cs ~entry:ctx.Syscall.arg1 ()
         in
         let idx = DT.alloc task.Task.ldt gate in
+        task.Task.gate_entries <-
+          (idx, ctx.Syscall.arg1) :: task.Task.gate_entries;
         Sel.encode (Sel.make ~table:Sel.Ldt ~rpl:P.R3 idx)
 
 (* --- Task management ------------------------------------------------ *)
@@ -389,6 +424,7 @@ let fork_task t (parent : Task.t) =
   child.Task.app_cs <- parent.Task.app_cs;
   child.Task.app_ss <- parent.Task.app_ss;
   child.Task.ext_cs <- parent.Task.ext_cs;
+  child.Task.gate_entries <- parent.Task.gate_entries;
   child.Task.parent <- Some parent.Task.pid;
   t.tasks <- child :: t.tasks;
   child
@@ -406,6 +442,7 @@ let exec_task t (task : Task.t) =
   task.Task.app_cs <- None;
   task.Task.app_ss <- None;
   task.Task.ext_cs <- None;
+  task.Task.gate_entries <- [];
   task.Task.user_cs <- t.ucs;
   task.Task.user_ss <- t.uds;
   task.Task.user_ds <- t.uds;
@@ -544,7 +581,10 @@ let register_base_syscalls t =
   reg_syscall t ~number:Syscall.sys_set_call_gate ~name:"set_call_gate"
     sys_set_call_gate
 
+let next_kid = ref 0
+
 let boot ?(params = Cycles.pentium) () =
+  incr next_kid;
   let phys = X86.Phys_mem.create () in
   let gdt = DT.gdt () in
   let lim = X86.Layout.user_limit in
@@ -569,6 +609,7 @@ let boot ?(params = Cycles.pentium) () =
   in
   let t =
     {
+      kid = !next_kid;
       phys;
       code;
       gdt;
@@ -583,6 +624,7 @@ let boot ?(params = Cycles.pentium) () =
       syscalls = Syscall.create_table ();
       watchdog = Watchdog.create ();
       kbrk = X86.Layout.kernel_base;
+      kext_brk = X86.Layout.kernel_ext_base;
       kernel_pages = [];
       kcs;
       kds;
@@ -629,6 +671,10 @@ let boot ?(params = Cycles.pentium) () =
 let syscall_entry_offset t = t.syscall_entry
 
 let invoke_entry_offset t = t.invoke_entry
+
+let kernel_break t = t.kbrk
+
+let kernel_ext_break t = t.kext_brk
 
 (* Convenience used by tests and the Palladium runtime: run kernel
    code directly (CPL 0) at a given kernel-segment offset.  The CPU is

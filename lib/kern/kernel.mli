@@ -12,9 +12,20 @@ val boot : ?params:Cycles.params -> unit -> t
 
 (** {2 Accessors} *)
 
+val id : t -> int
+(** Unique id of this kernel instance (keys external registries such
+    as the protection-state auditor's segment catalogue). *)
+
 val cpu : t -> Cpu.t
 
 val gdt : t -> X86.Desc_table.t
+
+val idt : t -> X86.Desc_table.t
+
+val tasks : t -> Task.t list
+(** All tasks ever created, newest first (read-only snapshot use). *)
+
+val boot_directory : t -> X86.Paging.dir
 
 val code : t -> Code_mem.t
 
@@ -52,8 +63,21 @@ val invoke_entry_offset : t -> int
 (** {2 Kernel memory} *)
 
 val kalloc : t -> bytes:int -> int
-(** Allocate backed kernel memory, mapped supervisor in every address
-    space; returns the linear address. *)
+(** Allocate backed kernel-core memory, mapped supervisor in every
+    address space; returns the linear address.  Raises {!Panic} if the
+    core break would run into the extension region. *)
+
+val kalloc_ext : t -> bytes:int -> int
+(** Like {!kalloc}, but carving from the kernel-extension region
+    ([Layout.kernel_ext_base .. +kernel_ext_region_size]) that
+    extension segments must lie inside.  Raises {!Panic} when the
+    region is exhausted. *)
+
+val kernel_break : t -> int
+(** Next free kernel-core linear address. *)
+
+val kernel_ext_break : t -> int
+(** Next free kernel-extension linear address. *)
 
 val koffset : int -> int
 (** Kernel-segment offset of a kernel linear address. *)

@@ -27,6 +27,10 @@ type t = {
   mutable app_cs : X86.Selector.t option;
   mutable app_ss : X86.Selector.t option;
   mutable ext_cs : X86.Selector.t option;
+  (* AppCallGate registrations made through set_call_gate: (LDT slot,
+     entry offset).  The protection-state auditor checks every LDT
+     call gate against this list. *)
+  mutable gate_entries : (int * int) list;
 }
 
 let create ~pid ~name ~asp ~ldt ~tss ~kernel_stack_top ~user_cs ~user_ss
@@ -48,6 +52,7 @@ let create ~pid ~name ~asp ~ldt ~tss ~kernel_stack_top ~user_cs ~user_ss
     app_cs = None;
     app_ss = None;
     ext_cs = None;
+    gate_entries = [];
   }
 
 let is_promoted t = P.equal t.task_spl P.R2

@@ -20,6 +20,9 @@ type t = {
   mutable app_cs : X86.Selector.t option;  (** DPL 2, set by init_PL *)
   mutable app_ss : X86.Selector.t option;
   mutable ext_cs : X86.Selector.t option;  (** DPL 3 extension code *)
+  mutable gate_entries : (int * int) list;
+      (** AppCallGate registrations: (LDT slot, entry offset) pairs
+          installed through set_call_gate — the audit ground truth. *)
 }
 
 val create :

@@ -31,14 +31,23 @@ let set_stack t ring stack =
   | X86.Privilege.R3 ->
       invalid_arg "Tss.set_stack: the TSS has no ring-3 stack slot"
 
+let clear_stack t ring =
+  match ring with
+  | X86.Privilege.R0 -> t.sp0 <- None
+  | X86.Privilege.R1 -> t.sp1 <- None
+  | X86.Privilege.R2 -> t.sp2 <- None
+  | X86.Privilege.R3 ->
+      invalid_arg "Tss.clear_stack: the TSS has no ring-3 stack slot"
+
+let stack_slot t ring =
+  match ring with
+  | X86.Privilege.R0 -> t.sp0
+  | X86.Privilege.R1 -> t.sp1
+  | X86.Privilege.R2 -> t.sp2
+  | X86.Privilege.R3 -> None
+
 let stack_for t ring =
-  let slot =
-    match ring with
-    | X86.Privilege.R0 -> t.sp0
-    | X86.Privilege.R1 -> t.sp1
-    | X86.Privilege.R2 -> t.sp2
-    | X86.Privilege.R3 -> None
-  in
+  let slot = stack_slot t ring in
   match slot with
   | Some s -> s
   | None ->

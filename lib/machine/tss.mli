@@ -12,6 +12,13 @@ val id : t -> int
 val set_stack : t -> X86.Privilege.ring -> stack -> unit
 (** Raises [Invalid_argument] for ring 3 (no such TSS slot). *)
 
+val clear_stack : t -> X86.Privilege.ring -> unit
+(** Empty a stack slot — a fault-injection hook for the
+    protection-state auditor.  Raises [Invalid_argument] for ring 3. *)
+
+val stack_slot : t -> X86.Privilege.ring -> stack option
+(** Non-faulting read of a slot (for read-only state snapshots). *)
+
 val stack_for : t -> X86.Privilege.ring -> stack
 (** Raises {!X86.Fault.Fault} when the slot is unset or ring 3. *)
 

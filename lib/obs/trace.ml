@@ -16,6 +16,8 @@ type event =
   | Protected_call of { fn : string; outcome : string; cycles : int }
   | Syscall of { number : int; name : string; ret : int }
   | Watchdog_expiry of { used : int; limit : int }
+  | Desc_mutation of { table : string; slot : int; action : string }
+  | Audit_outcome of { context : string; outcome : string; findings : int }
   | Custom of string
 
 type entry = { seq : int; at_cycles : int; event : event }
@@ -102,6 +104,8 @@ let kind_of_event = function
   | Protected_call _ -> "call"
   | Syscall _ -> "syscall"
   | Watchdog_expiry _ -> "watchdog"
+  | Desc_mutation _ -> "desc"
+  | Audit_outcome _ -> "audit"
   | Custom _ -> "custom"
 
 let event_fields = function
@@ -135,6 +139,18 @@ let event_fields = function
       ]
   | Watchdog_expiry { used; limit } ->
       [ ("used", Json.Int used); ("limit", Json.Int limit) ]
+  | Desc_mutation { table; slot; action } ->
+      [
+        ("table", Json.String table);
+        ("slot", Json.Int slot);
+        ("action", Json.String action);
+      ]
+  | Audit_outcome { context; outcome; findings } ->
+      [
+        ("context", Json.String context);
+        ("outcome", Json.String outcome);
+        ("findings", Json.Int findings);
+      ]
   | Custom s -> [ ("detail", Json.String s) ]
 
 let entry_to_json (e : entry) =
@@ -167,6 +183,10 @@ let pp_event ppf = function
       Fmt.pf ppf "syscall %d (%s) = %d" number name ret
   | Watchdog_expiry { used; limit } ->
       Fmt.pf ppf "watchdog expiry: %d > %d cycles" used limit
+  | Desc_mutation { table; slot; action } ->
+      Fmt.pf ppf "desc %s %s[%d]" action table slot
+  | Audit_outcome { context; outcome; findings } ->
+      Fmt.pf ppf "audit %s: %s (%d findings)" context outcome findings
   | Custom s -> Fmt.string ppf s
 
 let pp_entry ppf (e : entry) =

@@ -13,6 +13,11 @@ type event =
   | Protected_call of { fn : string; outcome : string; cycles : int }
   | Syscall of { number : int; name : string; ret : int }
   | Watchdog_expiry of { used : int; limit : int }
+  | Desc_mutation of { table : string; slot : int; action : string }
+      (** a descriptor-table write ([set]/[clear]/[alloc]) — the
+          protection-state churn the auditor re-checks *)
+  | Audit_outcome of { context : string; outcome : string; findings : int }
+      (** result of a protection-state audit ([pass]/[warn]/[reject]) *)
   | Custom of string
 
 type entry = { seq : int; at_cycles : int; event : event }
@@ -45,8 +50,8 @@ val clear : unit -> unit
 
 val kind_of_event : event -> string
 (** Short family tag: ["priv"], ["fault"], ["module"], ["call"],
-    ["syscall"], ["watchdog"] or ["custom"] — the vocabulary of the
-    CLI's [--filter]. *)
+    ["syscall"], ["watchdog"], ["desc"], ["audit"] or ["custom"] — the
+    vocabulary of the CLI's [--filter]. *)
 
 val entry_to_json : entry -> Json.t
 (** [{seq; at_cycles; kind; ...payload fields}]. *)

@@ -15,6 +15,28 @@ let create ?(capacity = 32) ~name ~is_gdt () =
     invalid_arg "Desc_table.create: capacity";
   { name; is_gdt; entries = Array.make capacity None; writes = 0 }
 
+(* Counter family per table kind: the shared GDT and IDT are singular
+   enough to deserve their own series; every per-task LDT folds into
+   one. *)
+let kind_tag t =
+  if t.is_gdt then "gdt" else if t.name = "idt" then "idt" else "ldt"
+
+let mutation_counter =
+  let tbl = Hashtbl.create 16 in
+  fun t action ->
+    let key = kind_tag t ^ "." ^ action in
+    match Hashtbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+        let c = Obs.Counters.counter (Printf.sprintf "x86.%s" key) in
+        Hashtbl.add tbl key c;
+        c
+
+let note_mutation t slot action =
+  Obs.Counters.incr (mutation_counter t action);
+  if Obs.Trace.on () then
+    Obs.Trace.emit (Obs.Trace.Desc_mutation { table = t.name; slot; action })
+
 let gdt ?capacity () = create ?capacity ~name:"gdt" ~is_gdt:true ()
 
 let ldt ?capacity name = create ?capacity ~name ~is_gdt:false ()
@@ -32,28 +54,42 @@ let grow t wanted =
   Array.blit t.entries 0 entries 0 (Array.length t.entries);
   t.entries <- entries
 
-let set t index desc =
-  if index <= 0 && t.is_gdt then
-    invalid_arg "Desc_table.set: GDT entry 0 is the null descriptor";
+let install t index desc =
   if index < 0 then invalid_arg "Desc_table.set: negative index";
   if index >= Array.length t.entries then grow t index;
   t.entries.(index) <- Some desc;
   t.writes <- t.writes + 1
 
-let clear t index =
-  if index >= 0 && index < Array.length t.entries then t.entries.(index) <- None
+let unsafe_set t index desc =
+  install t index desc;
+  note_mutation t index "set"
 
-(* Allocate the lowest free slot (skipping the GDT null entry). *)
+let set t index desc =
+  if index <= 0 && t.is_gdt then
+    invalid_arg "Desc_table.set: GDT entry 0 is the null descriptor";
+  unsafe_set t index desc
+
+let clear t index =
+  if index >= 0 && index < Array.length t.entries then begin
+    t.entries.(index) <- None;
+    t.writes <- t.writes + 1;
+    note_mutation t index "clear"
+  end
+
+(* Allocate the lowest free slot.  Slot 0 is never handed out: the GDT
+   null descriptor is architectural, and LDT slot 0 is kept empty so a
+   cleared segment register (selector 0, TI=1) can never name a live
+   descriptor. *)
 let alloc t desc =
-  let start = if t.is_gdt then 1 else 0 in
   let rec find i =
     if i >= Array.length t.entries then (
       grow t i;
       i)
     else match t.entries.(i) with None -> i | Some _ -> find (i + 1)
   in
-  let index = find start in
-  set t index desc;
+  let index = find 1 in
+  install t index desc;
+  note_mutation t index "alloc";
   index
 
 let get t index =

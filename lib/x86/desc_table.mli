@@ -16,10 +16,18 @@ val capacity : t -> int
 val set : t -> int -> Descriptor.t -> unit
 (** Install a descriptor; raises [Invalid_argument] on GDT slot 0. *)
 
+val unsafe_set : t -> int -> Descriptor.t -> unit
+(** Like {!set} but allows GDT slot 0 — a fault-injection hook for the
+    protection-state auditor's misconfiguration catalogue.  Never used
+    by the kernel substrate. *)
+
 val clear : t -> int -> unit
+(** Empty a slot (counts as a descriptor write). *)
 
 val alloc : t -> Descriptor.t -> int
-(** Install into the lowest free slot and return its index. *)
+(** Install into the lowest free slot (never slot 0, in any table —
+    LDT slot 0 is reserved for null-selector hygiene) and return its
+    index. *)
 
 val get : t -> int -> Descriptor.t option
 

@@ -26,17 +26,25 @@ type dir = {
   id : int; (* stands in for the physical address loaded into CR3 *)
   tables : pte option array option array; (* 1024 x 1024 *)
   mutable mapped : int;
+  mutable generation : int; (* bumped on every structural/PPL mutation *)
 }
 
 let next_id = ref 0
 
 let create () =
   incr next_id;
-  { id = !next_id; tables = Array.make entries_per_table None; mapped = 0 }
+  {
+    id = !next_id;
+    tables = Array.make entries_per_table None;
+    mapped = 0;
+    generation = 0;
+  }
 
 let id t = t.id
 
 let mapped_pages t = t.mapped
+
+let generation t = t.generation
 
 let split_vpn vpn =
   if vpn < 0 || vpn >= entries_per_table * entries_per_table then
@@ -70,6 +78,7 @@ let map t ~vpn ~pfn ~writable ~user =
   (match table.(ti) with
   | Some pte when pte.present -> ()
   | Some _ | None -> t.mapped <- t.mapped + 1);
+  t.generation <- t.generation + 1;
   table.(ti) <-
     Some { pfn; present = true; writable; user; accessed = false; dirty = false }
 
@@ -82,6 +91,7 @@ let unmap t ~vpn =
       | Some pte when pte.present ->
           table.(ti) <- None;
           t.mapped <- t.mapped - 1;
+          t.generation <- t.generation + 1;
           Some pte.pfn
       | Some _ | None -> None)
 
@@ -90,6 +100,7 @@ let set_user t ~vpn user =
   | None -> false
   | Some pte ->
       pte.user <- user;
+      t.generation <- t.generation + 1;
       true
 
 let set_writable t ~vpn writable =
@@ -97,6 +108,7 @@ let set_writable t ~vpn writable =
   | None -> false
   | Some pte ->
       pte.writable <- writable;
+      t.generation <- t.generation + 1;
       true
 
 let iter t f =

@@ -25,6 +25,12 @@ val id : dir -> int
 
 val mapped_pages : dir -> int
 
+val generation : dir -> int
+(** Monotone mutation counter (map/unmap/PPL/writable changes) — lets
+    the protection-state auditor skip re-auditing unchanged
+    directories.  Direct [pte] field mutation is invisible to it, just
+    as stores that bypass the documented interface would be. *)
+
 val lookup : dir -> vpn:int -> pte option
 
 val walk_length : int

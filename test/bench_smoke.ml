@@ -86,6 +86,18 @@ let () =
   validate "ablation";
   Bench_runs.sfi ~json_dir ~packets:12 ();
   validate "sfi";
+  Bench_runs.audit ~json_dir ~full_iters:3 ();
+  validate "audit";
+  (* a clean world must audit clean, and skipping must beat auditing *)
+  let doc = load "audit" in
+  (match J.to_int (mem "findings" doc) with
+  | Some 0 -> ()
+  | Some n -> fail "audit: clean bench world has %d findings" n
+  | None -> fail "audit: findings missing");
+  (match J.to_float (mem "speedup" (mem "incremental" doc)) with
+  | Some s when s > 1.0 -> ()
+  | Some s -> fail "audit: incremental skip not faster than full audit (%.2fx)" s
+  | None -> fail "audit: speedup missing");
   (* the headline claim of the verifier benchmark: elision keeps the
      guard count strictly below blanket SFI *)
   let doc = load "sfi" in
