@@ -1027,12 +1027,162 @@ let bechamel ?(json_dir = ".") ?(quota_sec = 0.5) () =
              !estimates) );
     ]
 
+(* --- Domain-parallel fleet sweep ------------------------------------- *)
+
+(* One isolated world's workload, deterministic in the world index:
+   boot, warm up, drive a protected-null-call sweep (per-call stub
+   cost into fleet.call_cycles), then serve a LibCGI-protected
+   web-server run (request latency into fleet.request_usec).  Worlds
+   deliberately differ a little (calls/requests derived from [i]) so
+   the per-world determinism comparison cannot pass by accident.
+   Returns (calls, requests) completed. *)
+let fleet_world ~calls ~requests i =
+  let calls = calls + (i mod 3) in
+  let requests = requests + (32 * (i mod 4)) in
+  let w = Palladium.boot () in
+  let app = Palladium.create_app w ~name:(Printf.sprintf "fleet%d" i) in
+  let ext = User_ext.seg_dlopen app Ulib.null_image in
+  let prepare = User_ext.seg_dlsym app ext "null_fn" in
+  ignore (protected_null_call_marks app prepare) (* warm TLB and pages *);
+  let h_call = Obs.Histogram.get_or_create "fleet.call_cycles" in
+  for _ = 1 to calls do
+    let marks = protected_null_call_marks app prepare in
+    let setup = find_mark marks ".setup" in
+    let body = find_mark marks ".body" in
+    let return = find_mark marks ".return" in
+    let done_ = find_mark marks "rt.done" in
+    Obs.Histogram.observe h_call (done_ - setup - (return - body))
+  done;
+  let h_req = Obs.Histogram.get_or_create "fleet.request_usec" in
+  let stats =
+    Server.run ~concurrency:16 ~total:requests ~latency:h_req
+      ~invocation:Cgi_model.Libcgi_protected ~bytes:2048
+      ~protected_call_usec:(usec_of_cycles 144) ()
+  in
+  Palladium.teardown w;
+  (calls, stats.Server.requests)
+
+type parallel_outcome = {
+  par_domains : int;
+  par_worlds : int;
+  par_serial_sec : float;
+  par_parallel_sec : float;
+  par_speedup : float;
+  par_deterministic : bool;
+  par_serial_requests : int;
+  par_merged_requests : int; (* merged fleet.request_usec count *)
+}
+
+let parallel ?(json_dir = ".") ?(domains = 4) ?worlds ?(calls = 2000)
+    ?(requests = 20000) () =
+  let worlds = match worlds with Some w -> w | None -> max domains 4 in
+  let f = fleet_world ~calls ~requests in
+  (* identical seeds, serial then sharded over domains *)
+  let serial = Fleet.run ~domains:1 ~worlds f in
+  let par = Fleet.run ~domains ~worlds f in
+  let div = Fleet.divergences serial par in
+  let speedup =
+    Fleet.speedup ~serial:(Fleet.elapsed serial) ~parallel:(Fleet.elapsed par)
+  in
+  let sum_requests fl =
+    List.fold_left
+      (fun acc r -> acc + snd r.Fleet.wr_value)
+      0 (Fleet.results fl)
+  in
+  let merged = Fleet.merged par in
+  let merged_req =
+    match Obs.Sink.find_histogram merged "fleet.request_usec" with
+    | Some h -> Obs.Histogram.count h
+    | None -> 0
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Fleet: %d isolated worlds, serial vs %d domains (%d cores)" worlds
+         domains
+         (Domain.recommended_domain_count ()))
+    ~headers:[ "World"; "Calls"; "Requests"; "Elapsed (s)" ]
+    (List.map
+       (fun r ->
+         let calls, reqs = r.Fleet.wr_value in
+         [
+           Table.cell_int r.Fleet.wr_world;
+           Table.cell_int calls;
+           Table.cell_int reqs;
+           Printf.sprintf "%.3f" r.Fleet.wr_elapsed;
+         ])
+       (Fleet.results par));
+  Printf.printf
+    "serial %.3fs, parallel %.3fs -> speedup %.2fx; per-world results %s\n"
+    (Fleet.elapsed serial) (Fleet.elapsed par) speedup
+    (if div = [] then "bit-identical to the serial run"
+     else "DIVERGED: " ^ String.concat ", "
+            (List.map (fun (w, d) -> Printf.sprintf "world %d (%s)" w d) div));
+  let outcome =
+    {
+      par_domains = domains;
+      par_worlds = worlds;
+      par_serial_sec = Fleet.elapsed serial;
+      par_parallel_sec = Fleet.elapsed par;
+      par_speedup = speedup;
+      par_deterministic = div = [];
+      par_serial_requests = sum_requests serial;
+      par_merged_requests = merged_req;
+    }
+  in
+  (* Emit under the merged sink so the artifact's counter blocks carry
+     the fleet totals (the main sink saw none of the worlds' events);
+     the empty [since] makes the delta the full merged footprint. *)
+  Obs.Sink.with_sink merged (fun () ->
+      let open Obs.Json in
+      let h_req =
+        match Obs.Sink.find_histogram merged "fleet.request_usec" with
+        | Some h -> h
+        | None -> Obs.Histogram.create ()
+      in
+      emit ~json_dir ~name:"parallel" ~since:[]
+        ~histogram:("fleet_request_usec", h_req)
+        [
+          ("domains", Int domains);
+          ("worlds", Int worlds);
+          ("cores", Int (Domain.recommended_domain_count ()));
+          ( "serial",
+            Obj
+              [
+                ("elapsed_sec", Float outcome.par_serial_sec);
+                ("requests", Int outcome.par_serial_requests);
+              ] );
+          ( "parallel",
+            Obj
+              [
+                ("elapsed_sec", Float outcome.par_parallel_sec);
+                ("requests", Int (sum_requests par));
+              ] );
+          ("speedup", Float speedup);
+          ("deterministic", Bool outcome.par_deterministic);
+          ("merged_request_count", Int merged_req);
+          ( "per_world",
+            List
+              (List.map
+                 (fun r ->
+                   let calls, reqs = r.Fleet.wr_value in
+                   Obj
+                     [
+                       ("world", Int r.Fleet.wr_world);
+                       ("calls", Int calls);
+                       ("requests", Int reqs);
+                       ("elapsed_sec", Float r.Fleet.wr_elapsed);
+                     ])
+                 (Fleet.results par)) );
+        ]);
+  outcome
+
 (* --- Driver ------------------------------------------------------------ *)
 
 let subcommands =
   [
     "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation"; "sfi";
-    "audit";
+    "audit"; "parallel";
   ]
 
 (* Run the requested subset (everything when [args] is empty; bechamel
@@ -1050,4 +1200,17 @@ let run_main args =
   if want "ablation" then ablation ();
   if want "sfi" then sfi ();
   if want "audit" then audit ();
+  (* parallel spawns domains, so — like bechamel — it only runs when
+     asked for by name; `--domains N` / `--worlds N` tune the fleet. *)
+  let rec flag name = function
+    | [] -> None
+    | f :: v :: _ when f = name -> int_of_string_opt v
+    | _ :: rest -> flag name rest
+  in
+  if List.mem "parallel" args then
+    ignore
+      (parallel
+         ?domains:(flag "--domains" args)
+         ?worlds:(flag "--worlds" args)
+         ());
   if List.mem "bechamel" args then bechamel ()

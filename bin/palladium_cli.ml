@@ -126,6 +126,75 @@ let webserver_cmd =
     (Cmd.info "webserver" ~doc:"CGI invocation-model throughput (Table 3).")
     Term.(const run_webserver $ bytes $ conc $ total)
 
+(* --- fleet: N isolated web-server worlds across domains ------------------ *)
+
+let run_fleet worlds domains bytes requests =
+  let world _i =
+    let w = Palladium.boot () in
+    let latency = Obs.Histogram.get_or_create "fleet.request_usec" in
+    let r =
+      Server.run ~total:requests ~latency
+        ~invocation:Cgi_model.Libcgi_protected ~bytes ~protected_call_usec:0.72
+        ()
+    in
+    Palladium.teardown w;
+    r
+  in
+  let serial = Fleet.run ~domains:1 ~worlds world in
+  let par = Fleet.run ?domains ~worlds world in
+  Printf.printf "%d worlds over %d domains (%d cores):\n" worlds
+    par.Fleet.f_domains
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun wr ->
+      let r = wr.Fleet.wr_value in
+      Printf.printf "  world %-2d %7.0f req/s  (%d requests, %.3fs)\n"
+        wr.Fleet.wr_world r.Server.throughput_rps r.Server.requests
+        wr.Fleet.wr_elapsed)
+    (Fleet.results par);
+  (match Obs.Sink.find_histogram (Fleet.merged par) "fleet.request_usec" with
+  | Some h ->
+      let p q =
+        match Obs.Histogram.percentile h q with
+        | Some v -> string_of_int v
+        | None -> "n/a"
+      in
+      Printf.printf "  merged latency: %d samples, p50 %s usec, p99 %s usec\n"
+        (Obs.Histogram.count h) (p 50.0) (p 99.0)
+  | None -> ());
+  let div = Fleet.divergences serial par in
+  Printf.printf "  serial %.3fs, parallel %.3fs -> speedup %.2fx; %s\n"
+    (Fleet.elapsed serial) (Fleet.elapsed par)
+    (Fleet.speedup ~serial:(Fleet.elapsed serial)
+       ~parallel:(Fleet.elapsed par))
+    (if div = [] then "per-world results identical to the serial run"
+     else "per-world results DIVERGED from the serial run")
+
+let fleet_cmd =
+  let worlds =
+    Arg.(value & opt int 4 & info [ "w"; "worlds" ] ~doc:"Isolated worlds to boot.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "d"; "domains" ]
+          ~doc:"OCaml domains to shard over (default: available cores).")
+  in
+  let bytes =
+    Arg.(value & opt int 1024 & info [ "s"; "size" ] ~doc:"Response size in bytes.")
+  in
+  let total =
+    Arg.(value & opt int 1000 & info [ "n"; "requests" ] ~doc:"Requests per world.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Boot N isolated worlds, each serving a LibCGI-protected web-server \
+          sweep, sharded across OCaml domains; report per-world and merged \
+          metrics plus serial-vs-parallel speedup.")
+    Term.(const run_fleet $ worlds $ domains $ bytes $ total)
+
 (* --- rpc ------------------------------------------------------------------ *)
 
 let run_rpc bytes =
@@ -526,12 +595,8 @@ let apply_policies verify audit =
               what s;
             exit 2)
   in
-  set "verify" Pconfig.verify_policy_of_string
-    (fun p -> Pconfig.verify_policy := p)
-    verify;
-  set "audit" Pconfig.audit_policy_of_string
-    (fun p -> Pconfig.audit_policy := p)
-    audit
+  set "verify" Pconfig.verify_policy_of_string Pconfig.set_verify_policy verify;
+  set "audit" Pconfig.audit_policy_of_string Pconfig.set_audit_policy audit
 
 let finding_ids (r : Audit.Engine.report) =
   List.sort_uniq String.compare
@@ -666,8 +731,8 @@ let main =
          "Palladium (SOSP '99) reproduction: segmentation+paging protection \
           for safe software extensions, on a simulated x86.")
     [
-      call_cmd; filter_cmd; webserver_cmd; rpc_cmd; stats_cmd; trace_cmd;
-      profile_cmd; verify_cmd; audit_cmd; vmmap_cmd;
+      call_cmd; filter_cmd; webserver_cmd; fleet_cmd; rpc_cmd; stats_cmd;
+      trace_cmd; profile_cmd; verify_cmd; audit_cmd; vmmap_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -6,7 +6,15 @@ module J = Obs.Json
 
 type policy = Off | Warn | Reject
 
-let policy = ref Warn
+(* Process default; atomic so worlds on different domains read it
+   safely.  Per-world overrides are resolved by the caller (Paudit
+   consults the kernel's policy-override table) and passed to
+   [enforce ~policy]. *)
+let default_policy : policy Atomic.t = Atomic.make Warn
+
+let policy () = Atomic.get default_policy
+
+let set_policy p = Atomic.set default_policy p
 
 let policy_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -68,7 +76,7 @@ let outcome_event ~context ~outcome r =
       (Obs.Trace.Audit_outcome
          { context; outcome; findings = List.length r.rp_findings })
 
-let enforce ~context s =
+let enforce ?policy:p ~context s =
   let r = run s in
   if ok r then begin
     Obs.Counters.incr c_pass;
@@ -76,7 +84,7 @@ let enforce ~context s =
     r
   end
   else
-    match !policy with
+    match (match p with Some p -> p | None -> policy ()) with
     | Off ->
         outcome_event ~context ~outcome:"off" r;
         r

@@ -4,9 +4,13 @@
 
 type policy = Off | Warn | Reject
 
-val policy : policy ref
-(** Global audit policy; defaults to [Warn].  [Pconfig] re-exports
-    this and seeds it from [PALLADIUM_AUDIT]. *)
+val policy : unit -> policy
+(** Process-default audit policy; defaults to [Warn].  Atomic, so safe
+    to read from any domain.  [Pconfig] re-exports this and seeds it
+    from [PALLADIUM_AUDIT]; per-world overrides live on the kernel and
+    are resolved by the caller (see {!enforce}'s [?policy]). *)
+
+val set_policy : policy -> unit
 
 val policy_of_string : string -> policy option
 (** Accepts ["off"], ["warn"], ["reject"] (case-insensitive). *)
@@ -30,11 +34,12 @@ exception Rejected of string * report
 (** Raised by {!enforce} under [Reject] when the report has findings;
     the string is the audit context (e.g. ["insmod logger"]). *)
 
-val enforce : context:string -> Snapshot.t -> report
-(** {!run} plus policy: bumps the [audit.pass]/[audit.warn]/
-    [audit.reject] counters, emits an [Audit_outcome] trace event,
-    prints the report to stderr under [Warn], and raises {!Rejected}
-    under [Reject].  Returns the report when execution continues. *)
+val enforce : ?policy:policy -> context:string -> Snapshot.t -> report
+(** {!run} plus policy ([?policy] defaults to the process default):
+    bumps the [audit.pass]/[audit.warn]/[audit.reject] counters, emits
+    an [Audit_outcome] trace event, prints the report to stderr under
+    [Warn], and raises {!Rejected} under [Reject].  Returns the report
+    when execution continues. *)
 
 val report_json : report -> Obs.Json.t
 

@@ -190,13 +190,15 @@ let emit_kernel_stub t program =
    selectors resolve through [ksvc$name] symbols.
 
    Before anything is allocated or emitted, the raw image text goes
-   through the load-time verifier (policy [Verify.policy]): only the
+   through the load-time verifier (the owning world's effective
+   verify policy): only the
    author's code is analysed — the Transfer stubs appended below are
    loader-generated and legitimately privileged.  [require_termination]
    additionally demands an acyclic CFG (BPF-derived filters). *)
 let insmod ?(require_termination = false) t (image : Image.t) =
   if t.dead then invalid_arg "Kernel_ext.insmod: segment is dead";
-  (if !Verify.policy <> Verify.Off then
+  (let policy = Pconfig.effective_verify_policy t.kernel in
+   if policy <> Verify.Off then
      let data_names =
        List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
        @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
@@ -212,7 +214,7 @@ let insmod ?(require_termination = false) t (image : Image.t) =
      let allowed_far sel =
        sel = t.kgate_sel || List.exists (fun (_, s) -> s = sel) t.ksvcs
      in
-     Verify.enforce ~mechanism:"insmod(ext)"
+     Verify.enforce ~policy ~mechanism:"insmod(ext)"
        (Verify.verify ~org:t.cursor_off ~entries:image.Image.exports ~externs
           ~region:(0, t.seg_size) ~allowed_far ~require_termination
           ~name:image.Image.name image.Image.text));

@@ -24,7 +24,8 @@ let kernel t = t.kernel
    window as the region.  CFG decode and stack discipline still apply,
    which catches plainly malformed modules at load time. *)
 let insmod kernel (image : Image.t) =
-  (if !Verify.policy <> Verify.Off then
+  (let policy = Pconfig.effective_verify_policy kernel in
+   if policy <> Verify.Off then
      let data_names =
        List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
        @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
@@ -32,7 +33,7 @@ let insmod kernel (image : Image.t) =
      let externs name =
        List.mem name data_names || List.mem name image.Image.imports
      in
-     Verify.enforce ~mechanism:"insmod"
+     Verify.enforce ~policy ~mechanism:"insmod"
        (Verify.verify ~entries:image.Image.exports ~externs
           ~region:(0, X86.Layout.kernel_limit + 1)
           ~allowed_far:(fun _ -> true)

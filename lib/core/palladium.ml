@@ -12,10 +12,30 @@ let version = "0.9.0"
 
 type world = { kernel : Kernel.t }
 
-let boot ?params () =
-  let w = { kernel = Kernel.boot ?params () } in
+let boot ?params ?verify_policy ?audit_policy () =
+  let kernel = Kernel.boot ?params () in
+  (* Per-world policy overrides go on the kernel (as strings — the
+     kern layer cannot see the policy types) before the first audit,
+     so even the boot audit runs under the world's own policy. *)
+  (match verify_policy with
+  | Some p ->
+      Kernel.set_policy_override kernel ~name:"verify" (Verify.policy_name p)
+  | None -> ());
+  (match audit_policy with
+  | Some p ->
+      Kernel.set_policy_override kernel ~name:"audit"
+        (Audit.Engine.policy_name p)
+  | None -> ());
+  let w = { kernel } in
   Paudit.maybe_audit ~context:"boot" w.kernel;
   w
+
+(* Explicit world teardown: drop the per-kernel state upper layers
+   hung on the kernel (today: the auditor's registry and generation
+   cache).  Optional — the state dies with the kernel anyway — but
+   long-lived fleet processes that boot many transient worlds can
+   reclaim eagerly. *)
+let teardown w = Paudit.forget w.kernel
 
 let kernel w = w.kernel
 

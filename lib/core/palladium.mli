@@ -13,9 +13,24 @@ val version : string
 
 type world = { kernel : Kernel.t }
 
-val boot : ?params:Cycles.params -> unit -> world
+val boot :
+  ?params:Cycles.params ->
+  ?verify_policy:Verify.policy ->
+  ?audit_policy:Audit.Engine.policy ->
+  unit ->
+  world
 (** Boot the machine: physical memory, GDT/IDT, the int-0x80 syscall
-    gate, the Palladium fault policy and the three new system calls. *)
+    gate, the Palladium fault policy and the three new system calls.
+    [?verify_policy]/[?audit_policy] pin this world's policies
+    (stored on the kernel as overrides); without them the world
+    follows the process defaults ({!Pconfig.verify_policy},
+    {!Pconfig.audit_policy}). *)
+
+val teardown : world -> unit
+(** Drop per-kernel state registered by upper layers (the auditor's
+    segment registry and generation cache).  Optional — a dropped
+    world is collected whole — but long-lived fleet processes booting
+    many transient worlds can reclaim eagerly. *)
 
 val kernel : world -> Kernel.t
 

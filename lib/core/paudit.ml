@@ -1,8 +1,13 @@
 (* Auditor driver: segment registry + incremental re-audit.
 
-   The registry is keyed by Kernel.id rather than hung off Kernel.t so
-   the kern layer stays ignorant of the auditor; Kernel_ext feeds it
-   as segments and gates are created. *)
+   The registry and generation cache live in a [Kernel.ext_state] slot
+   on the kernel itself rather than in a process-global table keyed by
+   [Kernel.id]: the kern layer stays ignorant of the auditor (it only
+   stores an opaque extensible-variant value), per-world state cannot
+   be observed or corrupted by other worlds running on other domains,
+   and dropping a world drops its audit state with it — long fleet
+   runs no longer grow an orphaned registry.  [forget] additionally
+   clears the slot eagerly for explicit world teardown. *)
 
 module S = Audit.Snapshot
 module DT = X86.Desc_table
@@ -17,19 +22,35 @@ type seg = {
   mutable sg_dead : bool;
 }
 
-let registry : (int, seg list ref) Hashtbl.t = Hashtbl.create 4
+type state = {
+  mutable st_segs : seg list;
+  (* Generation at which this kernel last passed (or warned through)
+     an audit; [None] until the first audit. *)
+  mutable st_last_gen : int option;
+}
 
-let segs_of kernel =
-  match Hashtbl.find_opt registry (Kernel.id kernel) with
-  | Some r -> r
-  | None ->
-      let r = ref [] in
-      Hashtbl.replace registry (Kernel.id kernel) r;
-      r
+type Kernel.ext_state += Audit_state of state
+
+let slot = "paudit"
+
+let state_of kernel =
+  match Kernel.ext_state kernel slot with
+  | Some (Audit_state st) -> st
+  | _ ->
+      let st = { st_segs = []; st_last_gen = None } in
+      Kernel.set_ext_state kernel slot (Audit_state st);
+      st
+
+let forget kernel = Kernel.clear_ext_state kernel slot
+
+let registered kernel =
+  match Kernel.ext_state kernel slot with
+  | Some (Audit_state _) -> true
+  | _ -> false
 
 let register_segment kernel ~name ~cs ~ds ~base ~size =
-  let r = segs_of kernel in
-  r :=
+  let st = state_of kernel in
+  st.st_segs <-
     {
       sg_name = name;
       sg_cs = cs;
@@ -39,10 +60,10 @@ let register_segment kernel ~name ~cs ~ds ~base ~size =
       sg_gates = [];
       sg_dead = false;
     }
-    :: !r
+    :: st.st_segs
 
 let find_seg kernel ~cs =
-  List.find_opt (fun sg -> sg.sg_cs = cs) !(segs_of kernel)
+  List.find_opt (fun sg -> sg.sg_cs = cs) (state_of kernel).st_segs
 
 let add_segment_gate kernel ~cs ~slot ~entry =
   match find_seg kernel ~cs with
@@ -66,7 +87,7 @@ let segments kernel =
         rs_gates = sg.sg_gates;
         rs_dead = sg.sg_dead;
       })
-    !(segs_of kernel)
+    (state_of kernel).st_segs
 
 let generation kernel =
   let tasks = Kernel.tasks kernel in
@@ -86,28 +107,24 @@ let generation kernel =
     List.fold_left
       (fun acc sg ->
         acc + 1 + List.length sg.sg_gates + if sg.sg_dead then 1 else 0)
-      0
-      !(segs_of kernel)
+      0 (state_of kernel).st_segs
   in
   dt_writes + pg_gens + List.length tasks + registry_shape
 
 let capture kernel =
   S.capture ~segments:(segments kernel) ~generation:(generation kernel) kernel
 
-(* Generation at which each kernel last passed (or warned through) an
-   audit; absent until the first audit. *)
-let last_gen : (int, int) Hashtbl.t = Hashtbl.create 4
-
 let c_skipped = Obs.Counters.counter "audit.skipped"
 
 let force_audit ~context kernel =
-  let r = Audit.Engine.enforce ~context (capture kernel) in
-  Hashtbl.replace last_gen (Kernel.id kernel) r.Audit.Engine.rp_generation;
+  let policy = Pconfig.effective_audit_policy kernel in
+  let r = Audit.Engine.enforce ~policy ~context (capture kernel) in
+  (state_of kernel).st_last_gen <- Some r.Audit.Engine.rp_generation;
   r
 
 let maybe_audit ~context kernel =
-  if !Pconfig.audit_policy <> Audit.Engine.Off then
+  if Pconfig.effective_audit_policy kernel <> Audit.Engine.Off then
     let gen = generation kernel in
-    match Hashtbl.find_opt last_gen (Kernel.id kernel) with
+    match (state_of kernel).st_last_gen with
     | Some g when g = gen -> Obs.Counters.incr c_skipped
     | _ -> ignore (force_audit ~context kernel)

@@ -4,7 +4,11 @@
     stamps snapshots with a state generation derived from the
     descriptor-table write counters and paging generations, and
     re-audits incrementally — an unchanged generation skips the
-    audit entirely ([audit.skipped] counter). *)
+    audit entirely ([audit.skipped] counter).
+
+    All state lives in a [Kernel.ext_state] slot on the kernel itself,
+    so it is world-local (fleet-safe) and dies with the kernel; use
+    {!forget} for eager teardown. *)
 
 (** {2 Segment registry} *)
 
@@ -22,6 +26,15 @@ val mark_segment_dead : Kernel.t -> cs:int -> unit
 (** The segment was aborted; its descriptors must now be absent. *)
 
 val segments : Kernel.t -> Audit.Snapshot.registered_segment list
+
+val forget : Kernel.t -> unit
+(** Drop this kernel's audit state (segment registry and generation
+    cache) — world teardown.  The next audit of the same kernel starts
+    from an empty registry. *)
+
+val registered : Kernel.t -> bool
+(** True while the kernel carries audit state (any registry call or
+    audit creates it; {!forget} removes it). *)
 
 (** {2 Auditing} *)
 

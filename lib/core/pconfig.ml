@@ -26,27 +26,43 @@ let kernel_shared_area_bytes = 8192
    (Kernel_ext.insmod / Kmod.insmod / Dyld.dlopen with
    extension-segment placement): [Off], [Warn] (default; verdicts on
    stderr and in the verify.* counters) or [Reject] (unsafe images
-   raise [Verify.Rejected]).  See lib/verify and DESIGN.md. *)
-let verify_policy : Verify.policy ref = Verify.policy
+   raise [Verify.Rejected]).  The pair below reads/writes the
+   *process default* (atomic, domain-safe); a single world overrides
+   it through its kernel's policy-override table — see
+   [effective_verify_policy].  See lib/verify and DESIGN.md. *)
+let verify_policy () = Verify.policy ()
+
+let set_verify_policy = Verify.set_policy
 
 (* Protection-state audit policy applied after every protection-
    mutating operation (boot, app creation, insmod, promotion): [Off],
    [Warn] (default; findings on stderr and in the audit.* counters) or
    [Reject] (findings raise [Audit.Engine.Rejected]).  See lib/audit
    and DESIGN.md section 6. *)
-let audit_policy : Audit.Engine.policy ref = Audit.Engine.policy
+let audit_policy () = Audit.Engine.policy ()
 
-let verify_policy_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "off" -> Some Verify.Off
-  | "warn" -> Some Verify.Warn
-  | "reject" -> Some Verify.Reject
-  | _ -> None
+let set_audit_policy = Audit.Engine.set_policy
+
+let verify_policy_of_string = Verify.policy_of_string
 
 let audit_policy_of_string = Audit.Engine.policy_of_string
 
-(* Both policies can be seeded from the environment, so CI and ad-hoc
-   runs can flip them without touching call sites:
+(* Policy one specific world runs under: its kernel's override when
+   set (Palladium.boot ?verify_policy ?audit_policy, or
+   Kernel.set_policy_override), else the process default. *)
+let effective_verify_policy kernel =
+  Verify.effective_policy (Kernel.policy_override kernel "verify")
+
+let effective_audit_policy kernel =
+  match Kernel.policy_override kernel "audit" with
+  | Some s -> (
+      match Audit.Engine.policy_of_string s with
+      | Some p -> p
+      | None -> audit_policy ())
+  | None -> audit_policy ()
+
+(* Both process defaults can be seeded from the environment, so CI and
+   ad-hoc runs can flip them without touching call sites:
    PALLADIUM_VERIFY=off|warn|reject, PALLADIUM_AUDIT=off|warn|reject. *)
 let () =
   let seed var parse set =
@@ -59,5 +75,5 @@ let () =
             Fmt.epr "palladium: ignoring %s=%S (expected off|warn|reject)@." var
               v)
   in
-  seed "PALLADIUM_VERIFY" verify_policy_of_string (fun p -> verify_policy := p);
-  seed "PALLADIUM_AUDIT" audit_policy_of_string (fun p -> audit_policy := p)
+  seed "PALLADIUM_VERIFY" verify_policy_of_string set_verify_policy;
+  seed "PALLADIUM_AUDIT" audit_policy_of_string set_audit_policy

@@ -44,11 +44,33 @@ type t = {
   invoke_entry : int; (* kernel trampoline: call fn ptr in EAX, arg EBX *)
   mutable segv_log : (int * Signal.info) list;
   mutable kernel_ext_faults : string list;
+  (* per-kernel policy knobs ("verify"/"audit" -> "off"|"warn"|"reject"),
+     overriding the process defaults for this world only *)
+  policy_overrides : (string, string) Hashtbl.t;
+  (* slots where upper layers (which this library cannot see) hang
+     per-kernel state, keyed by a well-known slot name — dies with the
+     kernel instead of leaking in a process-global registry *)
+  ext_state : (string, ext_state) Hashtbl.t;
 }
+
+and ext_state = ..
 
 let page_size = X86.Phys_mem.page_size
 
 let id t = t.kid
+
+(* --- Per-kernel policy overrides and extension-state slots ---------- *)
+
+let set_policy_override t ~name value =
+  Hashtbl.replace t.policy_overrides name value
+
+let policy_override t name = Hashtbl.find_opt t.policy_overrides name
+
+let set_ext_state t slot v = Hashtbl.replace t.ext_state slot v
+
+let ext_state t slot = Hashtbl.find_opt t.ext_state slot
+
+let clear_ext_state t slot = Hashtbl.remove t.ext_state slot
 
 let cpu t = t.cpu
 
@@ -581,10 +603,12 @@ let register_base_syscalls t =
   reg_syscall t ~number:Syscall.sys_set_call_gate ~name:"set_call_gate"
     sys_set_call_gate
 
-let next_kid = ref 0
+(* Atomic so kernels booted by worlds on different domains still get
+   unique ids. *)
+let next_kid = Atomic.make 0
 
 let boot ?(params = Cycles.pentium) () =
-  incr next_kid;
+  let kid = Atomic.fetch_and_add next_kid 1 + 1 in
   let phys = X86.Phys_mem.create () in
   let gdt = DT.gdt () in
   let lim = X86.Layout.user_limit in
@@ -609,7 +633,7 @@ let boot ?(params = Cycles.pentium) () =
   in
   let t =
     {
-      kid = !next_kid;
+      kid;
       phys;
       code;
       gdt;
@@ -634,6 +658,8 @@ let boot ?(params = Cycles.pentium) () =
       invoke_entry = 0;
       segv_log = [];
       kernel_ext_faults = [];
+      policy_overrides = Hashtbl.create 4;
+      ext_state = Hashtbl.create 4;
     }
   in
   (* Kernel text: the int-0x80 entry stub and the kernel invoke

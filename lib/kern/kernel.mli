@@ -13,8 +13,37 @@ val boot : ?params:Cycles.params -> unit -> t
 (** {2 Accessors} *)
 
 val id : t -> int
-(** Unique id of this kernel instance (keys external registries such
-    as the protection-state auditor's segment catalogue). *)
+(** Unique id of this kernel instance (process-wide, domain-safe). *)
+
+(** {2 Per-kernel policy overrides}
+
+    Upper layers (the loaders, the auditor driver) consult these to
+    give one world a different verify/audit policy from the process
+    default — the kern layer itself only stores the strings, so it
+    stays ignorant of the policy types. *)
+
+val set_policy_override : t -> name:string -> string -> unit
+(** [set_policy_override t ~name:"verify" "reject"] — well-known names
+    are ["verify"] and ["audit"], values ["off"|"warn"|"reject"]. *)
+
+val policy_override : t -> string -> string option
+
+(** {2 Extension-state slots}
+
+    Layers above kern hang per-kernel state here (e.g. the
+    protection-state auditor's segment catalogue) instead of keeping a
+    process-global registry keyed by {!id} — the state then dies with
+    the kernel rather than leaking across long fleet runs.  Extend
+    {!ext_state} with a private constructor and pick a unique slot
+    name. *)
+
+type ext_state = ..
+
+val set_ext_state : t -> string -> ext_state -> unit
+
+val ext_state : t -> string -> ext_state option
+
+val clear_ext_state : t -> string -> unit
 
 val cpu : t -> Cpu.t
 

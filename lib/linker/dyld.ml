@@ -75,8 +75,10 @@ let dlopen ?(placement = shared_library) ~(kernel : Kernel.t) ~(task : Task.t)
      loader-generated [Jmp_ind]s and must not be linted.  Far calls are
      left to the hardware gates ([allowed_far] is universal): at user
      level an unvetted selector faults on its own. *)
-  (if placement.text_kind = Vm_area.Ext_code && !Verify.policy <> Verify.Off
-   then
+  (let policy =
+     Verify.effective_policy (Kernel.policy_override kernel "verify")
+   in
+   if placement.text_kind = Vm_area.Ext_code && policy <> Verify.Off then
      let data_names =
        List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
        @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
@@ -86,7 +88,7 @@ let dlopen ?(placement = shared_library) ~(kernel : Kernel.t) ~(task : Task.t)
        || List.mem name data_names
        || lookup env name <> None
      in
-     Verify.enforce ~mechanism:"seg_dlopen"
+     Verify.enforce ~policy ~mechanism:"seg_dlopen"
        (Verify.verify ~entries:image.Image.exports ~externs
           ~region:(0, X86.Layout.user_limit + 1)
           ~allowed_far:(fun _ -> true)

@@ -15,11 +15,13 @@ type t = {
   mutable ldt : X86.Desc_table.t option;
 }
 
-let next_id = ref 0
+(* Atomic so TSSes created by worlds on different domains still get
+   unique ids (they key fault diagnostics). *)
+let next_id = Atomic.make 0
 
 let create ~dir ?ldt () =
-  incr next_id;
-  { tss_id = !next_id; sp0 = None; sp1 = None; sp2 = None; dir; ldt }
+  let tss_id = Atomic.fetch_and_add next_id 1 + 1 in
+  { tss_id; sp0 = None; sp1 = None; sp2 = None; dir; ldt }
 
 let id t = t.tss_id
 

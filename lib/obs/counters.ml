@@ -1,63 +1,53 @@
-(* Process-wide registry of named hardware/OS event counters.
+(* Named hardware/OS event counters.
 
    The simulator's components (TLB, MMU, CPU, kernel) publish their
    event counts here so that benchmarks, the CLI and tests can read a
    single coherent snapshot instead of chasing per-object accessors.
-   Counters are monotonic (events since process start); gauges carry a
-   last-written value.  Handles are resolved once at module
-   initialisation, so the hot-path cost of publishing is a single
-   unboxed integer store. *)
+   Counters are monotonic (events since world start); gauges carry a
+   last-written value.
 
-type kind = Counter | Gauge
+   Handles are descriptors interned once at module initialisation in
+   the process-wide name registry; the *values* live in the current
+   domain's {!Sink}, so the same handle publishes into whichever world
+   is running on this domain.  The hot-path cost of publishing is a
+   domain-local read plus one unboxed integer store. *)
 
-type t = { c_name : string; c_kind : kind; mutable c_value : int }
+type kind = Sink.kind = Counter | Gauge
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+type t = Sink.descr
 
-let intern kind name =
-  match Hashtbl.find_opt registry name with
-  | Some c ->
-      if c.c_kind <> kind then
-        invalid_arg
-          (Printf.sprintf "Counters: %s already registered with another kind"
-             name);
-      c
-  | None ->
-      let c = { c_name = name; c_kind = kind; c_value = 0 } in
-      Hashtbl.add registry name c;
-      c
+let counter name = Sink.register ~kind:Counter name
 
-let counter name = intern Counter name
+let gauge name = Sink.register ~kind:Gauge name
 
-let gauge name = intern Gauge name
+let name = Sink.descr_name
 
-let name c = c.c_name
+let kind = Sink.descr_kind
 
-let kind c = c.c_kind
+let value c = Sink.value (Sink.current ()) c
 
-let value c = c.c_value
-
-let incr c = c.c_value <- c.c_value + 1
+let incr c =
+  let cell = Sink.cell (Sink.current ()) c in
+  cell.Sink.cv <- cell.Sink.cv + 1
 
 let add c n =
-  if n < 0 && c.c_kind = Counter then
+  if n < 0 && kind c = Counter then
     invalid_arg "Counters.add: negative increment on a monotonic counter";
-  c.c_value <- c.c_value + n
+  let cell = Sink.cell (Sink.current ()) c in
+  cell.Sink.cv <- cell.Sink.cv + n
 
 let set c v =
-  match c.c_kind with
-  | Gauge -> c.c_value <- v
+  match kind c with
+  | Gauge -> (Sink.cell (Sink.current ()) c).Sink.cv <- v
   | Counter -> invalid_arg "Counters.set: cannot set a monotonic counter"
 
-let find name = Hashtbl.find_opt registry name
+let find = Sink.find_descr
 
-let get name = match find name with Some c -> c.c_value | None -> 0
+let get n = match find n with Some c -> value c | None -> 0
 
-let all () =
-  Hashtbl.fold (fun _ c acc -> c :: acc) registry []
-  |> List.sort (fun a b -> compare a.c_name b.c_name)
+let all () = Sink.descrs ()
 
-let snapshot () = List.map (fun c -> (c.c_name, c.c_value)) (all ())
+let snapshot () = List.map (fun c -> (name c, value c)) (all ())
 
 (* Events since an earlier snapshot.  Counters registered after the
    baseline was taken count from zero; zero deltas are dropped. *)
@@ -68,7 +58,7 @@ let delta ~since =
       if now = before then None else Some (name, now - before))
     (snapshot ())
 
-let reset_all () = Hashtbl.iter (fun _ c -> c.c_value <- 0) registry
+let reset_all () = Sink.reset_cells (Sink.current ())
 
 (* Group prefix: everything before the first dot ("mmu.page_walks" ->
    "mmu"); undotted names group under themselves. *)
@@ -80,13 +70,13 @@ let group_of name =
 let pp ppf () =
   let cs = all () in
   let width =
-    List.fold_left (fun w c -> max w (String.length c.c_name + 2)) 0 cs
+    List.fold_left (fun w c -> max w (String.length (name c) + 2)) 0 cs
   in
   (* [all] is name-sorted, so members of a group are adjacent. *)
   let groups =
     List.fold_left
       (fun acc c ->
-        let g = group_of c.c_name in
+        let g = group_of (name c) in
         match acc with
         | (g', members) :: rest when g' = g -> (g', c :: members) :: rest
         | _ -> (g, [ c ]) :: acc)
@@ -97,7 +87,7 @@ let pp ppf () =
     (fun (g, members) ->
       let subtotal =
         List.fold_left
-          (fun acc c -> match c.c_kind with Counter -> acc + c.c_value | Gauge -> acc)
+          (fun acc c -> match kind c with Counter -> acc + value c | Gauge -> acc)
           0 members
       in
       Fmt.pf ppf "%s  (%d counter%s, subtotal %d)@." g (List.length members)
@@ -105,7 +95,7 @@ let pp ppf () =
         subtotal;
       List.iter
         (fun c ->
-          Fmt.pf ppf "  %-*s  %12d%s@." (width - 2) c.c_name c.c_value
-            (match c.c_kind with Counter -> "" | Gauge -> "  (gauge)"))
+          Fmt.pf ppf "  %-*s  %12d%s@." (width - 2) (name c) (value c)
+            (match kind c with Counter -> "" | Gauge -> "  (gauge)"))
         members)
     groups

@@ -1,8 +1,12 @@
-(** Process-wide registry of named event counters and gauges.
+(** Named event counters and gauges.
 
     Components resolve a handle once ([counter]/[gauge] are
     get-or-create) and publish with {!incr}/{!add}/{!set}; readers take
-    a {!snapshot} of every registered value at once. *)
+    a {!snapshot} of every registered value at once.
+
+    Names and kinds are process-wide; the values live in the current
+    domain's {!Sink}, so the same handle publishes into whichever
+    world is running on this domain (see {!Sink.with_sink}). *)
 
 type kind = Counter  (** monotonic event count *) | Gauge  (** last-written value *)
 

@@ -32,11 +32,22 @@ let create () =
     samples = Array.make 64 0;
   }
 
-(* --- Registry (span-name -> histogram), mirroring Counters ---------- *)
+(* --- Registry (span-name -> histogram), mirroring Counters ----------
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+   The registry lives in the current observability sink (one table per
+   world/domain); [Sink] installs the indirection below at module-
+   initialisation time.  The static fallback only exists to keep this
+   module self-contained — in a linked program [Sink]'s initialiser
+   has always run before any simulator code observes a value. *)
+
+let registry_hook : (unit -> (string, t) Hashtbl.t) ref =
+  let fallback : (string, t) Hashtbl.t = Hashtbl.create 16 in
+  ref (fun () -> fallback)
+
+let registry () = !registry_hook ()
 
 let get_or_create name =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some h -> h
   | None ->
@@ -44,13 +55,13 @@ let get_or_create name =
       Hashtbl.add registry name h;
       h
 
-let find name = Hashtbl.find_opt registry name
+let find name = Hashtbl.find_opt (registry ()) name
 
 let all_named () =
-  Hashtbl.fold (fun n h acc -> (n, h) :: acc) registry []
+  Hashtbl.fold (fun n h acc -> (n, h) :: acc) (registry ()) []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let reset_all () = Hashtbl.reset registry
+let reset_all () = Hashtbl.reset (registry ())
 
 (* --- Buckets --------------------------------------------------------- *)
 

@@ -63,3 +63,12 @@ val to_json : t -> Json.t
 (** [{count; sum; mean; min; p50; p90; p99; max; buckets}]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val registry_hook : (unit -> (string, t) Hashtbl.t) ref
+(** Where the named-histogram registry lives; {!Sink} points this at
+    the current sink's table at init time.  Internal plumbing — not
+    for simulator code. *)
+
+(**/**)

@@ -2,12 +2,15 @@
    simulated CPU cycle counter, or DES microseconds for the web-server
    model).
 
-   The recorder is process-global and off by default, like Trace: hot
-   call sites guard with [on ()].  A completed span records its
-   parent/child structure (parent id and nesting depth) and feeds its
-   duration into the histogram registered under the span's name, so a
-   single profiled run yields both the event timeline (Chrome trace,
-   folded stacks) and the latency distribution per phase.
+   The recorder state lives in the current domain's {!Sink} (one per
+   world; {!Span_state} holds the records) and is off by default, like
+   Trace: hot call sites guard with [on ()].  A completed span records
+   its parent/child structure (parent id and nesting depth) and feeds
+   its duration into the histogram registered under the span's name,
+   so a single profiled run yields both the event timeline (Chrome
+   trace, folded stacks) and the latency distribution per phase.
+   Span ids come from a process-wide [Atomic.t], so they stay unique
+   across domains and merged fleets keep unambiguous parent links.
 
    Unbalanced ends are tolerated rather than fatal: ending a span
    that is not on top of the stack implicitly ends everything nested
@@ -15,7 +18,7 @@
    is dropped; both are tallied in the [obs.span.unbalanced] counter
    so tests and dashboards can see the instrumentation bug. *)
 
-type completed = {
+type completed = Span_state.completed = {
   sp_id : int;
   sp_parent : int option;
   sp_name : string;
@@ -26,86 +29,78 @@ type completed = {
   sp_args : (string * string) list;
 }
 
-type open_frame = {
-  of_id : int;
-  of_name : string;
-  of_start : int;
-  of_parent : int option;
-  of_depth : int;
-  of_args : (string * string) list;
-}
+let st () = Sink.span_state (Sink.current ())
 
-let enabled = ref false
+let on () = (st ()).Span_state.enabled
 
-let on () = !enabled
-
-let set_enabled b = enabled := b
-
-let stack : open_frame list ref = ref []
-
-let completed : completed list ref = ref [] (* newest first *)
-
-let next_id = ref 0
+let set_enabled b = (st ()).Span_state.enabled <- b
 
 let c_unbalanced = Counters.counter "obs.span.unbalanced"
 
-let fresh_id () =
-  incr next_id;
-  !next_id
+let fresh_id = Span_state.fresh_id
 
-let clear () =
-  stack := [];
-  completed := [];
-  next_id := 0
+let clear () = Span_state.clear (st ())
 
-let open_depth () = List.length !stack
+let open_depth () = List.length (st ()).Span_state.stack
 
 let current_id () =
-  match !stack with [] -> None | f :: _ -> Some f.of_id
+  match (st ()).Span_state.stack with
+  | [] -> None
+  | f :: _ -> Some f.Span_state.of_id
 
-let finish frame ~at =
+let finish st (frame : Span_state.open_frame) ~at =
   let c =
     {
-      sp_id = frame.of_id;
-      sp_parent = frame.of_parent;
-      sp_name = frame.of_name;
-      sp_start = frame.of_start;
-      sp_stop = max frame.of_start at;
-      sp_depth = frame.of_depth;
+      sp_id = frame.Span_state.of_id;
+      sp_parent = frame.Span_state.of_parent;
+      sp_name = frame.Span_state.of_name;
+      sp_start = frame.Span_state.of_start;
+      sp_stop = max frame.Span_state.of_start at;
+      sp_depth = frame.Span_state.of_depth;
       sp_track = 1;
-      sp_args = frame.of_args;
+      sp_args = frame.Span_state.of_args;
     }
   in
-  completed := c :: !completed;
+  st.Span_state.completed <- c :: st.Span_state.completed;
   Histogram.observe (Histogram.get_or_create c.sp_name) (c.sp_stop - c.sp_start)
 
 let begin_ ?(args = []) name ~at =
-  if !enabled then begin
-    let parent = current_id () in
+  let st = st () in
+  if st.Span_state.enabled then begin
+    let parent =
+      match st.Span_state.stack with
+      | [] -> None
+      | f :: _ -> Some f.Span_state.of_id
+    in
     let frame =
       {
-        of_id = fresh_id ();
+        Span_state.of_id = fresh_id ();
         of_name = name;
         of_start = at;
         of_parent = parent;
-        of_depth = List.length !stack;
+        of_depth = List.length st.Span_state.stack;
         of_args = args;
       }
     in
-    stack := frame :: !stack
+    st.Span_state.stack <- frame :: st.Span_state.stack
   end
 
 let end_ name ~at =
-  if !enabled then
-    if List.exists (fun f -> f.of_name = name) !stack then begin
+  let st = st () in
+  if st.Span_state.enabled then
+    if
+      List.exists
+        (fun (f : Span_state.open_frame) -> f.Span_state.of_name = name)
+        st.Span_state.stack
+    then begin
       (* Implicitly close anything left open inside [name]. *)
       let rec pop () =
-        match !stack with
+        match st.Span_state.stack with
         | [] -> ()
         | f :: rest ->
-            stack := rest;
-            finish f ~at;
-            if f.of_name <> name then begin
+            st.Span_state.stack <- rest;
+            finish st f ~at;
+            if f.Span_state.of_name <> name then begin
               Counters.incr c_unbalanced;
               pop ()
             end
@@ -120,11 +115,14 @@ let end_ name ~at =
    from CPU marks, or DES request lifecycles).  Parented under
    [parent] when given, else under the innermost open span. *)
 let record ?(args = []) ?(track = 1) ?parent name ~start ~stop =
-  if not !enabled then None
+  let st = st () in
+  if not st.Span_state.enabled then None
   else begin
-    let parent = match parent with Some _ as p -> p | None -> current_id () in
+    let parent =
+      match parent with Some _ as p -> p | None -> current_id ()
+    in
     let depth =
-      match parent with None -> 0 | Some _ -> List.length !stack
+      match parent with None -> 0 | Some _ -> List.length st.Span_state.stack
     in
     let c =
       {
@@ -138,22 +136,16 @@ let record ?(args = []) ?(track = 1) ?parent name ~start ~stop =
         sp_args = args;
       }
     in
-    completed := c :: !completed;
+    st.Span_state.completed <- c :: st.Span_state.completed;
     Histogram.observe (Histogram.get_or_create name) (c.sp_stop - c.sp_start);
     Some c.sp_id
   end
 
 (* Completed spans, in start order (ties broken by id, i.e. begin
    order — parents before their children). *)
-let spans () =
-  List.sort
-    (fun a b ->
-      match compare a.sp_start b.sp_start with
-      | 0 -> compare a.sp_id b.sp_id
-      | c -> c)
-    !completed
+let spans () = Span_state.spans (st ())
 
-let length () = List.length !completed
+let length () = List.length (st ()).Span_state.completed
 
 let unbalanced () = Counters.value c_unbalanced
 
@@ -164,5 +156,5 @@ let pp_span ppf s =
 let dump ppf () =
   match spans () with
   | [] -> Fmt.pf ppf "(no spans recorded%s)@."
-      (if !enabled then "" else "; span recording is disabled")
+      (if on () then "" else "; span recording is disabled")
   | ss -> List.iter (fun s -> Fmt.pf ppf "%a@." pp_span s) ss

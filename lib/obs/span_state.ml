@@ -1,0 +1,58 @@
+(* Span recorder state, one per {!Sink}.
+
+   Holds the record types and the per-sink stack/completed storage;
+   {!Span} is the facade that routes the classic global-looking API
+   through the current sink.  Span ids come from a process-wide
+   [Atomic.t] so they stay unique across domains — merged fleets keep
+   unambiguous parent links. *)
+
+type completed = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_start : int;
+  sp_stop : int;
+  sp_depth : int;
+  sp_track : int;
+  sp_args : (string * string) list;
+}
+
+type open_frame = {
+  of_id : int;
+  of_name : string;
+  of_start : int;
+  of_parent : int option;
+  of_depth : int;
+  of_args : (string * string) list;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable stack : open_frame list;
+  mutable completed : completed list; (* newest first *)
+}
+
+let create () = { enabled = false; stack = []; completed = [] }
+
+let next_id = Atomic.make 0
+
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
+
+let clear t =
+  t.stack <- [];
+  t.completed <- []
+
+(* Completed spans, in start order (ties broken by id, i.e. begin
+   order — parents before their children). *)
+let spans t =
+  List.sort
+    (fun a b ->
+      match compare a.sp_start b.sp_start with
+      | 0 -> compare a.sp_id b.sp_id
+      | c -> c)
+    t.completed
+
+(* Fold [src]'s completed spans into [dst] (join-time merge).  Open
+   frames are deliberately not carried over: an unfinished span in a
+   joined world is an instrumentation bug local to that world. *)
+let absorb dst src = dst.completed <- src.completed @ dst.completed

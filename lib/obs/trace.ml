@@ -6,9 +6,14 @@
    [dropped] reports how many were lost.  Payloads are plain
    ints/strings so the tracer has no dependency on the simulator
    libraries that publish into it (rings are carried as their integer
-   privilege level). *)
+   privilege level).
 
-type event =
+   The ring itself lives in the current domain's {!Sink}
+   ({!Trace_state} holds the mechanics); this module is the facade
+   that keeps the classic global-looking API working while N worlds
+   trace concurrently into their own rings. *)
+
+type event = Trace_state.event =
   | Priv_transition of { from_ring : int; to_ring : int; via : string }
   | Fault of { vector : int; detail : string }
   | Module_load of { name : string; mechanism : string }
@@ -20,80 +25,30 @@ type event =
   | Audit_outcome of { context : string; outcome : string; findings : int }
   | Custom of string
 
-type entry = { seq : int; at_cycles : int; event : event }
+type entry = Trace_state.entry = { seq : int; at_cycles : int; event : event }
 
-type ring = {
-  mutable slots : entry option array;
-  mutable next : int; (* index of the slot the next entry goes into *)
-  mutable stored : int;
-  mutable seq : int;
-  mutable dropped : int;
-}
+let ring () = Sink.trace (Sink.current ())
 
-let default_capacity = 1024
+let on () = (ring ()).Trace_state.enabled
 
-let ring =
-  {
-    slots = Array.make default_capacity None;
-    next = 0;
-    stored = 0;
-    seq = 0;
-    dropped = 0;
-  }
+let set_enabled b = (ring ()).Trace_state.enabled <- b
 
-let enabled = ref false
+let capacity () = Trace_state.capacity (ring ())
 
-let on () = !enabled
-
-let set_enabled b = enabled := b
-
-let capacity () = Array.length ring.slots
-
-let clear () =
-  Array.fill ring.slots 0 (Array.length ring.slots) None;
-  ring.next <- 0;
-  ring.stored <- 0;
-  ring.seq <- 0;
-  ring.dropped <- 0
+let clear () = Trace_state.clear (ring ())
 
 (* Oldest first. *)
-let events () =
-  let cap = Array.length ring.slots in
-  let start = (ring.next - ring.stored + cap) mod cap in
-  List.init ring.stored (fun i ->
-      match ring.slots.((start + i) mod cap) with
-      | Some e -> e
-      | None -> assert false)
+let events () = Trace_state.events (ring ())
 
-(* Reallocate the ring, carrying the newest min(length, n) buffered
-   entries over; entries that no longer fit count as dropped. *)
-let set_capacity n =
-  if n <= 0 then invalid_arg "Trace.set_capacity";
-  let buffered = events () in
-  let keep = min ring.stored n in
-  let survivors =
-    (* newest [keep] of the buffered entries, still oldest-first *)
-    List.filteri (fun i _ -> i >= List.length buffered - keep) buffered
-  in
-  ring.slots <- Array.make n None;
-  List.iteri (fun i e -> ring.slots.(i) <- Some e) survivors;
-  ring.next <- keep mod n;
-  ring.stored <- keep;
-  ring.dropped <- ring.dropped + (List.length buffered - keep)
+let set_capacity n = Trace_state.set_capacity (ring ()) n
 
-let emit ?(cycles = 0) event =
-  if !enabled then begin
-    let cap = Array.length ring.slots in
-    if ring.stored = cap then ring.dropped <- ring.dropped + 1
-    else ring.stored <- ring.stored + 1;
-    ring.slots.(ring.next) <- Some { seq = ring.seq; at_cycles = cycles; event };
-    ring.next <- (ring.next + 1) mod cap;
-    ring.seq <- ring.seq + 1
-  end
+let emit ?cycles event =
+  let r = ring () in
+  if r.Trace_state.enabled then Trace_state.emit ?cycles r event
 
-let dropped () = ring.dropped
+let dropped () = Trace_state.dropped (ring ())
 
-let length () = ring.stored
+let length () = Trace_state.length (ring ())
 
 (* Short machine-readable tag of an event's family, used by the CLI's
    --filter and the JSON emission. *)
@@ -166,8 +121,8 @@ let to_json () =
   Json.Obj
     [
       ("events", Json.List (List.map entry_to_json (events ())));
-      ("dropped", Json.Int ring.dropped);
-      ("capacity", Json.Int (Array.length ring.slots));
+      ("dropped", Json.Int (dropped ()));
+      ("capacity", Json.Int (capacity ()));
     ]
 
 let pp_event ppf = function
@@ -195,10 +150,10 @@ let pp_entry ppf (e : entry) =
 let dump ppf () =
   let es = events () in
   if es = [] then Fmt.pf ppf "(trace empty%s)@."
-      (if !enabled then "" else "; tracing is disabled")
+      (if on () then "" else "; tracing is disabled")
   else begin
     List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) es;
-    if ring.dropped > 0 then
-      Fmt.pf ppf "(%d older events dropped; ring capacity %d)@." ring.dropped
-        (Array.length ring.slots)
+    if dropped () > 0 then
+      Fmt.pf ppf "(%d older events dropped; ring capacity %d)@." (dropped ())
+        (capacity ())
   end

@@ -566,8 +566,31 @@ type policy = Off | Warn | Reject
 
 (* Default Warn: existing workloads (including the fault-injection
    examples, which load deliberately rogue images) keep running, with
-   the verdict on stderr and in the counters. *)
-let policy : policy ref = ref Warn
+   the verdict on stderr and in the counters.  The process default is
+   atomic so worlds on different domains read it safely; individual
+   worlds override it through their kernel's policy-override table
+   (see [effective_policy]). *)
+let default_policy : policy Atomic.t = Atomic.make Warn
+
+let policy () = Atomic.get default_policy
+
+let set_policy p = Atomic.set default_policy p
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Some Off
+  | "warn" -> Some Warn
+  | "reject" -> Some Reject
+  | _ -> None
+
+let policy_name = function Off -> "off" | Warn -> "warn" | Reject -> "reject"
+
+(* Resolve the policy for one world: its kernel's override string when
+   present and parseable, else the process default. *)
+let effective_policy override =
+  match override with
+  | Some s -> ( match policy_of_string s with Some p -> p | None -> policy ())
+  | None -> policy ()
 
 exception Rejected of string * report
 
@@ -579,8 +602,8 @@ let c_warned = Obs.Counters.counter "verify.warned"
 
 let c_proved = Obs.Counters.counter "verify.accesses_proved"
 
-let enforce ~mechanism report =
-  match !policy with
+let enforce ?policy:p ~mechanism report =
+  match (match p with Some p -> p | None -> policy ()) with
   | Off -> ()
   | (Warn | Reject) as p ->
       Obs.Counters.incr c_images;

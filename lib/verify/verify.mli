@@ -113,17 +113,31 @@ val verify :
 
 type policy = Off | Warn | Reject
 
-val policy : policy ref
-(** Global load-time verification policy, default [Warn].  Re-exported
-    as [Pconfig.verify_policy]. *)
+val policy : unit -> policy
+(** Process-default load-time verification policy, default [Warn];
+    atomic, so safe to read from any domain.  Re-exported as
+    [Pconfig.verify_policy]. *)
+
+val set_policy : policy -> unit
+
+val policy_of_string : string -> policy option
+(** ["off"], ["warn"] or ["reject"], case-insensitive. *)
+
+val policy_name : policy -> string
+
+val effective_policy : string option -> policy
+(** The policy for one world: the kernel's override string
+    ([Kernel.policy_override kernel "verify"]) when present and
+    parseable, else the process default. *)
 
 exception Rejected of string * report
 (** [(image name, report)] — raised by {!enforce} under [Reject]. *)
 
-val enforce : mechanism:string -> report -> unit
-(** Apply the current {!policy} to a report: [Off] ignores it, [Warn]
-    prints error diagnostics to stderr, [Reject] raises {!Rejected}.
-    Outcomes are counted under [verify.*]. *)
+val enforce : ?policy:policy -> mechanism:string -> report -> unit
+(** Apply a policy to a report ([?policy] defaults to the process
+    default): [Off] ignores it, [Warn] prints error diagnostics to
+    stderr, [Reject] raises {!Rejected}.  Outcomes are counted under
+    [verify.*]. *)
 
 (** {1 SFI integration} *)
 

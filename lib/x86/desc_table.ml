@@ -21,16 +21,12 @@ let create ?(capacity = 32) ~name ~is_gdt () =
 let kind_tag t =
   if t.is_gdt then "gdt" else if t.name = "idt" then "idt" else "ldt"
 
-let mutation_counter =
-  let tbl = Hashtbl.create 16 in
-  fun t action ->
-    let key = kind_tag t ^ "." ^ action in
-    match Hashtbl.find_opt tbl key with
-    | Some c -> c
-    | None ->
-        let c = Obs.Counters.counter (Printf.sprintf "x86.%s" key) in
-        Hashtbl.add tbl key c;
-        c
+(* No memo table here: interning is already get-or-create (and
+   mutex-guarded, so tables mutated by worlds on different domains
+   don't race on a shared cache).  Mutations are rare — loader and
+   boot paths — so the lookup cost is irrelevant. *)
+let mutation_counter t action =
+  Obs.Counters.counter (Printf.sprintf "x86.%s.%s" (kind_tag t) action)
 
 let note_mutation t slot action =
   Obs.Counters.incr (mutation_counter t action);

@@ -14,11 +14,22 @@ type t = {
   tlb : Tlb.t;
   mutable dir : Paging.dir;
   mutable walks : int;
+  mutable f_not_present : int;
+  mutable f_privilege : int;
+  mutable f_readonly : int;
 }
 
 let create ?tlb phys ~dir =
   let tlb = match tlb with Some t -> t | None -> Tlb.create () in
-  { phys; tlb; dir; walks = 0 }
+  {
+    phys;
+    tlb;
+    dir;
+    walks = 0;
+    f_not_present = 0;
+    f_privilege = 0;
+    f_readonly = 0;
+  }
 
 let phys t = t.phys
 
@@ -36,8 +47,30 @@ let flush_tlb t = Tlb.flush t.tlb
 
 let page_walks t = t.walks
 
-(* Global event counters: page walks plus page faults broken down by
-   kind, for the observability layer. *)
+(* Per-instance event tallies (walks plus page faults broken down by
+   kind), mirrored into the x86.mmu.* counters of the owning world's
+   sink — the sink current while this MMU's world executes. *)
+type stats = {
+  mmu_walks : int;
+  mmu_fault_not_present : int;
+  mmu_fault_privilege : int;
+  mmu_fault_readonly : int;
+}
+
+let stats t =
+  {
+    mmu_walks = t.walks;
+    mmu_fault_not_present = t.f_not_present;
+    mmu_fault_privilege = t.f_privilege;
+    mmu_fault_readonly = t.f_readonly;
+  }
+
+let reset_stats t =
+  t.walks <- 0;
+  t.f_not_present <- 0;
+  t.f_privilege <- 0;
+  t.f_readonly <- 0
+
 let c_walks = Obs.Counters.counter "x86.mmu.page_walks"
 
 let c_fault_not_present = Obs.Counters.counter "x86.mmu.fault.not_present"
@@ -46,8 +79,19 @@ let c_fault_privilege = Obs.Counters.counter "x86.mmu.fault.privilege"
 
 let c_fault_readonly = Obs.Counters.counter "x86.mmu.fault.readonly"
 
-let fault c f =
-  Obs.Counters.incr c;
+let fault_not_present t f =
+  t.f_not_present <- t.f_not_present + 1;
+  Obs.Counters.incr c_fault_not_present;
+  Fault.raise_ f
+
+let fault_privilege t f =
+  t.f_privilege <- t.f_privilege + 1;
+  Obs.Counters.incr c_fault_privilege;
+  Fault.raise_ f
+
+let fault_readonly t f =
+  t.f_readonly <- t.f_readonly + 1;
+  Obs.Counters.incr c_fault_readonly;
   Fault.raise_ f
 
 (* True when the access runs with user-mode page privileges.  Only
@@ -57,13 +101,13 @@ let user_mode cpl = Privilege.equal cpl Privilege.R3
 
 type translation = { phys_addr : int; walked : bool }
 
-let check_pte ~cpl ~(access : Fault.access) ~linear (pte : Paging.pte) =
+let check_pte t ~cpl ~(access : Fault.access) ~linear (pte : Paging.pte) =
   if user_mode cpl && not pte.Paging.user then
-    fault c_fault_privilege (Fault.Page_privilege { linear; access; cpl });
+    fault_privilege t (Fault.Page_privilege { linear; access; cpl });
   match access with
   | Fault.Write ->
       if (not pte.Paging.writable) && user_mode cpl then
-        fault c_fault_readonly (Fault.Page_readonly { linear })
+        fault_readonly t (Fault.Page_readonly { linear })
   | Fault.Read | Fault.Execute -> ()
 
 (* Linear addresses are 32 bits.  A corrupt address (negative or past
@@ -74,7 +118,7 @@ let linear_valid linear = linear lsr 32 = 0
 
 let translate t ~cpl ~(access : Fault.access) linear =
   if not (linear_valid linear) then
-    fault c_fault_not_present (Fault.Page_not_present { linear; access });
+    fault_not_present t (Fault.Page_not_present { linear; access });
   let vpn = Paging.vpn_of_linear linear in
   let off = linear land Phys_mem.page_mask in
   match Tlb.lookup t.tlb ~vpn with
@@ -82,11 +126,11 @@ let translate t ~cpl ~(access : Fault.access) linear =
       (* TLB entries cache the U/S and W bits, so protection checks are
          performed on hits too (as the hardware does). *)
       if user_mode cpl && not e.Tlb.e_user then
-        fault c_fault_privilege (Fault.Page_privilege { linear; access; cpl });
+        fault_privilege t (Fault.Page_privilege { linear; access; cpl });
       (match access with
       | Fault.Write ->
           if (not e.Tlb.e_writable) && user_mode cpl then
-            fault c_fault_readonly (Fault.Page_readonly { linear })
+            fault_readonly t (Fault.Page_readonly { linear })
       | Fault.Read | Fault.Execute -> ());
       { phys_addr = Paging.linear_of_vpn e.Tlb.e_pfn lor off; walked = false }
   | None -> (
@@ -94,9 +138,9 @@ let translate t ~cpl ~(access : Fault.access) linear =
       Obs.Counters.incr c_walks;
       match Paging.lookup t.dir ~vpn with
       | None ->
-          fault c_fault_not_present (Fault.Page_not_present { linear; access })
+          fault_not_present t (Fault.Page_not_present { linear; access })
       | Some pte ->
-          check_pte ~cpl ~access ~linear pte;
+          check_pte t ~cpl ~access ~linear pte;
           pte.Paging.accessed <- true;
           if access = Fault.Write then pte.Paging.dirty <- true;
           Tlb.insert t.tlb ~vpn ~pfn:pte.Paging.pfn ~user:pte.Paging.user

@@ -18,6 +18,21 @@ val flush_tlb : t -> unit
 
 val page_walks : t -> int
 
+(** Per-instance event tallies — page walks and page faults broken
+    down by kind.  These mirror the [x86.mmu.*] counters published
+    into the owning world's sink, but survive sink swaps and let a
+    fleet attribute translation traffic to an individual MMU. *)
+type stats = {
+  mmu_walks : int;
+  mmu_fault_not_present : int;
+  mmu_fault_privilege : int;
+  mmu_fault_readonly : int;
+}
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
 val user_mode : Privilege.ring -> bool
 (** Only ring 3 runs with user-mode page privileges. *)
 

@@ -29,12 +29,13 @@ type dir = {
   mutable generation : int; (* bumped on every structural/PPL mutation *)
 }
 
-let next_id = ref 0
+(* Atomic so directories created by worlds on different domains still
+   get unique CR3 stand-ins. *)
+let next_id = Atomic.make 0
 
 let create () =
-  incr next_id;
   {
-    id = !next_id;
+    id = Atomic.fetch_and_add next_id 1 + 1;
     tables = Array.make entries_per_table None;
     mapped = 0;
     generation = 0;

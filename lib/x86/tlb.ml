@@ -20,8 +20,9 @@ type t = {
   mutable flushes : int;
 }
 
-(* Global event counters (the per-instance [stats] record remains the
-   per-TLB view; these aggregate across every TLB in the process). *)
+(* Sink-routed event counters (the per-instance [stats] record remains
+   the per-TLB view; these aggregate across every TLB publishing into
+   the same world sink). *)
 let c_hits = Obs.Counters.counter "x86.tlb.hits"
 
 let c_misses = Obs.Counters.counter "x86.tlb.misses"

@@ -107,4 +107,31 @@ let () =
   | Some full, Some ver ->
       fail "sfi: verified guard count %d not below full %d" ver full
   | _ -> fail "sfi: guard counts missing");
+  (* the fleet runner: a 4-domain parallel sweep must reproduce the
+     serial per-world results bit-for-bit, and the merged histogram
+     must account for every request *)
+  let outcome = Bench_runs.parallel ~json_dir ~domains:4 () in
+  validate "parallel";
+  if not outcome.Bench_runs.par_deterministic then
+    fail "parallel: per-world results diverged from the serial run";
+  if outcome.Bench_runs.par_merged_requests <> outcome.Bench_runs.par_serial_requests
+  then
+    fail "parallel: merged request count %d does not match serial total %d"
+      outcome.Bench_runs.par_merged_requests
+      outcome.Bench_runs.par_serial_requests;
+  let doc = load "parallel" in
+  (match mem "deterministic" doc with
+  | J.Bool true -> ()
+  | _ -> fail "parallel: artifact does not record determinism");
+  (* speedup is only meaningful with real cores; single-core runners
+     (and this container) pay pure domain-switch overhead *)
+  if Domain.recommended_domain_count () >= 2 then begin
+    if outcome.Bench_runs.par_speedup < 1.3 then
+      fail "parallel: %d-core speedup %.2fx below 1.3x threshold"
+        (Domain.recommended_domain_count ())
+        outcome.Bench_runs.par_speedup
+  end
+  else
+    Printf.printf
+      "bench-smoke parallel: single core, skipping speedup assertion\n%!";
   print_endline "bench-smoke: all subcommands emitted valid artifacts"

@@ -249,9 +249,9 @@ let test_incremental_skip () =
 (* --- policy ------------------------------------------------------------ *)
 
 let with_policy p f =
-  let saved = !Pconfig.audit_policy in
-  Pconfig.audit_policy := p;
-  Fun.protect ~finally:(fun () -> Pconfig.audit_policy := saved) f
+  let saved = Pconfig.audit_policy () in
+  Pconfig.set_audit_policy p;
+  Fun.protect ~finally:(fun () -> Pconfig.set_audit_policy saved) f
 
 let test_reject_policy () =
   with_policy E.Reject (fun () ->

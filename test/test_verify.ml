@@ -291,11 +291,11 @@ let test_verified_elides_guards () =
 (* --- loader integration under the Reject policy ---------------------- *)
 
 let with_policy p f =
-  let saved = !Verify.policy in
+  let saved = Verify.policy () in
   Fun.protect
-    ~finally:(fun () -> Verify.policy := saved)
+    ~finally:(fun () -> Verify.set_policy saved)
     (fun () ->
-      Verify.policy := p;
+      Verify.set_policy p;
       f ())
 
 let test_reject_policy_loaders () =
