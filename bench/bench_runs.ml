@@ -1146,6 +1146,19 @@ let parallel ?(json_dir = ".") ?(domains = 4) ?worlds ?(calls = 2000)
           ("domains", Int domains);
           ("worlds", Int worlds);
           ("cores", Int (Domain.recommended_domain_count ()));
+          ( "engine",
+            String (Bexec.engine_to_string (Bexec.get_default_engine ())) );
+          (* fleet-total simulated instructions over parallel wall
+             time: how fast the fleet simulates, not how fast the
+             simulated machines are *)
+          ( "simulated_mips",
+            Float
+              (let instrs =
+                 Obs.Sink.counter_value merged "machine.instructions"
+               in
+               if outcome.par_parallel_sec > 0. then
+                 float_of_int instrs /. outcome.par_parallel_sec /. 1e6
+               else 0.) );
           ( "serial",
             Obj
               [
@@ -1177,12 +1190,283 @@ let parallel ?(json_dir = ".") ?(domains = 4) ?worlds ?(calls = 2000)
         ]);
   outcome
 
+(* --- Basic-block engine speedup --------------------------------------- *)
+
+(* Same workload, both execution engines: the architectural totals
+   (cycle count, instruction count) must be identical — the block
+   engine is an implementation detail, not a model change — and the
+   wall-clock ratio is the engine's speedup.  Simulated MIPS is
+   retired simulated instructions per wall-clock second. *)
+
+type engine_sample = {
+  es_sec : float;
+  es_cycles : int;
+  es_instrs : int;
+}
+
+let mips s = float_of_int s.es_instrs /. max 1e-9 s.es_sec /. 1e6
+
+type fastpath_row = {
+  fp_workload : string;
+  fp_interp : engine_sample;
+  fp_blocks : engine_sample;
+}
+
+let fp_speedup r = r.fp_interp.es_sec /. max 1e-9 r.fp_blocks.es_sec
+
+let fp_identical r =
+  r.fp_interp.es_cycles = r.fp_blocks.es_cycles
+  && r.fp_interp.es_instrs = r.fp_blocks.es_instrs
+
+type fastpath_outcome = {
+  fp_rows : fastpath_row list;
+  fp_machine : fastpath_row;
+  fp_protected : fastpath_row; (* the compute-heavy protected-call sweep *)
+  fp_cache : Bcache.stats;
+}
+
+let with_engine engine f =
+  let saved = Bexec.get_default_engine () in
+  Bexec.set_default_engine engine;
+  Fun.protect ~finally:(fun () -> Bexec.set_default_engine saved) f
+
+(* Hookless flat machine running a register-only loop: the fast-path
+   fraction is ~100%, so this row is the engine's best case and the
+   one the smoke test holds to a speedup floor. *)
+let fastpath_machine_sample engine ~iters =
+  let module P = X86.Privilege in
+  let module Sel = X86.Selector in
+  let module Desc = X86.Descriptor in
+  let module DT = X86.Desc_table in
+  let module Seg = X86.Segmentation in
+  let phys = X86.Phys_mem.create () in
+  let dir = X86.Paging.create () in
+  for vpn = 0 to 31 do
+    let pfn = X86.Phys_mem.alloc_frame phys in
+    X86.Paging.map dir ~vpn ~pfn ~writable:true ~user:true
+  done;
+  let gdt = DT.gdt () in
+  DT.set gdt 1 (Desc.code ~base:0 ~limit:0x1F_FFFF ~dpl:P.R0 ());
+  DT.set gdt 2 (Desc.data ~base:0 ~limit:0x1F_FFFF ~dpl:P.R0 ());
+  let kcs = Sel.make ~rpl:P.R0 1 in
+  let kds = Sel.make ~rpl:P.R0 2 in
+  let idt = DT.create ~capacity:16 ~name:"idt" ~is_gdt:false () in
+  let tss = Tss.create ~dir () in
+  Tss.set_stack tss P.R0 { Tss.stack_selector = kds; stack_pointer = 0x8000 };
+  let mmu = X86.Mmu.create phys ~dir in
+  let code = Code_mem.create () in
+  let view = DT.view gdt in
+  let cpu = Cpu.create ~mmu ~code ~view ~idt ~tss () in
+  let bx = Bexec.attach cpu in
+  Cpu.set_engine cpu engine;
+  let r x = Operand.Reg x in
+  let org = 0x1000 in
+  let lea =
+    {
+      Operand.base = Some Reg.EBX;
+      index = Some (Reg.ECX, 4);
+      disp = 12;
+      seg_override = None;
+    }
+  in
+  let asm =
+    Asm.assemble ~org
+      [
+        Asm.I (Instr.Mov (r Reg.ECX, Operand.Imm iters));
+        Asm.I (Instr.Mov (r Reg.EAX, Operand.Imm 0));
+        Asm.I (Instr.Mov (r Reg.EBX, Operand.Imm 0x9E37_79B9));
+        Asm.L "loop";
+        Asm.I (Instr.Alu (Instr.Add, r Reg.EAX, r Reg.EBX));
+        Asm.I (Instr.Alu (Instr.Xor, r Reg.EBX, r Reg.EAX));
+        Asm.I (Instr.Shl (r Reg.EAX, 1));
+        Asm.I (Instr.Lea (Reg.ESI, lea));
+        Asm.I (Instr.Imul (Reg.EDX, r Reg.ESI));
+        Asm.I (Instr.Inc (r Reg.EDI));
+        Asm.I (Instr.Dec (r Reg.ECX));
+        Asm.I (Instr.Jcc (Instr.Ne, Instr.Label "loop"));
+        Asm.I Instr.Hlt;
+      ]
+  in
+  Code_mem.store_program code ~addr:org asm.Asm.instrs;
+  Cpu.force_seg cpu Reg.CS (Seg.load_code view ~new_cpl:P.R0 kcs);
+  Cpu.force_seg cpu Reg.SS (Seg.load_stack view ~cpl:P.R0 kds);
+  Cpu.force_seg cpu Reg.DS (Seg.load_data view ~cpl:P.R0 kds);
+  Cpu.force_seg cpu Reg.ES (Seg.load_data view ~cpl:P.R0 kds);
+  Cpu.set_eip cpu org;
+  Cpu.set_reg cpu Reg.ESP 0x8000;
+  Cpu.set_halted cpu false;
+  let t0 = Sys.time () in
+  (match Cpu.run cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Max_instructions | Cpu.Fault_abort _ ->
+      failwith "fastpath: machine loop did not halt");
+  ( { es_sec = Sys.time () -. t0; es_cycles = Cpu.cycles cpu;
+      es_instrs = Cpu.instructions cpu },
+    Bexec.stats bx )
+
+(* The checksum rounds of the compute-heavy protected-call sweeps:
+   ~32k simulated instructions per call, so instruction dispatch (not
+   the crossing or the kernel's OCaml bookkeeping) dominates. *)
+let mix_rounds = 4096
+
+(* Warm protected calls into [image]'s [export] through the full
+   stub/gate path.  The null function measures the crossing itself
+   (kernel entries, far transfers and stub code run outside blocks,
+   so the engine cannot help); the mix kernel measures a
+   compute-bound extension where it can. *)
+let fastpath_calls_sample ?hist engine ~image ~export ~calls =
+  with_engine engine @@ fun () ->
+  let _w, app = boot_app () in
+  let ext = User_ext.seg_dlopen app image in
+  let prepare = User_ext.seg_dlsym app ext export in
+  (match User_ext.call app ~prepare ~arg:1 (* warm TLB and pages *) with
+  | Ok _ -> ()
+  | Error e -> Fmt.failwith "fastpath warm call: %a" User_ext.pp_call_error e);
+  let cpu = Kernel.cpu (User_ext.kernel app) in
+  let c0 = Cpu.cycles cpu and i0 = Cpu.instructions cpu in
+  let t0 = Sys.time () in
+  for _ = 1 to calls do
+    let before = Cpu.cycles cpu in
+    (match User_ext.call app ~prepare ~arg:1 with
+    | Ok _ -> ()
+    | Error e -> Fmt.failwith "fastpath call: %a" User_ext.pp_call_error e);
+    match hist with
+    | Some h -> Obs.Histogram.observe h (Cpu.cycles cpu - before)
+    | None -> ()
+  done;
+  { es_sec = Sys.time () -. t0; es_cycles = Cpu.cycles cpu - c0;
+    es_instrs = Cpu.instructions cpu - i0 }
+
+(* Web-server sweep: measure the per-request protected CGI call — a
+   handler that checksums the request, the mix kernel — by simulation
+   under the engine, then feed the measured cost into the DES server
+   model.  Identical cycle totals imply identical modelled
+   throughput; the wall-clock win is in producing the measurement. *)
+let fastpath_server_sample engine ~sim_calls ~requests =
+  with_engine engine @@ fun () ->
+  let _w, app = boot_app () in
+  let ext = User_ext.seg_dlopen app (Ulib.mix_image ~rounds:mix_rounds) in
+  let prepare = User_ext.seg_dlsym app ext "mix" in
+  (match User_ext.call app ~prepare ~arg:1 with
+  | Ok _ -> ()
+  | Error e -> Fmt.failwith "fastpath mix: %a" User_ext.pp_call_error e);
+  let cpu = Kernel.cpu (User_ext.kernel app) in
+  let c0 = Cpu.cycles cpu and i0 = Cpu.instructions cpu in
+  let t0 = Sys.time () in
+  for _ = 1 to sim_calls do
+    ignore (User_ext.call app ~prepare ~arg:1)
+  done;
+  let sec = Sys.time () -. t0 in
+  let d_cycles = Cpu.cycles cpu - c0 in
+  let per_call = d_cycles / sim_calls in
+  let stats =
+    Server.run ~concurrency:16 ~total:requests
+      ~invocation:Cgi_model.Libcgi_protected ~bytes:2048
+      ~protected_call_usec:(usec_of_cycles per_call) ()
+  in
+  ( { es_sec = sec; es_cycles = d_cycles;
+      es_instrs = Cpu.instructions cpu - i0 },
+    stats.Server.throughput_rps )
+
+let fastpath ?(json_dir = ".") ?(machine_iters = 200_000) ?(calls = 300)
+    ?(sim_calls = 100) ?(requests = 20_000) () =
+  let since = Obs.Counters.snapshot () in
+  (* Machine row, plus the cache footprint of its blocks run. *)
+  let m_interp, _ = fastpath_machine_sample Cpu.Interp ~iters:machine_iters in
+  let m_blocks, cache = fastpath_machine_sample Cpu.Blocks ~iters:machine_iters in
+  let machine = { fp_workload = "machine-alu"; fp_interp = m_interp;
+                  fp_blocks = m_blocks } in
+  let mix = Ulib.mix_image ~rounds:mix_rounds in
+  let h_call = Obs.Histogram.create () in
+  let pc_interp =
+    fastpath_calls_sample Cpu.Interp ~image:mix ~export:"mix" ~calls
+  in
+  let pc_blocks =
+    fastpath_calls_sample ~hist:h_call Cpu.Blocks ~image:mix ~export:"mix"
+      ~calls
+  in
+  let pc = { fp_workload = "protected-call"; fp_interp = pc_interp;
+             fp_blocks = pc_blocks } in
+  let null_calls = calls in
+  let nc_interp =
+    fastpath_calls_sample Cpu.Interp ~image:Ulib.null_image ~export:"null_fn"
+      ~calls:null_calls
+  in
+  let nc_blocks =
+    fastpath_calls_sample Cpu.Blocks ~image:Ulib.null_image ~export:"null_fn"
+      ~calls:null_calls
+  in
+  let nc = { fp_workload = "protected-null-call"; fp_interp = nc_interp;
+             fp_blocks = nc_blocks } in
+  let ws_interp, rps_interp =
+    fastpath_server_sample Cpu.Interp ~sim_calls ~requests
+  in
+  let ws_blocks, rps_blocks =
+    fastpath_server_sample Cpu.Blocks ~sim_calls ~requests
+  in
+  let ws = { fp_workload = "webserver-cgi"; fp_interp = ws_interp;
+             fp_blocks = ws_blocks } in
+  let rows = [ machine; pc; nc; ws ] in
+  Printf.printf
+    "%-20s %12s %12s %9s %10s %10s %s\n" "fastpath" "interp(s)" "blocks(s)"
+    "speedup" "interpMIPS" "blocksMIPS" "identical";
+  List.iter
+    (fun r ->
+      Printf.printf "%-20s %12.4f %12.4f %8.2fx %10.2f %10.2f %s\n"
+        r.fp_workload r.fp_interp.es_sec r.fp_blocks.es_sec (fp_speedup r)
+        (mips r.fp_interp) (mips r.fp_blocks)
+        (if fp_identical r then "yes" else "NO"))
+    rows;
+  if rps_interp <> rps_blocks then
+    Printf.printf
+      "webserver throughput DIVERGED: interp %.1f rps, blocks %.1f rps\n"
+      rps_interp rps_blocks;
+  let open Obs.Json in
+  let sample_obj s =
+    Obj
+      [
+        ("elapsed_sec", Float s.es_sec);
+        ("cycles", Int s.es_cycles);
+        ("instructions", Int s.es_instrs);
+        ("simulated_mips", Float (mips s));
+      ]
+  in
+  emit ~json_dir ~name:"fastpath" ~since
+    ~histogram:("protected_call_cycles", h_call)
+    [
+      ( "rows",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("workload", String r.fp_workload);
+                   ("interp", sample_obj r.fp_interp);
+                   ("blocks", sample_obj r.fp_blocks);
+                   ("speedup", Float (fp_speedup r));
+                   ("identical", Bool (fp_identical r));
+                 ])
+             rows) );
+      ("webserver_rps_interp", Float rps_interp);
+      ("webserver_rps_blocks", Float rps_blocks);
+      ("webserver_rps_identical", Bool (rps_interp = rps_blocks));
+      ( "cache",
+        Obj
+          [
+            ("blocks", Int cache.Bcache.bc_blocks);
+            ("lookups", Int cache.Bcache.bc_lookups);
+            ("hits", Int cache.Bcache.bc_hits);
+            ("invalidations", Int cache.Bcache.bc_invalidations);
+          ] );
+    ];
+  { fp_rows = rows; fp_machine = machine; fp_protected = pc; fp_cache = cache }
+
 (* --- Driver ------------------------------------------------------------ *)
 
 let subcommands =
   [
     "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation"; "sfi";
-    "audit"; "parallel";
+    "audit"; "fastpath"; "parallel";
   ]
 
 (* Run the requested subset (everything when [args] is empty; bechamel
@@ -1200,6 +1484,7 @@ let run_main args =
   if want "ablation" then ablation ();
   if want "sfi" then sfi ();
   if want "audit" then audit ();
+  if want "fastpath" then ignore (fastpath ());
   (* parallel spawns domains, so — like bechamel — it only runs when
      asked for by name; `--domains N` / `--worlds N` tune the fleet. *)
   let rec flag name = function

@@ -9,6 +9,36 @@ open Cmdliner
 
 let mhz = float_of_int Cycles.mhz
 
+(* --- --engine: execution-engine selection ----------------------------- *)
+
+(* Every command that boots a simulated CPU takes [--engine]; the
+   default comes from [Bexec] (blocks, or $PALLADIUM_ENGINE).  Both
+   engines produce bit-identical architectural results — cycles,
+   registers, faults, counters — so the flag only changes how fast the
+   simulation itself runs. *)
+let engine_conv =
+  let parse s =
+    match Bexec.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "invalid engine %S (expected interp or blocks)" s))
+  in
+  let print ppf e = Format.pp_print_string ppf (Bexec.engine_to_string e) in
+  Arg.conv (parse, print)
+
+let engine_flag =
+  Arg.(
+    value
+    & opt engine_conv (Bexec.get_default_engine ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine for the simulated CPU: $(b,interp) single-steps \
+           every instruction; $(b,blocks) (the default) dispatches cached \
+           basic blocks with identical architectural results.")
+
+let set_engine = Bexec.set_default_engine
+
 (* --- call: measure a protected null call ----------------------------- *)
 
 let run_call iterations =
@@ -35,7 +65,11 @@ let call_cmd =
   in
   Cmd.v
     (Cmd.info "call" ~doc:"Measure the protected procedure call cost (Table 1).")
-    Term.(const run_call $ iterations)
+    Term.(
+      const (fun e n ->
+          set_engine e;
+          run_call n)
+      $ engine_flag $ iterations)
 
 (* --- filter: packet filtering sweep ----------------------------------- *)
 
@@ -87,7 +121,11 @@ let filter_cmd =
   in
   Cmd.v
     (Cmd.info "filter" ~doc:"Packet filter: BPF interpreter vs compiled extension (Figure 7).")
-    Term.(const run_filter $ terms $ count $ pct)
+    Term.(
+      const (fun e t c m ->
+          set_engine e;
+          run_filter t c m)
+      $ engine_flag $ terms $ count $ pct)
 
 (* --- webserver: throughput experiment ----------------------------------- *)
 
@@ -193,7 +231,11 @@ let fleet_cmd =
          "Boot N isolated worlds, each serving a LibCGI-protected web-server \
           sweep, sharded across OCaml domains; report per-world and merged \
           metrics plus serial-vs-parallel speedup.")
-    Term.(const run_fleet $ worlds $ domains $ bytes $ total)
+    Term.(
+      const (fun e w d b n ->
+          set_engine e;
+          run_fleet w d b n)
+      $ engine_flag $ worlds $ domains $ bytes $ total)
 
 (* --- rpc ------------------------------------------------------------------ *)
 
@@ -259,7 +301,11 @@ let stats_cmd =
        ~doc:
          "Run a protected-call workload and print the global event counters \
           (TLB, page walks, privilege crossings, syscalls, faults).")
-    Term.(const run_stats $ iterations $ with_fault)
+    Term.(
+      const (fun e n f ->
+          set_engine e;
+          run_stats n f)
+      $ engine_flag $ iterations $ with_fault)
 
 (* --- trace: event ring buffer dump ----------------------------------------- *)
 
@@ -339,7 +385,11 @@ let trace_cmd =
          "Run a protected-call workload with event tracing on and dump the \
           ring buffer (privilege transitions, module loads, protected calls, \
           faults, syscalls).")
-    Term.(const run_trace $ iterations $ with_fault $ capacity $ json $ filter)
+    Term.(
+      const (fun e n f c j k ->
+          set_engine e;
+          run_trace n f c j k)
+      $ engine_flag $ iterations $ with_fault $ capacity $ json $ filter)
 
 (* --- profile: span profiler over a workload -------------------------------- *)
 
@@ -419,7 +469,11 @@ let profile_cmd =
          "Profile a workload with cycle-stamped spans and write a Chrome \
           trace (Perfetto), a Prometheus exposition and folded stacks for \
           flamegraphs.")
-    Term.(const run_profile $ workload $ iterations $ out_dir)
+    Term.(
+      const (fun e w n o ->
+          set_engine e;
+          run_profile w n o)
+      $ engine_flag $ workload $ iterations $ out_dir)
 
 (* --- verify: load-time verifier reports ------------------------------------ *)
 

@@ -313,6 +313,23 @@ let insmod ?(require_termination = false) t (image : Image.t) =
     }
   in
   t.modules <- m :: t.modules;
+  (* Warm the basic-block engine: pre-translate the module's text at
+     its CFG block leaders under the exact CS signature the extension
+     runs with (the lret into the segment stamps CPL 1 into the
+     selector RPL).  Counter-free, and a no-op under the interpreter;
+     a CFG that fails to build just skips the warm start. *)
+  (match Vcfg.build ~org:text_off ~externs:(fun _ -> true) image.Image.text with
+  | cfg ->
+      let view = DT.view (Kernel.gdt t.kernel) in
+      let cs_loaded =
+        {
+          X86.Segmentation.selector = Sel.with_rpl t.cs_sel P.R1;
+          cache = DT.resolve view t.cs_sel;
+        }
+      in
+      Bexec.pretranslate (Kernel.bexec t.kernel) ~cs:cs_loaded
+        (Vcfg.block_offsets cfg)
+  | exception _ -> ());
   Paudit.maybe_audit ~context:("insmod " ^ image.Image.name) t.kernel;
   m
 
@@ -325,6 +342,12 @@ let abort t =
   t.aborts <- t.aborts + 1;
   t.eft <- [];
   Queue.clear t.queue;
+  (* Drop the segment's instructions: a later segment reusing this
+     linear range must never fetch the aborted image's stale text
+     (and the block cache invalidates with the code store). *)
+  if t.cursor_off > 0 then
+    Code_mem.remove_range (Kernel.code t.kernel) ~addr:t.seg_base
+      ~len:t.cursor_off;
   let gdt = Kernel.gdt t.kernel in
   DT.clear gdt t.gdt_cs_idx;
   DT.clear gdt t.gdt_ds_idx;
@@ -357,6 +380,7 @@ let invoke ?task t ~name ~arg =
         let wd = Kernel.watchdog kernel in
         Watchdog.arm wd ~now:(Cpu.cycles cpu)
           ~limit:Pconfig.default_time_limit_cycles ();
+        Cpu.reset_tick cpu (* fresh invocation, fresh timer period *);
         let result, value, cycles =
           Kernel.kernel_invoke kernel task ~fn_offset:prepare_off ~arg
         in

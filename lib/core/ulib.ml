@@ -202,6 +202,30 @@ let service_client_image ~slot_addr =
       i Instr.Ret;
     ]
 
+(* A register-only checksum kernel: [rounds] iterations of an 8-op
+   ALU mix over the 4-byte argument, no memory traffic after the
+   prologue.  Models the compute-bound extension of the evaluation's
+   protected-call sweep, where per-instruction dispatch cost (not the
+   crossing itself) dominates. *)
+let mix_image ~rounds =
+  Image.create ~name:"mix" ~exports:[ "mix" ]
+    [
+      L "mix";
+      i (Instr.Mov (reg Reg.EAX, dref ~disp:4 Reg.ESP)); (* seed *)
+      i (Instr.Mov (reg Reg.EDX, imm 0x9E37_79B9));
+      i (Instr.Mov (reg Reg.ECX, imm rounds));
+      L "mix.loop";
+      i (Instr.Alu (Instr.Add, reg Reg.EAX, reg Reg.EDX));
+      i (Instr.Alu (Instr.Xor, reg Reg.EDX, reg Reg.EAX));
+      i (Instr.Shl (reg Reg.EAX, 3));
+      i (Instr.Shr (reg Reg.EDX, 1));
+      i (Instr.Imul (Reg.EAX, imm 0x0101_0101));
+      i (Instr.Alu (Instr.Add, reg Reg.EDX, imm 0x1234_5677));
+      i (Instr.Dec (reg Reg.ECX));
+      i (Instr.Jcc (Instr.Ne, Instr.Label "mix.loop"));
+      i Instr.Ret;
+    ]
+
 (* A compute kernel that spins for [n] abstract work units: used by
    the SFI ablation benchmarks. *)
 let work_image ~units =

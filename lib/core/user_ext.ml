@@ -276,6 +276,7 @@ let call t ~prepare ~arg =
       ~args:[ ("prepare", Printf.sprintf "%#x" prepare) ]
       ~at:(Cpu.cycles cpu);
   Watchdog.arm wd ~now:(Cpu.cycles cpu) ~limit:t.time_limit ();
+  Cpu.reset_tick cpu (* a fresh invocation starts a fresh timer period *);
   let o = Runtime.invoke1 t.rt ~fn:prepare ~arg in
   Watchdog.disarm wd;
   if span_on then begin

@@ -25,6 +25,7 @@ type t = {
   gdt : DT.t;
   idt : DT.t;
   cpu : Cpu.t;
+  bexec : Bexec.t; (* basic-block engine state attached to [cpu] *)
   boot_dir : X86.Paging.dir;
   boot_tss : Tss.t;
   mutable tasks : Task.t list;
@@ -73,6 +74,8 @@ let ext_state t slot = Hashtbl.find_opt t.ext_state slot
 let clear_ext_state t slot = Hashtbl.remove t.ext_state slot
 
 let cpu t = t.cpu
+
+let bexec t = t.bexec
 
 let gdt t = t.gdt
 
@@ -217,8 +220,12 @@ let install_fault_hook t =
              Cpu.Fault_stop
          | Page_fault.Panic msg -> raise (Panic msg)))
 
+(* The watchdog rides the CPU's periodic tick, not [on_instr]: the
+   block engine services the tick countdown on its fast path, whereas
+   a per-instruction hook would force every slot onto the slow path. *)
 let install_watchdog_hook t =
-  Cpu.set_on_instr t.cpu
+  Cpu.set_on_tick t.cpu
+    ~every:(Watchdog.tick_instrs t.watchdog)
     (Some (fun cpu -> Watchdog.check t.watchdog ~now:(Cpu.cycles cpu)))
 
 (* --- System calls --------------------------------------------------- *)
@@ -631,6 +638,7 @@ let boot ?(params = Cycles.pentium) () =
   let cpu =
     Cpu.create ~mmu ~code ~view:(DT.view gdt) ~idt ~tss:boot_tss ~params ()
   in
+  let bexec = Bexec.attach cpu in
   let t =
     {
       kid;
@@ -639,6 +647,7 @@ let boot ?(params = Cycles.pentium) () =
       gdt;
       idt;
       cpu;
+      bexec;
       boot_dir;
       boot_tss;
       tasks = [];

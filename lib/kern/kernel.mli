@@ -47,6 +47,10 @@ val clear_ext_state : t -> string -> unit
 
 val cpu : t -> Cpu.t
 
+val bexec : t -> Bexec.t
+(** The basic-block engine attached to this kernel's CPU (loaders use
+    it to pre-translate verified extension text). *)
+
 val gdt : t -> X86.Desc_table.t
 
 val idt : t -> X86.Desc_table.t

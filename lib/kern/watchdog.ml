@@ -5,7 +5,10 @@
    interrupts", section 4.5.2).
 
    The check runs every [tick_instrs] simulated instructions, standing
-   in for the periodic timer interrupt. *)
+   in for the periodic timer interrupt.  The instruction countdown
+   itself lives in the CPU ({!Cpu.set_on_tick}): the block engine can
+   then service it with one decrement per slot and stay on its fast
+   path between ticks; [check] is the tick-boundary body only. *)
 
 type expiry = { wd_limit : int; wd_used : int }
 
@@ -16,7 +19,6 @@ type arm = { start_cycles : int; limit_cycles : int }
 type t = {
   mutable armed : arm option;
   mutable tick_instrs : int;
-  mutable countdown : int;
   mutable expirations : int;
 }
 
@@ -25,12 +27,12 @@ let c_expirations = Obs.Counters.counter "kern.watchdog.expirations"
 (* System-administrator parameter: default invocation budget. *)
 let default_limit_cycles = 2_000_000 (* 10 ms at 200 MHz *)
 
-let create ?(tick_instrs = 64) () =
-  { armed = None; tick_instrs; countdown = tick_instrs; expirations = 0 }
+let create ?(tick_instrs = 64) () = { armed = None; tick_instrs; expirations = 0 }
+
+let tick_instrs t = t.tick_instrs
 
 let arm t ~now ?(limit = default_limit_cycles) () =
-  t.armed <- Some { start_cycles = now; limit_cycles = limit };
-  t.countdown <- t.tick_instrs
+  t.armed <- Some { start_cycles = now; limit_cycles = limit }
 
 let disarm t = t.armed <- None
 
@@ -38,23 +40,19 @@ let is_armed t = t.armed <> None
 
 let expirations t = t.expirations
 
-(* Per-instruction hook body.  Raises {!Expired} when the armed budget
-   has been exceeded at a timer tick. *)
+(* Timer-tick body.  Raises {!Expired} when the armed budget has been
+   exceeded. *)
 let check t ~now =
   match t.armed with
   | None -> ()
   | Some { start_cycles; limit_cycles } ->
-      t.countdown <- t.countdown - 1;
-      if t.countdown <= 0 then begin
-        t.countdown <- t.tick_instrs;
-        let used = now - start_cycles in
-        if used > limit_cycles then begin
-          t.expirations <- t.expirations + 1;
-          Obs.Counters.incr c_expirations;
-          if Obs.Trace.on () then
-            Obs.Trace.emit ~cycles:now
-              (Obs.Trace.Watchdog_expiry { used; limit = limit_cycles });
-          t.armed <- None;
-          raise (Expired { wd_limit = limit_cycles; wd_used = used })
-        end
+      let used = now - start_cycles in
+      if used > limit_cycles then begin
+        t.expirations <- t.expirations + 1;
+        Obs.Counters.incr c_expirations;
+        if Obs.Trace.on () then
+          Obs.Trace.emit ~cycles:now
+            (Obs.Trace.Watchdog_expiry { used; limit = limit_cycles });
+        t.armed <- None;
+        raise (Expired { wd_limit = limit_cycles; wd_used = used })
       end

@@ -11,7 +11,10 @@ val default_limit_cycles : int
 
 val create : ?tick_instrs:int -> unit -> t
 (** [tick_instrs] is the number of instructions between checks (the
-    timer-interrupt period). *)
+    timer-interrupt period).  The countdown is driven by the CPU's
+    periodic tick ({!Cpu.set_on_tick}), not by this module. *)
+
+val tick_instrs : t -> int
 
 val arm : t -> now:int -> ?limit:int -> unit -> unit
 
@@ -22,5 +25,5 @@ val is_armed : t -> bool
 val expirations : t -> int
 
 val check : t -> now:int -> unit
-(** Per-instruction hook body; raises {!Expired} when the armed budget
-    is exceeded at a tick. *)
+(** Timer-tick body; raises {!Expired} when the armed budget is
+    exceeded. *)

@@ -194,6 +194,23 @@ let dlopen ?(placement = shared_library) ~(kernel : Kernel.t) ~(task : Task.t)
       | Some (addr, kind) -> define env name addr kind
       | None -> raise (Missing_symbol name))
     image.Image.exports;
+  (* Warm the basic-block engine for verified user extensions:
+     pre-translate the image text at its CFG block leaders under the
+     task's extension code segment.  Counter-free; skipped under the
+     interpreter, when the task has no extension segment yet, or when
+     the CFG cannot be built. *)
+  (match (placement.text_kind, task.Task.ext_cs) with
+  | Vm_area.Ext_code, Some ext_cs -> (
+      match
+        ( Vcfg.build ~org:text_base ~externs:(fun _ -> true) image.Image.text,
+          X86.Desc_table.resolve (Kernel.view_for kernel task) ext_cs )
+      with
+      | cfg, cache ->
+          Bexec.pretranslate (Kernel.bexec kernel)
+            ~cs:{ X86.Segmentation.selector = ext_cs; cache }
+            (Vcfg.block_offsets cfg)
+      | exception _ -> ())
+  | _ -> ());
   (* The measured dlopen cost on the paper's machine (section 5.1). *)
   Cpu.charge (Kernel.cpu kernel) (Cycles.usec_to_cycles Kcosts.dlopen_usec);
   if Obs.Trace.on () then

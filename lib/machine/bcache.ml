@@ -1,0 +1,87 @@
+(* Basic-block translation cache.
+
+   Entries are keyed on the *linear* address of the block's first
+   instruction (code-segment base + EIP), so blocks of different
+   segments never collide even when their EIP ranges overlap.  The
+   cache carries the [Code_mem] generation and the CPU's cache epoch
+   it was filled under; [validate] drops every entry when either moves
+   (code stores / remove_range, CR3 loads).  Segment reloads are
+   handled per entry by the engine (each block records the hidden
+   descriptor cache it was translated under), because CS reloads
+   happen on every far transfer and eager clearing would defeat the
+   cache.
+
+   Statistics are instance-local on purpose: routing them through the
+   [Obs] counters would make fast-path and slow-path runs produce
+   different counter deltas, breaking the differential oracle's
+   bit-identity check. *)
+
+type 'a t = {
+  table : (int, 'a) Hashtbl.t;
+  mutable code_gen : int;
+  mutable cpu_epoch : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable invalidations : int;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 1024;
+    code_gen = -1;
+    cpu_epoch = -1;
+    lookups = 0;
+    hits = 0;
+    invalidations = 0;
+  }
+
+(* Drop all entries if the code store or the CPU's translation epoch
+   moved since the cache was last filled. *)
+let validate t ~code_gen ~cpu_epoch =
+  if t.code_gen <> code_gen || t.cpu_epoch <> cpu_epoch then begin
+    if Hashtbl.length t.table > 0 then t.invalidations <- t.invalidations + 1;
+    Hashtbl.reset t.table;
+    t.code_gen <- code_gen;
+    t.cpu_epoch <- cpu_epoch
+  end
+
+let find t key =
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some _ as e ->
+      t.hits <- t.hits + 1;
+      e
+  | None -> None
+
+(* [n] block-to-block chained transfers resolved through memoized
+   links (no table probe); each counts as a lookup that hit, keeping
+   the hit-rate statistics meaningful under chaining.  Batched: the
+   engine tallies locally and credits once per dispatch. *)
+let note_hits t n =
+  t.lookups <- t.lookups + n;
+  t.hits <- t.hits + n
+
+let add t key v = Hashtbl.replace t.table key v
+
+let mem t key = Hashtbl.mem t.table key
+
+let clear t =
+  if Hashtbl.length t.table > 0 then t.invalidations <- t.invalidations + 1;
+  Hashtbl.reset t.table
+
+let size t = Hashtbl.length t.table
+
+type stats = {
+  bc_blocks : int;
+  bc_lookups : int;
+  bc_hits : int;
+  bc_invalidations : int;
+}
+
+let stats t =
+  {
+    bc_blocks = Hashtbl.length t.table;
+    bc_lookups = t.lookups;
+    bc_hits = t.hits;
+    bc_invalidations = t.invalidations;
+  }

@@ -1,27 +1,63 @@
 (* Instruction store.  Instructions live at linear addresses in 4-byte
    slots; instruction *fetch* still goes through the full segment and
    page protection checks, only the bytes themselves are kept out of
-   the byte-level physical memory for simplicity. *)
+   the byte-level physical memory for simplicity.
 
-type t = { slots : (int, Instr.t) Hashtbl.t }
+   The store carries a generation counter so that block caches built
+   over its contents can detect any mutation (store, store_program,
+   remove_range) and drop their translations.  It also remembers the
+   extent of every program stored through [store_program]: re-loading
+   a *shorter* program over the same base used to leave the old
+   image's tail slots fetchable — stale instructions past the new
+   program's end — so [store_program] now clears the previous extent
+   first. *)
 
-let create () = { slots = Hashtbl.create 4096 }
+type t = {
+  slots : (int, Instr.t) Hashtbl.t;
+  extents : (int, int) Hashtbl.t; (* program base addr -> length in bytes *)
+  mutable generation : int;
+}
+
+let create () =
+  { slots = Hashtbl.create 4096; extents = Hashtbl.create 64; generation = 0 }
+
+let generation t = t.generation
+
+let bump t = t.generation <- t.generation + 1
 
 let store t ~addr instr =
   if addr land (Instr.size - 1) <> 0 then
     invalid_arg (Printf.sprintf "Code_mem.store: unaligned %#x" addr);
-  Hashtbl.replace t.slots addr instr
-
-let store_program t ~addr instrs =
-  Array.iteri (fun i instr -> store t ~addr:(addr + (i * Instr.size)) instr) instrs
-
-let fetch t ~addr = Hashtbl.find_opt t.slots addr
+  Hashtbl.replace t.slots addr instr;
+  bump t
 
 let remove_range t ~addr ~len =
   let first = addr land lnot (Instr.size - 1) in
   let n = (len + Instr.size - 1) / Instr.size in
   for i = 0 to n - 1 do
     Hashtbl.remove t.slots (first + (i * Instr.size))
-  done
+  done;
+  (* Forget recorded program extents whose base falls inside the
+     removed range: their slots are gone. *)
+  let last = first + (n * Instr.size) in
+  let stale =
+    Hashtbl.fold
+      (fun base _ acc -> if base >= first && base < last then base :: acc else acc)
+      t.extents []
+  in
+  List.iter (Hashtbl.remove t.extents) stale;
+  bump t
+
+let store_program t ~addr instrs =
+  let len = Array.length instrs * Instr.size in
+  (match Hashtbl.find_opt t.extents addr with
+  | Some prev when prev > len ->
+      (* shorter image over a longer one: clear the stale tail *)
+      remove_range t ~addr:(addr + len) ~len:(prev - len)
+  | Some _ | None -> ());
+  if len > 0 then Hashtbl.replace t.extents addr len;
+  Array.iteri (fun i instr -> store t ~addr:(addr + (i * Instr.size)) instr) instrs
+
+let fetch t ~addr = Hashtbl.find_opt t.slots addr
 
 let count t = Hashtbl.length t.slots

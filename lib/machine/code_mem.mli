@@ -7,6 +7,14 @@ val create : unit -> t
 val store : t -> addr:int -> Instr.t -> unit
 
 val store_program : t -> addr:int -> Instr.t array -> unit
+(** Stores instructions at consecutive slots from [addr].  When a
+    program was previously stored at the same base, any slots of that
+    image past the new program's end are removed first, so a re-load
+    with a shorter image cannot leave stale tail instructions. *)
+
+val generation : t -> int
+(** Bumped on every mutation ([store], [store_program],
+    [remove_range]); block caches compare it to detect staleness. *)
 
 val fetch : t -> addr:int -> Instr.t option
 

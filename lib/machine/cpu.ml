@@ -42,6 +42,13 @@ type fault_action = Fault_continue | Fault_stop
 
 type stop = Halted | Max_instructions | Fault_abort of F.t
 
+type engine = Interp | Blocks
+
+(* Instruction-trace ring capacity (mirrors Obs.Trace's bounded ring):
+   tracing long runs keeps the newest entries instead of growing a
+   cons list linearly in instruction count. *)
+let trace_capacity = 256
+
 type t = {
   mmu : X86.Mmu.t;
   code : Code_mem.t;
@@ -64,8 +71,29 @@ type t = {
   mutable on_fault : (t -> F.t -> fault_action) option;
   mutable on_instr : (t -> unit) option;
   mutable fault_count : int;
-  mutable trace : (int * Instr.t) list; (* newest first, when tracing *)
+  (* bounded instruction-trace ring, newest at (trace_pos - 1) *)
+  trace_buf : (int * Instr.t) array;
+  mutable trace_pos : int;
+  mutable trace_len : int;
   mutable tracing : bool;
+  (* block-engine hooks: [block_dispatch] (installed by Bexec.attach)
+     executes cached basic blocks when [engine = Blocks]; [cache_epoch]
+     is bumped on CR3 loads (task switches) to invalidate translations;
+     [dispatch_consumed] reports how many instructions a dispatch
+     retired before raising a fault, so [run]'s fuel accounting stays
+     exact across the exception. *)
+  mutable engine : engine;
+  mutable block_dispatch : (t -> int -> int) option;
+  mutable cache_epoch : int;
+  mutable dispatch_consumed : int;
+  (* periodic pre-instruction tick: [on_tick] fires every [tick_every]
+     instructions (the simulated timer interrupt; the kernel hangs the
+     watchdog here).  Unlike [on_instr] the countdown lives in the CPU,
+     so the block engine can service it with one decrement per slot and
+     stay on its fast path between firings. *)
+  mutable on_tick : (t -> unit) option;
+  mutable tick_every : int;
+  mutable tick_left : int;
 }
 
 let mask32 v = v land 0xFFFF_FFFF
@@ -104,9 +132,53 @@ let create ~mmu ~code ~view ~idt ~tss ?(params = Cycles.pentium) () =
     on_fault = None;
     on_instr = None;
     fault_count = 0;
-    trace = [];
+    trace_buf = Array.make trace_capacity (0, Instr.Nop);
+    trace_pos = 0;
+    trace_len = 0;
     tracing = false;
+    engine = Interp;
+    block_dispatch = None;
+    cache_epoch = 0;
+    dispatch_consumed = 0;
+    on_tick = None;
+    tick_every = 1;
+    tick_left = 1;
   }
+
+(* --- Periodic tick -------------------------------------------------- *)
+
+let set_on_tick t ~every cb =
+  t.on_tick <- cb;
+  t.tick_every <- max 1 every;
+  t.tick_left <- t.tick_every
+
+let reset_tick t = t.tick_left <- t.tick_every
+
+(* Count one instruction against the tick period.  Returns [true] when
+   the callback is due (the caller fires it via [tick_fire] after
+   committing any pending accounting, so the callback observes exact
+   cycle/instruction totals). *)
+let tick_step t =
+  match t.on_tick with
+  | None -> false
+  | Some _ ->
+      t.tick_left <- t.tick_left - 1;
+      if t.tick_left <= 0 then begin
+        t.tick_left <- t.tick_every;
+        true
+      end
+      else false
+
+let tick_fire t = match t.on_tick with Some f -> f t | None -> ()
+
+(* Countdown access for the block engine's fast loop: it caches the
+   remaining count in a local, decrements per slot without a call, and
+   writes the balance back on every exit to the slow path.  [max_int]
+   when no tick is installed, so the local countdown simply never
+   reaches zero. *)
+let tick_left t = match t.on_tick with None -> max_int | Some _ -> t.tick_left
+
+let set_tick_left t n = t.tick_left <- n
 
 let charge t n = t.cycles <- t.cycles + n
 
@@ -119,6 +191,8 @@ let fault_count t = t.fault_count
 let cpl t = Seg.cpl_of_code t.cs
 
 let get_reg t r = t.regs.(Reg.index r)
+
+let regs_array t = t.regs
 
 let set_reg t r v = t.regs.(Reg.index r) <- mask32 v
 
@@ -154,12 +228,19 @@ let set_on_instr t f = t.on_instr <- f
 
 let set_tracing t v = t.tracing <- v
 
+let tracing t = t.tracing
+
+let trace_push t eip instr =
+  t.trace_buf.(t.trace_pos) <- (eip, instr);
+  t.trace_pos <- (t.trace_pos + 1) mod trace_capacity;
+  if t.trace_len < trace_capacity then t.trace_len <- t.trace_len + 1
+
+(* The newest [n] traced instructions in program order, as before the
+   ring: the list is capped at the ring capacity. *)
 let recent_trace ?(n = 32) t =
-  let rec take k = function
-    | [] -> []
-    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
-  in
-  List.rev (take n t.trace)
+  let m = min n t.trace_len in
+  List.init m (fun i ->
+      t.trace_buf.((t.trace_pos - m + i + trace_capacity) mod trace_capacity))
 
 (* --- Segment register access ------------------------------------- *)
 
@@ -787,10 +868,22 @@ let exec t instr =
 
 let step t =
   let instr = fetch t in
-  if t.tracing then t.trace <- (t.eip, instr) :: t.trace;
+  if t.tracing then trace_push t t.eip instr;
   t.instructions <- t.instructions + 1;
   Obs.Counters.incr c_instructions;
   exec t instr
+
+(* One execution unit of [run]: a cached basic block when the block
+   engine is active (returns the number of instructions retired), else
+   one slow-path [step].  [dispatch_consumed] is reset first so that a
+   fault raised mid-block still reports how much fuel the completed
+   slots consumed. *)
+let exec_unit t fuel =
+  match t.block_dispatch with
+  | Some d when t.engine = Blocks -> d t fuel
+  | Some _ | None ->
+      step t;
+      1
 
 let run ?(max_instrs = 10_000_000) t =
   let rec loop n =
@@ -798,9 +891,19 @@ let run ?(max_instrs = 10_000_000) t =
     else if n <= 0 then Max_instructions
     else begin
       (match t.on_instr with Some f -> f t | None -> ());
-      match step t with
-      | () -> loop (n - 1)
+      (* the unit's first instruction counts against the tick period;
+         a block dispatch ticks the rest itself *)
+      if tick_step t then tick_fire t;
+      t.dispatch_consumed <- 0;
+      match exec_unit t n with
+      | consumed -> loop (n - consumed)
       | exception F.Fault f ->
+          (* instructions retired before the fault (mid-block) still
+             consume fuel; the faulting instruction itself retired
+             nothing and consumes none, so a handled fault no longer
+             eats a slot from [max_instrs] — both engines agree on
+             the Max_instructions boundary *)
+          let consumed = t.dispatch_consumed in
           t.fault_count <- t.fault_count + 1;
           Obs.Counters.incr c_faults;
           if Obs.Trace.on () then
@@ -820,7 +923,7 @@ let run ?(max_instrs = 10_000_000) t =
               (Obs.Span.record "hw.fault" ~start:span_start ~stop:t.cycles
                  ~args:[ ("detail", F.to_string f) ]);
           (match action with
-          | Fault_continue -> loop (n - 1)
+          | Fault_continue -> loop (n - consumed)
           | Fault_stop -> Fault_abort f)
     end
   in
@@ -858,12 +961,44 @@ let restore_state t s =
   t.es <- s.s_es;
   t.halted <- s.s_halted
 
-(* Task switch: reload LDT view, CR3 (flushing the TLB) and the TSS. *)
+(* Task switch: reload LDT view, CR3 (flushing the TLB) and the TSS.
+   The CR3 load also invalidates cached block translations. *)
 let switch_task t ~view ~tss =
   charge t t.params.task_switch;
   t.view <- view;
   t.tss <- tss;
+  t.cache_epoch <- t.cache_epoch + 1;
   X86.Mmu.load_cr3 t.mmu (Tss.directory tss)
+
+(* --- Block-engine SPI (used by Bexec) ------------------------------- *)
+
+let engine t = t.engine
+
+let set_engine t e = t.engine <- e
+
+let set_block_dispatch t d = t.block_dispatch <- d
+
+let cache_epoch t = t.cache_epoch
+
+let note_dispatch_progress t n = t.dispatch_consumed <- n
+
+let flags t = t.flags
+
+let on_instr t = t.on_instr
+
+let add_instructions t n =
+  t.instructions <- t.instructions + n;
+  Obs.Counters.add c_instructions n
+
+(* Full fetch-side page translation of one instruction slot, exactly
+   as the slow path's [fetch] performs it (TLB statistics, walk
+   charging and page faults included).  The segment-level checks are
+   omitted: the block translator already proved them against the same
+   hidden descriptor cache, and they are deterministic in it. *)
+let fetch_translate t linear =
+  ignore (translate t ~access:F.Execute linear Instr.size)
+
+let exec_instr = exec
 
 let pp_state ppf t =
   Fmt.pf ppf "@[<v>eip=%#x cpl=%a cycles=%d@,cs=%a@,ds=%a@,ss=%a@,regs:"

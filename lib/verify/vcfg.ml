@@ -213,3 +213,11 @@ let dfs t ~roots =
   List.iter (fun r -> if r >= 0 && r < nb && colour.(r) = 0 then visit r) roots;
   let reachable = Array.map (fun c -> c <> 0) colour in
   (reachable, List.rev !back)
+
+(* Assembled offsets of every basic-block leader: [org + size * b_start]
+   for each block, in block order.  Loaders hand these to the
+   basic-block execution engine to pre-translate verified extension
+   text at load time. *)
+let block_offsets t =
+  Array.to_list
+    (Array.map (fun b -> t.org + (Instr.size * b.b_start)) t.blocks)

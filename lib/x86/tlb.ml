@@ -48,6 +48,22 @@ let lookup t ~vpn =
       Obs.Counters.incr c_misses;
       None
 
+(* Counter-free probe for the block engine's fast fetch path: the
+   caller batches the hits it observes (note_hits) and falls back to
+   the counting [lookup]-based pipeline on a miss, so the hit/miss
+   tallies stay exactly what a per-instruction [lookup] would have
+   produced. *)
+let peek t ~vpn =
+  match t.slots.(slot t vpn) with
+  | Some e when e.e_vpn = vpn -> Some e
+  | Some _ | None -> None
+
+let note_hits t n =
+  if n > 0 then begin
+    t.hits <- t.hits + n;
+    Obs.Counters.add c_hits n
+  end
+
 let insert t ~vpn ~pfn ~user ~writable =
   t.slots.(slot t vpn) <-
     Some { e_vpn = vpn; e_pfn = pfn; e_user = user; e_writable = writable }

@@ -13,6 +13,15 @@ val create : ?sets:int -> unit -> t
 
 val lookup : t -> vpn:int -> entry option
 
+val peek : t -> vpn:int -> entry option
+(** Like {!lookup} but without touching the hit/miss statistics: used
+    by batching fast paths that account their hits with {!note_hits}
+    and re-run the counting pipeline on a miss. *)
+
+val note_hits : t -> int -> unit
+(** Credit [n] batched hits to the statistics, exactly as [n]
+    successful {!lookup} calls would have. *)
+
 val insert : t -> vpn:int -> pfn:int -> user:bool -> writable:bool -> unit
 
 val invalidate : t -> vpn:int -> unit

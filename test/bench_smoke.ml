@@ -134,4 +134,36 @@ let () =
   else
     Printf.printf
       "bench-smoke parallel: single core, skipping speedup assertion\n%!";
+  (* the basic-block engine: every workload must produce bit-identical
+     architectural totals under both engines, and the compute-heavy
+     protected-call sweep must clear a 3x simulated-MIPS floor *)
+  let fp =
+    Bench_runs.fastpath ~json_dir ~machine_iters:20_000 ~calls:30 ~sim_calls:10
+      ~requests:2_000 ()
+  in
+  validate "fastpath";
+  List.iter
+    (fun r ->
+      if not (Bench_runs.fp_identical r) then
+        fail "fastpath: %s cycle/instruction totals differ between engines"
+          r.Bench_runs.fp_workload)
+    fp.Bench_runs.fp_rows;
+  let doc = load "fastpath" in
+  (match mem "rows" doc with
+  | J.List (_ :: _) -> ()
+  | _ -> fail "fastpath: artifact rows missing");
+  let pc = fp.Bench_runs.fp_protected in
+  (* speedup is a wall-clock ratio: only assert it when the interpreter
+     run is long enough for Sys.time to be meaningful *)
+  if pc.Bench_runs.fp_interp.Bench_runs.es_sec < 0.01 then
+    Printf.printf
+      "bench-smoke fastpath: interp run too short to time, skipping speedup \
+       assertion\n\
+       %!"
+  else begin
+    let s = Bench_runs.fp_speedup pc in
+    if s < 3.0 then
+      fail "fastpath: protected-call block-engine speedup %.2fx below 3x floor"
+        s
+  end;
   print_endline "bench-smoke: all subcommands emitted valid artifacts"
