@@ -1461,12 +1461,201 @@ let fastpath ?(json_dir = ".") ?(machine_iters = 200_000) ?(calls = 300)
     ];
   { fp_rows = rows; fp_machine = machine; fp_protected = pc; fp_cache = cache }
 
+(* --- Timeline: sampled time series, serial vs parallel ----------------- *)
+
+(* One world's timeline workload: batches of protected null calls plus
+   a web-server slice, with an {!Obs.Collector} sampling the world's
+   sink on simulated-cycle boundaries.  Each DES slice's simulated
+   duration is charged to the world CPU so sample boundaries track
+   offered load, and the collector is ticked explicitly at every batch
+   boundary — a short protected call retires fewer instructions than
+   the watchdog tick period and [User_ext.call] resets the tick
+   countdown per invocation, so the chained hook alone would starve.
+   Deterministic in the world index: same batches -> same cycle
+   stamps -> bit-identical sampled series, serial or parallel. *)
+let timeline_world ~collectors ~batches ~calls ~requests i =
+  let calls = calls + (i mod 3) in
+  let w = Palladium.boot () in
+  let app = Palladium.create_app w ~name:(Printf.sprintf "timeline%d" i) in
+  let ext = User_ext.seg_dlopen app Ulib.null_image in
+  let prepare = User_ext.seg_dlsym app ext "null_fn" in
+  let kcpu = Kernel.cpu (User_ext.kernel app) in
+  let c = collectors.(i) in
+  Telemetry.attach c kcpu;
+  let h_call = Obs.Histogram.get_or_create "fleet.call_cycles" in
+  let h_req = Obs.Histogram.get_or_create "fleet.request_usec" in
+  let served = ref 0 in
+  for _ = 1 to batches do
+    for _ = 1 to calls do
+      let marks = protected_null_call_marks app prepare in
+      let setup = find_mark marks ".setup" in
+      let body = find_mark marks ".body" in
+      let return = find_mark marks ".return" in
+      let done_ = find_mark marks "rt.done" in
+      Obs.Histogram.observe h_call (done_ - setup - (return - body))
+    done;
+    let stats =
+      Server.run ~concurrency:16 ~total:requests ~latency:h_req
+        ~invocation:Cgi_model.Libcgi_protected ~bytes:2048
+        ~protected_call_usec:(usec_of_cycles 144) ()
+    in
+    served := !served + stats.Server.requests;
+    (* credit the slice's simulated duration to the world CPU *)
+    Cpu.charge kcpu (int_of_float (stats.Server.elapsed_usec *. mhz));
+    Obs.Collector.tick c ~now:(Cpu.cycles kcpu)
+  done;
+  Palladium.teardown w;
+  Telemetry.flush c kcpu;
+  (calls * batches, !served)
+
+(* Per-boundary bcache hit ratio from a sampled series: align the hit
+   and miss delta points by timestamp, keep boundaries with lookups. *)
+let bcache_ratios ts =
+  let deltas name =
+    List.filter_map
+      (fun p ->
+        match p.Obs.Timeseries.p_v with
+        | Obs.Timeseries.Counter { delta; _ } ->
+            Some (p.Obs.Timeseries.p_t, delta)
+        | _ -> None)
+      (Obs.Timeseries.points ts name)
+  in
+  let hits = deltas "bcache.hit" and misses = deltas "bcache.miss" in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (t, d) -> Hashtbl.replace tbl t (d, 0)) hits;
+  List.iter
+    (fun (t, d) ->
+      let h = match Hashtbl.find_opt tbl t with Some (h, _) -> h | None -> 0 in
+      Hashtbl.replace tbl t (h, d))
+    misses;
+  List.map fst hits @ List.map fst misses
+  |> List.sort_uniq compare
+  |> List.filter_map (fun t ->
+         let h, m = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl t) in
+         if h + m = 0 then None
+         else Some (t, h, m, float_of_int h /. float_of_int (h + m)))
+
+type timeline_outcome = {
+  tl_domains : int;
+  tl_worlds : int;
+  tl_deterministic : bool;
+      (* per-world sampled series bit-identical, serial vs parallel *)
+  tl_samples : int; (* points across all merged series *)
+  tl_first_ratio : float; (* bcache hit ratio of the first busy interval *)
+  tl_steady_ratio : float; (* aggregate ratio of every later interval *)
+}
+
+let tl_warmed o = o.tl_first_ratio < o.tl_steady_ratio
+
+(* Sampled-series bench: run the same fixed-batch fleet serially and
+   sharded over domains, each world under its own collector, and
+   compare the per-world time series point-for-point.  The artifact
+   carries the merged series plus the bcache warm-up headline: the
+   first busy interval absorbs every cold block translation (boot and
+   the first batch), so its hit ratio must sit strictly below the
+   steady state where the cache is warm. *)
+let timeline ?(json_dir = ".") ?(domains = 2) ?worlds ?(batches = 8)
+    ?(calls = 48) ?(requests = 160) ?(sample_ms = 10) () =
+  let worlds = match worlds with Some w -> w | None -> max domains 2 in
+  let every = max 1 sample_ms * Cycles.mhz * 1000 in
+  (* the warm-up headline needs bcache traffic, so pin the block engine
+     even when PALLADIUM_ENGINE overrides the default *)
+  with_engine Cpu.Blocks @@ fun () ->
+  let fresh () = Array.init worlds (fun _ -> Obs.Collector.create ~every ()) in
+  let cs_serial = fresh () and cs_par = fresh () in
+  let serial =
+    Fleet.run ~domains:1 ~worlds
+      (timeline_world ~collectors:cs_serial ~batches ~calls ~requests)
+  in
+  let par =
+    Fleet.run ~domains ~worlds
+      (timeline_world ~collectors:cs_par ~batches ~calls ~requests)
+  in
+  let series_json cs =
+    Array.to_list cs
+    |> List.map (fun c -> Obs.Timeseries.to_json (Obs.Collector.series c))
+  in
+  let deterministic =
+    Fleet.divergences serial par = []
+    && series_json cs_serial = series_json cs_par
+  in
+  let merged_ts = Obs.Collector.merged_series (Array.to_list cs_par) in
+  let samples =
+    List.fold_left
+      (fun acc n -> acc + Obs.Timeseries.length merged_ts n)
+      0
+      (Obs.Timeseries.names merged_ts)
+  in
+  let ratios = bcache_ratios merged_ts in
+  let first_ratio, steady_ratio =
+    match ratios with
+    | [] -> (0., 0.)
+    | (_, _, _, r0) :: rest ->
+        let h, m =
+          List.fold_left (fun (h, m) (_, h', m', _) -> (h + h', m + m')) (0, 0)
+            rest
+        in
+        (r0, if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m))
+  in
+  Printf.printf
+    "timeline: %d worlds x %d batches, sampled every %d simulated ms (%d \
+     cycles)\n\
+     sampled series %s; %d points across %d merged series, %d busy bcache \
+     intervals\n\
+     bcache hit ratio: first interval %.4f -> steady state %.4f (%s)\n"
+    worlds batches sample_ms every
+    (if deterministic then "bit-identical to the serial run"
+     else "DIVERGED from the serial run")
+    samples
+    (List.length (Obs.Timeseries.names merged_ts))
+    (List.length ratios) first_ratio steady_ratio
+    (if first_ratio < steady_ratio then "cache warm-up visible"
+     else "NO warm-up visible");
+  let merged = Fleet.merged par in
+  Obs.Sink.with_sink merged (fun () ->
+      let open Obs.Json in
+      let h_call =
+        match Obs.Sink.find_histogram merged "fleet.call_cycles" with
+        | Some h -> h
+        | None -> Obs.Histogram.create ()
+      in
+      emit ~json_dir ~name:"timeline" ~since:[]
+        ~histogram:("fleet_call_cycles", h_call)
+        [
+          ("domains", Int domains);
+          ("worlds", Int worlds);
+          ("batches", Int batches);
+          ("calls_per_batch", Int calls);
+          ("requests_per_batch", Int requests);
+          ("sample_every_ms", Int sample_ms);
+          ("sample_every_cycles", Int every);
+          ("deterministic", Bool deterministic);
+          ("samples", Int samples);
+          ( "warmup",
+            Obj
+              [
+                ("first_hit_ratio", Float first_ratio);
+                ("steady_hit_ratio", Float steady_ratio);
+                ("warmed", Bool (first_ratio < steady_ratio));
+                ("busy_intervals", Int (List.length ratios));
+              ] );
+          ("series", Obs.Timeseries.to_json merged_ts);
+        ]);
+  {
+    tl_domains = domains;
+    tl_worlds = worlds;
+    tl_deterministic = deterministic;
+    tl_samples = samples;
+    tl_first_ratio = first_ratio;
+    tl_steady_ratio = steady_ratio;
+  }
+
 (* --- Driver ------------------------------------------------------------ *)
 
 let subcommands =
   [
     "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation"; "sfi";
-    "audit"; "fastpath"; "parallel";
+    "audit"; "fastpath"; "parallel"; "timeline";
   ]
 
 (* Run the requested subset (everything when [args] is empty; bechamel
@@ -1495,6 +1684,13 @@ let run_main args =
   if List.mem "parallel" args then
     ignore
       (parallel
+         ?domains:(flag "--domains" args)
+         ?worlds:(flag "--worlds" args)
+         ());
+  (* timeline also spawns domains: named-only, same flags *)
+  if List.mem "timeline" args then
+    ignore
+      (timeline
          ?domains:(flag "--domains" args)
          ?worlds:(flag "--worlds" args)
          ());

@@ -166,6 +166,8 @@ let webserver_cmd =
 
 (* --- fleet: N isolated web-server worlds across domains ------------------ *)
 
+(* Bounded mode (no --duration): one fixed request sweep per world,
+   run twice (serial then parallel) for the determinism check. *)
 let run_fleet worlds domains bytes requests =
   let world _i =
     let w = Palladium.boot () in
@@ -208,6 +210,259 @@ let run_fleet worlds domains bytes requests =
     (if div = [] then "per-world results identical to the serial run"
      else "per-world results DIVERGED from the serial run")
 
+(* Long-running mode (--duration): every world loops batches of
+   protected calls plus a web-server slice until the wall-clock
+   deadline, with a telemetry collector chained onto its kernel CPU
+   tick (sampling on *simulated* cycle boundaries, so each world's
+   series stays deterministic).  The coordinator meanwhile answers
+   GET /metrics and GET /timeseries.json, appends fresh merged points
+   to a JSONL stream, and joins the fleet at the deadline. *)
+
+let calls_per_batch = 100
+
+let requests_per_batch = 250
+
+let run_fleet_live worlds domains bytes duration sample_ms serve_port
+    jsonl_path expect_samples out_dir =
+  if worlds < 1 then (
+    prerr_endline "palladium: fleet --duration needs at least one world";
+    exit 2);
+  let every = max 1 sample_ms * Cycles.mhz * 1000 in
+  let collectors = Array.init worlds (fun _ -> Obs.Collector.create ~every ()) in
+  let c_requests =
+    Obs.Counters.counter ~help:"Web-server requests completed by fleet worlds"
+      "fleet.requests"
+  in
+  let c_batches =
+    Obs.Counters.counter ~help:"Fleet world workload batches completed"
+      "fleet.batches"
+  in
+  let world i =
+    let w = Palladium.boot () in
+    let kcpu = Kernel.cpu (Palladium.kernel w) in
+    Telemetry.attach collectors.(i) kcpu;
+    let app = Palladium.create_app w ~name:(Printf.sprintf "fleet-%d" i) in
+    let ext = User_ext.seg_dlopen app Ulib.null_image in
+    let prepare = User_ext.seg_dlsym app ext "null_fn" in
+    let h_call = Obs.Histogram.get_or_create "fleet.call_cycles" in
+    let latency = Obs.Histogram.get_or_create "fleet.request_usec" in
+    let deadline = Unix.gettimeofday () +. duration in
+    let batches = ref 0 and requests = ref 0 in
+    while Unix.gettimeofday () < deadline do
+      for _ = 1 to calls_per_batch do
+        let t0 = Cpu.cycles kcpu in
+        (match User_ext.call app ~prepare ~arg:0 with
+        | Ok _ -> ()
+        | Error e -> Fmt.failwith "%a" User_ext.pp_call_error e);
+        Obs.Histogram.observe h_call (Cpu.cycles kcpu - t0)
+      done;
+      let r =
+        Server.run ~total:requests_per_batch ~latency
+          ~invocation:Cgi_model.Libcgi_protected ~bytes
+          ~protected_call_usec:0.72 ()
+      in
+      Obs.Counters.add c_requests r.Server.requests;
+      requests := !requests + r.Server.requests;
+      Obs.Counters.incr c_batches;
+      incr batches;
+      (* The slice ran on this world's (simulated) CPU: advance its
+         clock by the slice's simulated duration so sample boundaries
+         track offered load.  Short protected calls reset the tick
+         countdown per invocation, so the chained tick hook alone
+         fires only inside long extension invocations — the batch
+         boundary is this workload's reliable sampling point. *)
+      Cpu.charge kcpu (int_of_float (r.Server.elapsed_usec *. mhz));
+      Obs.Collector.tick collectors.(i) ~now:(Cpu.cycles kcpu)
+    done;
+    Telemetry.flush collectors.(i) kcpu;
+    Palladium.teardown w;
+    (!batches, !requests)
+  in
+  let cs = Array.to_list collectors in
+  let live_metrics () =
+    let sink = Obs.Collector.merged_sink cs in
+    Obs.Sink.with_sink sink (fun () -> Obs.Export.prometheus ())
+  in
+  let route path =
+    match path with
+    | "/metrics" ->
+        Some ("text/plain; version=0.0.4; charset=utf-8", live_metrics ())
+    | "/timeseries.json" ->
+        Some
+          ( "application/json",
+            Obs.Json.pretty
+              (Obs.Timeseries.to_json (Obs.Collector.merged_series cs)) )
+    | "/" | "/index.html" ->
+        Some
+          ( "text/plain",
+            "palladium live fleet\n\
+            \  GET /metrics          Prometheus text exposition (merged live \
+             sink)\n\
+            \  GET /timeseries.json  sampled per-metric series (merged)\n" )
+    | _ -> None
+  in
+  let srv = Option.map (fun p -> Obs.Serve.create ~port:p route) serve_port in
+  Option.iter
+    (fun s ->
+      Printf.printf "serving http://127.0.0.1:%d  (/metrics, /timeseries.json)\n%!"
+        (Obs.Serve.port s))
+    srv;
+  let jsonl =
+    Option.map (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
+      jsonl_path
+  in
+  let flushed : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let t_start = Unix.gettimeofday () in
+  (* One JSONL line per beat with fresh points only: each series
+     appears with the points strictly newer than the last line. *)
+  let flush_jsonl () =
+    match jsonl with
+    | None -> ()
+    | Some oc ->
+        let ts = Obs.Collector.merged_series cs in
+        let fresh =
+          List.filter_map
+            (fun name ->
+              let after =
+                Option.value (Hashtbl.find_opt flushed name) ~default:min_int
+              in
+              match Obs.Timeseries.points_since ts name ~after with
+              | [] -> None
+              | pts ->
+                  Hashtbl.replace flushed name
+                    (List.fold_left
+                       (fun m (p : Obs.Timeseries.point) ->
+                         max m p.Obs.Timeseries.p_t)
+                       after pts);
+                  Some
+                    (Obs.Json.Obj
+                       [
+                         ("name", Obs.Json.String name);
+                         ( "points",
+                           Obs.Json.List
+                             (List.map Obs.Timeseries.json_of_point pts) );
+                       ]))
+            (Obs.Timeseries.names ts)
+        in
+        if fresh <> [] then begin
+          output_string oc
+            (Obs.Json.to_string
+               (Obs.Json.Obj
+                  [
+                    ( "at_wall_sec",
+                      Obs.Json.Float (Unix.gettimeofday () -. t_start) );
+                    ("series", Obs.Json.List fresh);
+                  ]));
+          output_char oc '\n';
+          flush oc
+        end
+  in
+  Printf.printf
+    "%d worlds, %.1fs wall deadline, sampling every %d simulated ms (%d cycles)\n%!"
+    worlds duration sample_ms every;
+  let handle = Fleet.start ?domains ~worlds world in
+  while not (Fleet.finished handle) do
+    (match srv with Some s -> ignore (Obs.Serve.poll s) | None -> ());
+    flush_jsonl ();
+    Unix.sleepf 0.05
+  done;
+  let fl = Fleet.join handle in
+  flush_jsonl ();
+  (match srv with
+  | Some s ->
+      ignore (Obs.Serve.poll s);
+      Printf.printf "  served %d http request%s\n" (Obs.Serve.served s)
+        (if Obs.Serve.served s = 1 then "" else "s");
+      Obs.Serve.close s
+  | None -> ());
+  Option.iter close_out jsonl;
+  List.iter
+    (fun wr ->
+      let b, r = wr.Fleet.wr_value in
+      Printf.printf "  world %-2d %6d batches, %8d requests, %.2fs\n"
+        wr.Fleet.wr_world b r wr.Fleet.wr_elapsed)
+    (Fleet.results fl);
+  let merged_ts = Obs.Collector.merged_series cs in
+  (* Non-empty samples: distinct timestamps where at least one counter
+     moved.  Monotonicity: totals never decrease, deltas never
+     negative, per counter series. *)
+  let nonempty_stamps = Hashtbl.create 64 in
+  let monotone_violations = ref [] in
+  List.iter
+    (fun name ->
+      let last = ref 0 in
+      List.iter
+        (fun (p : Obs.Timeseries.point) ->
+          match p.Obs.Timeseries.p_v with
+          | Obs.Timeseries.Counter { delta; total } ->
+              if delta > 0 then Hashtbl.replace nonempty_stamps p.Obs.Timeseries.p_t ();
+              if delta < 0 || total < !last then
+                monotone_violations := name :: !monotone_violations;
+              last := total
+          | _ -> ())
+        (Obs.Timeseries.points merged_ts name))
+    (Obs.Timeseries.names merged_ts);
+  let nonempty = Hashtbl.length nonempty_stamps in
+  let violations = List.sort_uniq compare !monotone_violations in
+  Printf.printf
+    "  sampled series: %d series, %d non-empty sample boundaries, counter \
+     deltas %s\n"
+    (List.length (Obs.Timeseries.names merged_ts))
+    nonempty
+    (if violations = [] then "monotone"
+     else "NON-MONOTONE: " ^ String.concat ", " violations);
+  (match Obs.Sink.find_histogram (Fleet.merged fl) "fleet.request_usec" with
+  | Some h ->
+      let p q =
+        match Obs.Histogram.percentile h q with
+        | Some v -> string_of_int v
+        | None -> "n/a"
+      in
+      Printf.printf "  merged latency: %d samples, p50 %s usec, p99 %s usec\n"
+        (Obs.Histogram.count h) (p 50.0) (p 99.0)
+  | None -> ());
+  (match out_dir with
+  | None -> ()
+  | Some dir ->
+      let merged_sink = Fleet.merged fl in
+      let path =
+        Obs.Sink.with_sink merged_sink (fun () ->
+            Obs.Bench_json.write ~dir ~name:"timeline" ~since:[]
+              ?histogram:
+                (Option.map
+                   (fun h -> ("fleet.call_cycles", h))
+                   (Obs.Sink.find_histogram merged_sink "fleet.call_cycles"))
+              ~body:
+                [
+                  ("mode", Obs.Json.String "fleet-live");
+                  ("worlds", Obs.Json.Int worlds);
+                  ("domains", Obs.Json.Int fl.Fleet.f_domains);
+                  ("duration_sec", Obs.Json.Float duration);
+                  ("sample_every_ms", Obs.Json.Int sample_ms);
+                  ("sample_every_cycles", Obs.Json.Int every);
+                  ("nonempty_samples", Obs.Json.Int nonempty);
+                  ("series", Obs.Timeseries.to_json merged_ts);
+                ]
+              ())
+      in
+      Printf.printf "  wrote %s\n" path);
+  match expect_samples with
+  | None -> ()
+  | Some n ->
+      if violations <> [] then begin
+        Printf.printf
+          "FAIL: counter series not monotone: %s\n"
+          (String.concat ", " violations);
+        exit 1
+      end;
+      if nonempty < n then begin
+        Printf.printf "FAIL: only %d non-empty sample boundaries (expected >= %d)\n"
+          nonempty n;
+        exit 1
+      end;
+      Printf.printf "OK: %d non-empty sample boundaries (>= %d), deltas monotone\n"
+        nonempty n
+
 let fleet_cmd =
   let worlds =
     Arg.(value & opt int 4 & info [ "w"; "worlds" ] ~doc:"Isolated worlds to boot.")
@@ -225,17 +480,80 @@ let fleet_cmd =
   let total =
     Arg.(value & opt int 1000 & info [ "n"; "requests" ] ~doc:"Requests per world.")
   in
+  let duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:
+            "Long-running mode: worlds loop their workload (batches of \
+             protected calls plus a web-server slice) until this wall-clock \
+             deadline, with live telemetry sampled on simulated-time \
+             boundaries.  Without it the fleet runs one bounded sweep per \
+             world (serial and parallel, with a determinism check).")
+  in
+  let sample_every =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "sample-every" ] ~docv:"MS"
+          ~doc:
+            "Telemetry sampling interval in $(i,simulated) milliseconds \
+             (long-running mode only).")
+  in
+  let serve =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve" ] ~docv:"PORT"
+          ~doc:
+            "Answer GET /metrics (Prometheus text exposition over the merged \
+             live sink) and GET /timeseries.json on 127.0.0.1:PORT while the \
+             fleet runs (0 binds an ephemeral port).")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"PATH"
+          ~doc:
+            "Append one JSON line of freshly sampled merged points per \
+             flusher beat to PATH (headless CI streaming).")
+  in
+  let expect =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "expect-samples" ] ~docv:"N"
+          ~doc:
+            "After the run, fail (exit 1) unless at least N non-empty sample \
+             boundaries were recorded and every counter series is monotone.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write a BENCH_timeline.json artifact of the sampled series to DIR.")
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:
          "Boot N isolated worlds, each serving a LibCGI-protected web-server \
           sweep, sharded across OCaml domains; report per-world and merged \
-          metrics plus serial-vs-parallel speedup.")
+          metrics plus serial-vs-parallel speedup.  With $(b,--duration), \
+          promote the fleet to a long-running mode with live telemetry \
+          sampling, streaming Prometheus exposition ($(b,--serve)) and JSONL \
+          flushing ($(b,--jsonl)).")
     Term.(
-      const (fun e w d b n ->
+      const (fun e w d b n dur sample srv jl exp out ->
           set_engine e;
-          run_fleet w d b n)
-      $ engine_flag $ worlds $ domains $ bytes $ total)
+          match dur with
+          | None -> run_fleet w d b n
+          | Some duration ->
+              run_fleet_live w d b duration sample srv jl exp out)
+      $ engine_flag $ worlds $ domains $ bytes $ total $ duration
+      $ sample_every $ serve $ jsonl $ expect $ out)
 
 (* --- rpc ------------------------------------------------------------------ *)
 

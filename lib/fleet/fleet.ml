@@ -36,31 +36,15 @@ let run_world f i =
   let v = Obs.Sink.with_sink sink (fun () -> f i) in
   { wr_world = i; wr_value = v; wr_sink = sink; wr_elapsed = now () -. t0 }
 
-let run ?domains ~worlds f =
-  if worlds < 0 then invalid_arg "Fleet.run: negative world count";
-  let domains =
-    match domains with
-    | Some d ->
-        if d < 1 then invalid_arg "Fleet.run: domains must be >= 1";
-        d
-    | None -> max 1 (min worlds (Domain.recommended_domain_count ()))
-  in
-  let t0 = now () in
-  let slots = Array.make (max worlds 1) None in
-  let work d =
-    (* static round-robin shard: worlds d, d+domains, d+2*domains, … *)
-    let i = ref d in
-    while !i < worlds do
-      slots.(!i) <- Some (try Ok (run_world f !i) with e -> Error e);
-      i := !i + domains
-    done
-  in
-  if domains = 1 || worlds <= 1 then work 0
-  else
-    (* Spawned domains fill disjoint slots; Domain.join gives the
-       happens-before edge that publishes them back to this domain. *)
-    List.init (min domains worlds) (fun d -> Domain.spawn (fun () -> work d))
-    |> List.iter Domain.join;
+let check_args ~fn ?domains ~worlds () =
+  if worlds < 0 then invalid_arg (Printf.sprintf "Fleet.%s: negative world count" fn);
+  match domains with
+  | Some d ->
+      if d < 1 then invalid_arg (Printf.sprintf "Fleet.%s: domains must be >= 1" fn);
+      d
+  | None -> max 1 (min worlds (Domain.recommended_domain_count ()))
+
+let assemble ~t0 ~domains ~worlds slots =
   let results =
     List.init worlds (fun i ->
         match slots.(i) with
@@ -77,6 +61,76 @@ let run ?domains ~worlds f =
     f_domains = domains;
     f_worlds = worlds;
   }
+
+let run ?domains ~worlds f =
+  let domains = check_args ~fn:"run" ?domains ~worlds () in
+  let t0 = now () in
+  let slots = Array.make (max worlds 1) None in
+  let work d =
+    (* static round-robin shard: worlds d, d+domains, d+2*domains, … *)
+    let i = ref d in
+    while !i < worlds do
+      slots.(!i) <- Some (try Ok (run_world f !i) with e -> Error e);
+      i := !i + domains
+    done
+  in
+  if domains = 1 || worlds <= 1 then work 0
+  else
+    (* Spawned domains fill disjoint slots; Domain.join gives the
+       happens-before edge that publishes them back to this domain. *)
+    List.init (min domains worlds) (fun d -> Domain.spawn (fun () -> work d))
+    |> List.iter Domain.join;
+  assemble ~t0 ~domains ~worlds slots
+
+(* --- Non-blocking handle ---------------------------------------------- *)
+
+(* [start] always spawns — even a 1-domain fleet runs off the calling
+   domain — so the caller stays free to poll an exposition endpoint,
+   flush telemetry and watch [completed] while the worlds run.  The
+   atomic completion counter is the only cross-domain signal before
+   [join]; the result slots are published by Domain.join exactly as in
+   [run]. *)
+type 'a handle = {
+  h_slots : ('a world_result, exn) result option array;
+  h_doms : unit Domain.t list;
+  h_done : int Atomic.t;
+  h_domains : int;
+  h_worlds : int;
+  h_t0 : float;
+}
+
+let start ?domains ~worlds f =
+  let domains = check_args ~fn:"start" ?domains ~worlds () in
+  let t0 = now () in
+  let slots = Array.make (max worlds 1) None in
+  let done_ = Atomic.make 0 in
+  let work d =
+    let i = ref d in
+    while !i < worlds do
+      slots.(!i) <- Some (try Ok (run_world f !i) with e -> Error e);
+      Atomic.incr done_;
+      i := !i + domains
+    done
+  in
+  let doms =
+    List.init (min domains worlds) (fun d -> Domain.spawn (fun () -> work d))
+  in
+  {
+    h_slots = slots;
+    h_doms = doms;
+    h_done = done_;
+    h_domains = domains;
+    h_worlds = worlds;
+    h_t0 = t0;
+  }
+
+let completed h = Atomic.get h.h_done
+
+let finished h = Atomic.get h.h_done >= h.h_worlds
+
+let join h =
+  List.iter Domain.join h.h_doms;
+  assemble ~t0:h.h_t0 ~domains:h.h_domains ~worlds:h.h_worlds h.h_slots
 
 let results t = t.f_results
 

@@ -32,6 +32,33 @@ val run : ?domains:int -> worlds:int -> (int -> 'a) -> 'a t
     here after all domains joined.  Raises [Invalid_argument] on a
     negative world count or a non-positive domain count. *)
 
+(** {2 Non-blocking fleets}
+
+    [start] launches the same sharded fleet as {!run} but returns
+    immediately, leaving the calling domain free to poll an exposition
+    endpoint and flush telemetry while the worlds run; [join] blocks
+    until every world finished and returns the same ['a t] that {!run}
+    would have. *)
+
+type 'a handle
+
+val start : ?domains:int -> worlds:int -> (int -> 'a) -> 'a handle
+(** Launch the fleet in the background.  Unlike {!run}, even a
+    1-domain fleet runs on a spawned domain.  Same argument
+    validation as {!run}. *)
+
+val completed : 'a handle -> int
+(** Worlds finished so far (atomic; safe to poll from the caller). *)
+
+val finished : 'a handle -> bool
+(** [completed h >= worlds].  [join] still must be called to collect
+    results. *)
+
+val join : 'a handle -> 'a t
+(** Wait for every domain, then assemble results exactly as {!run}
+    (re-raising the first failed world's exception).  Call at most
+    once. *)
+
 val results : 'a t -> 'a world_result list
 
 val values : 'a t -> 'a list

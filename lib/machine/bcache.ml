@@ -11,10 +11,37 @@
    happen on every far transfer and eager clearing would defeat the
    cache.
 
-   Statistics are instance-local on purpose: routing them through the
-   [Obs] counters would make fast-path and slow-path runs produce
-   different counter deltas, breaking the differential oracle's
-   bit-identity check. *)
+   Statistics are kept twice.  The instance-local fields feed
+   [Bexec.stats] (per-cache, resettable, cheap).  The same events are
+   also published as process-wide [bcache.*] Obs counters so the
+   engine's warm-up curve is visible to the live telemetry layer
+   (Collector sampling, /metrics, BENCH_timeline.json).  These are
+   *engine meta-counters*, not architectural events: the interpreter
+   never bumps them, so the interp-vs-blocks differential oracle in
+   test_fastpath filters the [bcache.] prefix out of its counter
+   snapshots before comparing. *)
+
+let c_hit =
+  Obs.Counters.counter ~help:"Basic-block cache lookups that hit" "bcache.hit"
+
+let c_miss =
+  Obs.Counters.counter ~help:"Basic-block cache lookups that missed"
+    "bcache.miss"
+
+let c_translate =
+  Obs.Counters.counter
+    ~help:"Basic-block cache insertions (translated blocks and no-block markers)"
+    "bcache.translate"
+
+let c_invalidate =
+  Obs.Counters.counter
+    ~help:"Whole-cache invalidations (code store, epoch move or explicit clear)"
+    "bcache.invalidate"
+
+let c_chain =
+  Obs.Counters.counter
+    ~help:"Block-to-block chained transfers resolved without a table probe"
+    "bcache.chain"
 
 type 'a t = {
   table : (int, 'a) Hashtbl.t;
@@ -39,7 +66,10 @@ let create () =
    moved since the cache was last filled. *)
 let validate t ~code_gen ~cpu_epoch =
   if t.code_gen <> code_gen || t.cpu_epoch <> cpu_epoch then begin
-    if Hashtbl.length t.table > 0 then t.invalidations <- t.invalidations + 1;
+    if Hashtbl.length t.table > 0 then begin
+      t.invalidations <- t.invalidations + 1;
+      Obs.Counters.incr c_invalidate
+    end;
     Hashtbl.reset t.table;
     t.code_gen <- code_gen;
     t.cpu_epoch <- cpu_epoch
@@ -50,8 +80,11 @@ let find t key =
   match Hashtbl.find_opt t.table key with
   | Some _ as e ->
       t.hits <- t.hits + 1;
+      Obs.Counters.incr c_hit;
       e
-  | None -> None
+  | None ->
+      Obs.Counters.incr c_miss;
+      None
 
 (* [n] block-to-block chained transfers resolved through memoized
    links (no table probe); each counts as a lookup that hit, keeping
@@ -59,14 +92,20 @@ let find t key =
    engine tallies locally and credits once per dispatch. *)
 let note_hits t n =
   t.lookups <- t.lookups + n;
-  t.hits <- t.hits + n
+  t.hits <- t.hits + n;
+  Obs.Counters.add c_chain n
 
-let add t key v = Hashtbl.replace t.table key v
+let add t key v =
+  Obs.Counters.incr c_translate;
+  Hashtbl.replace t.table key v
 
 let mem t key = Hashtbl.mem t.table key
 
 let clear t =
-  if Hashtbl.length t.table > 0 then t.invalidations <- t.invalidations + 1;
+  if Hashtbl.length t.table > 0 then begin
+    t.invalidations <- t.invalidations + 1;
+    Obs.Counters.incr c_invalidate
+  end;
   Hashtbl.reset t.table
 
 let size t = Hashtbl.length t.table

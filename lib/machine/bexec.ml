@@ -406,10 +406,11 @@ let classify p ~regs ~fl instr ~next =
 
 (* Pre-decode the straight-line run starting at [eip0] under code
    segment [cs].  Performs only checks the slow path would also pass
-   and touches neither counters nor the TLB, so pre-translating a
-   block that never runs is unobservable.  Returns [None] when not
-   even one slot can be translated. *)
-let translate_block cpu (cs : Seg.loaded) eip0 =
+   and touches neither architectural counters nor the TLB, so
+   pre-translating a block that never runs is architecturally
+   unobservable.  Returns [None] when not even one slot can be
+   translated. *)
+let translate_block_raw cpu (cs : Seg.loaded) eip0 =
   if Sel.is_null cs.Seg.selector || not (Desc.is_code cs.Seg.cache) then None
   else
     let p = Cpu.params cpu in
@@ -481,6 +482,26 @@ let translate_block cpu (cs : Seg.loaded) eip0 =
             b_slots = Array.of_list slots;
             b_link = None;
           }
+
+(* Translation is meta-work: simulated time does not advance, so the
+   span is zero-duration at the current cycle stamp — what it buys is
+   the *when* and *how many* of translations on the trace timeline.
+   No-op unless span recording is enabled. *)
+let translate_block cpu (cs : Seg.loaded) eip0 =
+  if not (Obs.Span.on ()) then translate_block_raw cpu cs eip0
+  else begin
+    let at = Cpu.cycles cpu in
+    let r = translate_block_raw cpu cs eip0 in
+    ignore
+      (Obs.Span.record "bexec.translate"
+         ~args:
+           [
+             ("eip", Printf.sprintf "0x%x" (mask32 eip0));
+             ("translated", match r with Some _ -> "yes" | None -> "no");
+           ]
+         ~start:at ~stop:(Cpu.cycles cpu));
+    r
+  end
 
 (* --- Execution ----------------------------------------------------- *)
 
@@ -738,8 +759,9 @@ let clear t = Bcache.clear t.cache
 
 (* Pre-translate blocks at the given EIPs under an explicit
    code-segment signature (a loader's warm start for verified
-   extensions: the CFG's block leaders).  Counter-free; a no-op when
-   the engine is the interpreter. *)
+   extensions: the CFG's block leaders).  Architecturally counter-free
+   (only the [bcache.*] engine meta-counters move); a no-op when the
+   engine is the interpreter. *)
 let pretranslate bx ~cs eips =
   if Cpu.engine bx.cpu = Cpu.Blocks then begin
     Bcache.validate bx.cache

@@ -152,6 +152,14 @@ let set_on_tick t ~every cb =
   t.tick_every <- max 1 every;
   t.tick_left <- t.tick_every
 
+(* Getters so a later subsystem can *chain* onto an installed tick
+   (wrap the current callback, keep the period) instead of replacing
+   it — the telemetry collector hangs off the kernel watchdog tick
+   this way. *)
+let on_tick t = t.on_tick
+
+let tick_every t = t.tick_every
+
 let reset_tick t = t.tick_left <- t.tick_every
 
 (* Count one instruction against the tick period.  Returns [true] when

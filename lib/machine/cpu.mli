@@ -95,6 +95,15 @@ val set_on_tick : t -> every:int -> (t -> unit) option -> unit
 val reset_tick : t -> unit
 (** Restart the tick period (e.g. when arming a watchdog). *)
 
+val on_tick : t -> (t -> unit) option
+(** The installed tick callback, for wrapping: a subsystem that wants
+    to piggyback on an existing periodic tick (e.g. the telemetry
+    collector chaining onto the kernel watchdog) reads the current
+    callback, then installs a wrapper that calls it first. *)
+
+val tick_every : t -> int
+(** The installed tick period in instructions. *)
+
 val set_tracing : t -> bool -> unit
 
 val recent_trace : ?n:int -> t -> (int * Instr.t) list

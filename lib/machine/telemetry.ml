@@ -1,0 +1,34 @@
+(* Wiring a telemetry collector to a simulated CPU.
+
+   [attach collector cpu] chains the collector onto the CPU's periodic
+   tick: the existing callback (the kernel hangs its watchdog there at
+   boot) keeps firing first with its period unchanged, then the
+   collector is offered the current cycle count and samples whenever a
+   boundary has passed.  When no tick is installed the collector gets
+   the whole period to itself (one probe every [default_every]
+   instructions).
+
+   The tick fires on instruction cadence but the collector samples on
+   *cycle* boundaries ([Collector.every] is in cycles), so sampling
+   stays deterministic in simulated time: a world produces the same
+   series serially and in a parallel fleet, regardless of wall-clock
+   scheduling.  The collector reads the calling domain's current sink
+   — the world's own — because the tick always fires on the domain
+   running the world. *)
+
+let default_every = 64
+
+let attach collector cpu =
+  let prev = Cpu.on_tick cpu in
+  let every =
+    match prev with None -> default_every | Some _ -> Cpu.tick_every cpu
+  in
+  Cpu.set_on_tick cpu ~every
+    (Some
+       (fun t ->
+         (match prev with Some f -> f t | None -> ());
+         Obs.Collector.tick collector ~now:(Cpu.cycles t)))
+
+(* End-of-run capture: sample the partial interval since the last
+   boundary at the CPU's current cycle stamp. *)
+let flush collector cpu = Obs.Collector.flush collector ~now:(Cpu.cycles cpu)

@@ -1,0 +1,162 @@
+(* Periodic metric sampler.
+
+   A collector turns a live {!Sink} into a {!Timeseries}: every
+   [every] timestamp units (simulated CPU cycles when driven from the
+   CPU tick hook) it walks the registered descriptors and the sink's
+   histograms and appends one point per active metric — counters as
+   (delta, total), gauges as last value, histograms as the interval's
+   own observations.
+
+   [tick ~now] is cheap when no boundary has passed (one comparison),
+   and catches up when the workload jumped several boundaries at once:
+   each missed boundary gets its own sample, so a stalled metric shows
+   explicit zero-delta / empty-interval points rather than a gap.
+   Because [now] is simulated time, a world sampled in a parallel
+   fleet produces exactly the series it produces serially.
+
+   The mutex only guards the cross-domain reads of the coordinator
+   ([merged_series] / [merged_sink], typically feeding a live /metrics
+   endpoint on another domain); the sampling fast path takes it only
+   when a boundary actually fires.
+
+   A metric enters the series the first boundary its value is nonzero
+   (before that it is considered inactive and skipped, keeping unused
+   registry entries out of every world's series); from then on it is
+   sampled every boundary.  Don't reset counters under an attached
+   collector — deltas would go negative. *)
+
+type t = {
+  co_every : int;
+  co_ts : Timeseries.t;
+  co_mu : Mutex.t;
+  mutable co_next_due : int;
+  mutable co_samples : int; (* boundaries sampled *)
+  co_last : (string, int) Hashtbl.t; (* name -> last sampled value *)
+  co_hist_mark : (string, int) Hashtbl.t; (* name -> observations consumed *)
+  co_cum : (string, Histogram.t) Hashtbl.t; (* private cumulative copies *)
+}
+
+let create ?capacity ~every () =
+  if every < 1 then invalid_arg "Collector.create: every must be >= 1";
+  {
+    co_every = every;
+    co_ts = Timeseries.create ?capacity ();
+    co_mu = Mutex.create ();
+    co_next_due = every;
+    co_samples = 0;
+    co_last = Hashtbl.create 32;
+    co_hist_mark = Hashtbl.create 16;
+    co_cum = Hashtbl.create 16;
+  }
+
+let every t = t.co_every
+
+let samples t = t.co_samples
+
+(* One boundary: walk descriptors and histograms of [sink], append a
+   point per active metric at timestamp [at].  Caller holds the
+   mutex. *)
+let sample_boundary t ~at sink =
+  List.iter
+    (fun d ->
+      let name = Sink.descr_name d in
+      let v = Sink.value sink d in
+      if v <> 0 || Hashtbl.mem t.co_last name then begin
+        let prev =
+          Option.value (Hashtbl.find_opt t.co_last name) ~default:0
+        in
+        Hashtbl.replace t.co_last name v;
+        let pv =
+          match Sink.descr_kind d with
+          | Sink.Counter -> Timeseries.Counter { delta = v - prev; total = v }
+          | Sink.Gauge -> Timeseries.Gauge v
+        in
+        Timeseries.append t.co_ts ~name ~at pv
+      end)
+    (Sink.descrs ());
+  List.iter
+    (fun (name, h) ->
+      let consumed =
+        Option.value (Hashtbl.find_opt t.co_hist_mark name) ~default:0
+      in
+      let fresh = Histogram.samples_from h consumed in
+      Hashtbl.replace t.co_hist_mark name (Histogram.count h);
+      let interval = Histogram.create () in
+      List.iter (Histogram.observe interval) fresh;
+      (match Hashtbl.find_opt t.co_cum name with
+      | Some cum -> List.iter (Histogram.observe cum) fresh
+      | None ->
+          let cum = Histogram.create () in
+          List.iter (Histogram.observe cum) fresh;
+          Hashtbl.add t.co_cum name cum);
+      Timeseries.append t.co_ts ~name ~at (Timeseries.Hist interval))
+    (Sink.histograms sink);
+  t.co_samples <- t.co_samples + 1
+
+let tick ?sink t ~now =
+  if now >= t.co_next_due then begin
+    let sink = match sink with Some s -> s | None -> Sink.current () in
+    Mutex.protect t.co_mu (fun () ->
+        while t.co_next_due <= now do
+          sample_boundary t ~at:t.co_next_due sink;
+          t.co_next_due <- t.co_next_due + t.co_every
+        done)
+  end
+
+let flush ?sink t ~now =
+  tick ?sink t ~now;
+  (* capture the partial interval since the last boundary, unless
+     [now] is itself the boundary just sampled *)
+  if now > t.co_next_due - t.co_every then begin
+    let sink = match sink with Some s -> s | None -> Sink.current () in
+    Mutex.protect t.co_mu (fun () ->
+        sample_boundary t ~at:now sink;
+        t.co_next_due <- ((now / t.co_every) + 1) * t.co_every)
+  end
+
+let series t = t.co_ts
+
+(* --- Coordinator-side views ------------------------------------------ *)
+
+let merged_series cs =
+  match cs with
+  | [] -> Timeseries.create ()
+  | _ ->
+      let cap =
+        List.fold_left (fun m c -> max m (Timeseries.capacity c.co_ts)) 1 cs
+      in
+      let out = Timeseries.create ~capacity:cap () in
+      List.iter
+        (fun c ->
+          Mutex.protect c.co_mu (fun () -> Timeseries.merge ~into:out c.co_ts))
+        cs;
+      out
+
+(* A scratch sink loaded with every collector's last-sampled counter
+   totals and cumulative histogram copies — the "merged live sink".
+   Running {!Export.prometheus} under it (via {!Sink.with_sink})
+   serves fleet-wide totals as of each world's most recent sample
+   boundary, without ever touching the worlds' own sinks from this
+   domain. *)
+let merged_sink ?(label = "live-merged") cs =
+  let sink = Sink.create ~label () in
+  List.iter
+    (fun c ->
+      Mutex.protect c.co_mu (fun () ->
+          Hashtbl.iter
+            (fun name v ->
+              match Sink.find_descr name with
+              | Some d ->
+                  let cell = Sink.cell sink d in
+                  cell.Sink.cv <- cell.Sink.cv + v
+              | None -> ())
+            c.co_last;
+          Sink.with_sink sink (fun () ->
+              Hashtbl.iter
+                (fun name cum ->
+                  let h = Histogram.get_or_create name in
+                  List.iter (Histogram.observe h)
+                    (Histogram.samples_from cum 0))
+                c.co_cum)))
+    cs;
+  sink

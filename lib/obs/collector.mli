@@ -1,0 +1,58 @@
+(** Periodic metric sampler: turns a live {!Sink} into a
+    {!Timeseries}.
+
+    The owning world drives {!tick} on a simulated-time cadence
+    (typically chained onto the CPU's periodic tick hook — see
+    [Telemetry.attach] in the machine layer); a fleet coordinator on
+    another domain reads the sampled state through {!merged_series}
+    and {!merged_sink}.  Cross-domain access is mutex-guarded; the
+    world-side fast path is one integer comparison between
+    boundaries.
+
+    Because timestamps are simulated time, a world's sampled series in
+    a parallel fleet is bit-identical to the serial run's. *)
+
+type t
+
+val create : ?capacity:int -> every:int -> unit -> t
+(** A collector sampling every [every] timestamp units (simulated
+    cycles), rings bounded at [capacity] points per series (see
+    {!Timeseries.create}).  Raises [Invalid_argument] when [every] <
+    1. *)
+
+val every : t -> int
+
+val samples : t -> int
+(** Sample boundaries taken so far. *)
+
+val tick : ?sink:Sink.t -> t -> now:int -> unit
+(** Sample every boundary in [(last sampled, now]], reading [?sink]
+    (default: the calling domain's current sink).  Cheap no-op when no
+    boundary has passed.  Missed boundaries each get their own sample,
+    so stalls appear as explicit zero-delta / empty-interval points.
+    A metric enters the series at the first boundary where its value
+    is nonzero and is sampled every boundary thereafter; don't reset
+    counters under an attached collector (deltas would go negative). *)
+
+val flush : ?sink:Sink.t -> t -> now:int -> unit
+(** {!tick}, then capture the partial interval [(last boundary, now]]
+    as a final point stamped [now] (skipped when [now] is exactly the
+    boundary just sampled).  Call once when the world's workload ends
+    so the tail of the run is not lost. *)
+
+val series : t -> Timeseries.t
+(** The underlying series.  Only safe to read when no sampler can fire
+    concurrently (world joined / stopped); live coordinators must use
+    {!merged_series}. *)
+
+val merged_series : t list -> Timeseries.t
+(** Fresh sample-exact merge (see {!Timeseries.merge}) of every
+    collector's series, taken under each collector's lock — safe while
+    the worlds are still sampling. *)
+
+val merged_sink : ?label:string -> t list -> Sink.t
+(** A scratch sink holding the fleet-wide counter totals and
+    cumulative histograms as of each world's most recent sample
+    boundary.  Run {!Export.prometheus} under it (via
+    {!Sink.with_sink}) to serve a live [/metrics] exposition without
+    touching the worlds' own sinks. *)

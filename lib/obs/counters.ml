@@ -16,13 +16,15 @@ type kind = Sink.kind = Counter | Gauge
 
 type t = Sink.descr
 
-let counter name = Sink.register ~kind:Counter name
+let counter ?help name = Sink.register ?help ~kind:Counter name
 
-let gauge name = Sink.register ~kind:Gauge name
+let gauge ?help name = Sink.register ?help ~kind:Gauge name
 
 let name = Sink.descr_name
 
 let kind = Sink.descr_kind
+
+let help = Sink.descr_help
 
 let value c = Sink.value (Sink.current ()) c
 
@@ -72,16 +74,21 @@ let pp ppf () =
   let width =
     List.fold_left (fun w c -> max w (String.length (name c) + 2)) 0 cs
   in
-  (* [all] is name-sorted, so members of a group are adjacent. *)
+  (* Bucket members by group prefix, then sort groups and members by
+     name explicitly — output order must not depend on registration
+     order or on how [all] happens to be produced, so that [stats]
+     output diffs cleanly across runs. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let g = group_of (name c) in
+      Hashtbl.replace tbl g (c :: Option.value (Hashtbl.find_opt tbl g) ~default:[]))
+    cs;
   let groups =
-    List.fold_left
-      (fun acc c ->
-        let g = group_of (name c) in
-        match acc with
-        | (g', members) :: rest when g' = g -> (g', c :: members) :: rest
-        | _ -> (g, [ c ]) :: acc)
-      [] cs
-    |> List.rev_map (fun (g, members) -> (g, List.rev members))
+    Hashtbl.fold (fun g members acc -> (g, members) :: acc) tbl []
+    |> List.map (fun (g, members) ->
+           (g, List.sort (fun a b -> compare (name a) (name b)) members))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   List.iter
     (fun (g, members) ->

@@ -12,15 +12,20 @@ type kind = Counter  (** monotonic event count *) | Gauge  (** last-written valu
 
 type t
 
-val counter : string -> t
-(** Get or create the monotonic counter with this name. *)
+val counter : ?help:string -> string -> t
+(** Get or create the monotonic counter with this name.  [?help] is a
+    one-line description surfaced as [# HELP] by the Prometheus
+    exposition; the first help string registered for a name wins. *)
 
-val gauge : string -> t
-(** Get or create the gauge with this name. *)
+val gauge : ?help:string -> string -> t
+(** Get or create the gauge with this name (see {!counter} for
+    [?help]). *)
 
 val name : t -> string
 
 val kind : t -> kind
+
+val help : t -> string option
 
 val value : t -> int
 
@@ -54,4 +59,6 @@ val pp : Format.formatter -> unit -> unit
 (** Aligned name/value table of the current snapshot, grouped by
     dot-separated prefix ([mmu.*], [kern.*], …) with a per-group
     header carrying the member count and the subtotal of its
-    monotonic counters (gauges are listed but not summed). *)
+    monotonic counters (gauges are listed but not summed).  Groups and
+    members are emitted in sorted name order, so the output is stable
+    across runs and registration orders. *)

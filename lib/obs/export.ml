@@ -53,6 +53,31 @@ let sanitize name =
       | _ -> '_')
     name
 
+(* HELP text: the spec escapes backslash and newline.  Label values
+   additionally escape the double quote. *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let prometheus ?(prefix = "palladium_") () =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -64,15 +89,28 @@ let prometheus ?(prefix = "palladium_") () =
         | Counters.Counter -> "counter"
         | Counters.Gauge -> "gauge"
       in
+      let help =
+        match Counters.help c with
+        | Some h -> h
+        | None -> Printf.sprintf "Palladium %s %s" kind (Counters.name c)
+      in
+      add "# HELP %s %s\n" name (escape_help help);
       add "# TYPE %s %s\n" name kind;
       add "%s %d\n" name (Counters.value c))
     (Counters.all ());
   List.iter
     (fun (hname, h) ->
       let name = prefix ^ sanitize hname in
+      add "# HELP %s %s\n" name
+        (escape_help
+           (Printf.sprintf "Palladium latency histogram %s (log2 buckets)"
+              hname));
       add "# TYPE %s histogram\n" name;
       List.iter
-        (fun (le, cum) -> add "%s_bucket{le=\"%d\"} %d\n" name le cum)
+        (fun (le, cum) ->
+          add "%s_bucket{le=\"%s\"} %d\n" name
+            (escape_label_value (string_of_int le))
+            cum)
         (Histogram.cumulative h);
       add "%s_bucket{le=\"+Inf\"} %d\n" name (Histogram.count h);
       add "%s_sum %d\n" name (Histogram.sum h);

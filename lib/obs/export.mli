@@ -10,8 +10,17 @@ val chrome_trace : ?ts_scale:float -> Span.completed list -> Json.t
 val prometheus : ?prefix:string -> unit -> string
 (** Prometheus text exposition of every registered counter, gauge and
     histogram.  Dotted names are sanitized ('.' -> '_') and prefixed
-    (default ["palladium_"]); histograms emit cumulative
-    [_bucket{le="..."}] series plus [_sum] and [_count]. *)
+    (default ["palladium_"]); every family gets [# HELP] (the
+    descriptor's registered help, or a derived fallback) and [# TYPE]
+    lines; histograms emit cumulative [_bucket{le="..."}] series plus
+    [_sum] and [_count].  Help text and label values are escaped per
+    the text-format spec (backslash, newline, and for labels the
+    double quote). *)
+
+val escape_label_value : string -> string
+(** Escape a string for use inside a label value: backslash, double
+    quote and newline get a leading backslash per the text-format
+    spec. *)
 
 val folded : Span.completed list -> string
 (** Folded-stacks text ("root;child;leaf self-weight" per line, sorted

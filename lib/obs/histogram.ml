@@ -135,6 +135,12 @@ let merge a b =
   done;
   m
 
+(* Observations [from .. count-1] in insertion order — the tail a
+   periodic sampler has not consumed yet (see Collector). *)
+let samples_from t from =
+  let from = max 0 (min from t.count) in
+  Array.to_list (Array.sub t.samples from (t.count - from))
+
 let clear t =
   t.count <- 0;
   t.sum <- 0;

@@ -44,6 +44,11 @@ val merge : t -> t -> t
 (** A new histogram holding both sets of observations; the arguments
     are unchanged. *)
 
+val samples_from : t -> int -> int list
+(** Observations [from .. count t - 1] in insertion order — the tail a
+    periodic sampler has not consumed yet.  [samples_from t 0] is every
+    observation; out-of-range indexes clamp. *)
+
 val clear : t -> unit
 
 val bucket_of : int -> int

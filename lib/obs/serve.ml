@@ -1,0 +1,158 @@
+(* Tiny single-threaded HTTP exposition server.
+
+   Just enough HTTP/1.1 to let `curl` and a Prometheus scraper pull
+   the live telemetry: a non-blocking listener whose [poll] accepts
+   and answers every pending connection, one at a time, on the calling
+   thread.  The fleet coordinator calls [poll] between flusher beats,
+   so serving needs no threads and can never race the simulator.
+
+   Only GET is answered (405 otherwise); the handler maps a path
+   (query string stripped) to an optional (content-type, body) pair,
+   None becoming a 404.  Connections are Connection: close — every
+   request gets a complete response and an EOF, which is all scrapers
+   need.  Per-connection socket timeouts keep a stuck client from
+   wedging the coordinator for more than a second or two. *)
+
+type t = {
+  sv_fd : Unix.file_descr;
+  sv_port : int;
+  sv_handler : string -> (string * string) option;
+  mutable sv_served : int;
+  mutable sv_closed : bool;
+}
+
+let create ?(host = "127.0.0.1") ?(backlog = 16) ~port handler =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd backlog;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { sv_fd = fd; sv_port = port; sv_handler = handler; sv_served = 0; sv_closed = false }
+
+let port t = t.sv_port
+
+let served t = t.sv_served
+
+(* Read until the request line is complete (first newline), EOF, a
+   read timeout, or an 8 KiB cap — we never need more than the first
+   line. *)
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec loop () =
+    if Buffer.length buf > 8192 || String.contains (Buffer.contents buf) '\n'
+    then ()
+    else
+      let n =
+        try Unix.read fd chunk 0 (Bytes.length chunk) with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            0
+      in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+      end
+  in
+  loop ();
+  let s = Buffer.contents buf in
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse_request_line line =
+  let line = String.trim line in
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ when meth <> "" && path <> "" -> Some (meth, path)
+  | _ -> None
+
+let strip_query path =
+  let cut c path =
+    match String.index_opt path c with
+    | Some i -> String.sub path 0 i
+    | None -> path
+  in
+  cut '#' (cut '?' path)
+
+let response ~status ~reason ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status reason content_type (String.length body) body
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  try
+    while !off < len do
+      let n = Unix.write fd b !off (len - !off) in
+      if n <= 0 then raise Exit;
+      off := !off + n
+    done
+  with _ -> ()
+
+let handle t fd =
+  (try
+     Unix.clear_nonblock fd;
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+   with _ -> ());
+  let reply =
+    match parse_request_line (read_request_line fd) with
+    | Some ("GET", path) -> (
+        match t.sv_handler (strip_query path) with
+        | Some (content_type, body) ->
+            response ~status:200 ~reason:"OK" ~content_type body
+        | None ->
+            response ~status:404 ~reason:"Not Found"
+              ~content_type:"text/plain" "not found\n")
+    | Some (_, _) ->
+        response ~status:405 ~reason:"Method Not Allowed"
+          ~content_type:"text/plain" "GET only\n"
+    | None ->
+        response ~status:400 ~reason:"Bad Request" ~content_type:"text/plain"
+          "bad request\n"
+  in
+  send_all fd reply;
+  t.sv_served <- t.sv_served + 1
+
+let poll t =
+  if t.sv_closed then 0
+  else begin
+    let served = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true t.sv_fd with
+      | fd, _ ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () -> try handle t fd with _ -> ());
+          incr served
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          continue := false
+      | exception Unix.Unix_error (_, _, _) -> continue := false
+    done;
+    !served
+  end
+
+let close t =
+  if not t.sv_closed then begin
+    t.sv_closed <- true;
+    try Unix.close t.sv_fd with _ -> ()
+  end

@@ -1,0 +1,40 @@
+(** Tiny single-threaded HTTP exposition server.
+
+    Just enough HTTP to let [curl] or a Prometheus scraper pull live
+    telemetry: a non-blocking loopback listener whose {!poll} accepts
+    and answers every pending connection on the calling thread.  The
+    fleet coordinator calls {!poll} between flusher beats — no
+    threads, and serving can never race the simulator.
+
+    Only [GET] is answered (405 for other methods, 400 for garbage);
+    the handler maps a request path — query string stripped — to
+    [Some (content_type, body)] for a 200, or [None] for a 404.
+    Responses are [Connection: close]. *)
+
+type t
+
+val create :
+  ?host:string ->
+  ?backlog:int ->
+  port:int ->
+  (string -> (string * string) option) ->
+  t
+(** Bind and listen on [host] (default ["127.0.0.1"]) at [port];
+    [~port:0] binds an ephemeral port — read it back with {!port}.
+    Raises [Unix.Unix_error] when binding fails (port in use,
+    permission). *)
+
+val port : t -> int
+(** The bound port (useful with [~port:0]). *)
+
+val poll : t -> int
+(** Accept and answer every connection currently pending; returns how
+    many were served.  Never blocks on accept; per-connection socket
+    timeouts (1 s read, 5 s write) bound the damage of a stuck
+    client.  Returns 0 after {!close}. *)
+
+val served : t -> int
+(** Total requests answered (any status) since {!create}. *)
+
+val close : t -> unit
+(** Close the listening socket; idempotent. *)

@@ -13,7 +13,12 @@
 
 type kind = Counter | Gauge
 
-type descr = { d_id : int; d_name : string; d_kind : kind }
+type descr = {
+  d_id : int;
+  d_name : string;
+  d_kind : kind;
+  mutable d_help : string option;
+}
 
 (* Global descriptor registry, mutex-guarded so worlds on different
    domains can intern lazily.  Descriptor ids are dense: they index
@@ -24,7 +29,7 @@ let reg : (string, descr) Hashtbl.t = Hashtbl.create 64
 
 let reg_next = ref 0
 
-let register ~kind name =
+let register ?help ~kind name =
   Mutex.protect reg_mutex (fun () ->
       match Hashtbl.find_opt reg name with
       | Some d ->
@@ -32,9 +37,13 @@ let register ~kind name =
             invalid_arg
               (Printf.sprintf
                  "Counters: %s already registered with another kind" name);
+          (* first help string wins; late registrations may fill a gap *)
+          (match (d.d_help, help) with
+          | None, Some _ -> d.d_help <- help
+          | _ -> ());
           d
       | None ->
-          let d = { d_id = !reg_next; d_name = name; d_kind = kind } in
+          let d = { d_id = !reg_next; d_name = name; d_kind = kind; d_help = help } in
           incr reg_next;
           Hashtbl.add reg name d;
           d)
@@ -42,6 +51,8 @@ let register ~kind name =
 let descr_name d = d.d_name
 
 let descr_kind d = d.d_kind
+
+let descr_help d = d.d_help
 
 let find_descr name =
   Mutex.protect reg_mutex (fun () -> Hashtbl.find_opt reg name)
@@ -148,11 +159,16 @@ let trace_events t = Trace_state.events t.sk_trace
 (* --- Join-time aggregation ------------------------------------------- *)
 
 (* Counters and gauges both sum: the merged sink reports fleet totals.
-   Histograms merge sample-exactly; trace events are replayed into the
-   destination ring (sequence numbers are reassigned, drops carry
-   over); completed spans are concatenated (ids are globally unique,
-   so parent links stay unambiguous). *)
-let merge ~into src =
+   Histograms merge sample-exactly; completed spans are concatenated
+   (ids are globally unique, so parent links stay unambiguous).
+
+   Trace events are replayed into the destination ring with sequence
+   numbers reassigned and drop counts carried over — but the ring is
+   bounded, so when the fleet's combined event count exceeds its
+   capacity the events of the *last* sink merged win and earlier
+   worlds' events count as drops.  [~traces:`Drop] skips the replay
+   entirely for callers that only want metric aggregation. *)
+let merge ?(traces = `Last) ~into src =
   if into == src then invalid_arg "Sink.merge: cannot merge a sink into itself";
   let n = Array.length src.sk_cells in
   ensure_cells into n;
@@ -168,10 +184,13 @@ let merge ~into src =
           Hashtbl.replace into.sk_hists name
             (Histogram.merge h (Histogram.create ())))
     src.sk_hists;
-  List.iter
-    (fun (e : Trace_state.entry) ->
-      Trace_state.emit ~cycles:e.Trace_state.at_cycles into.sk_trace
-        e.Trace_state.event)
-    (Trace_state.events src.sk_trace);
-  Trace_state.add_dropped into.sk_trace (Trace_state.dropped src.sk_trace);
+  (match traces with
+  | `Drop -> ()
+  | `Last ->
+      List.iter
+        (fun (e : Trace_state.entry) ->
+          Trace_state.emit ~cycles:e.Trace_state.at_cycles into.sk_trace
+            e.Trace_state.event)
+        (Trace_state.events src.sk_trace);
+      Trace_state.add_dropped into.sk_trace (Trace_state.dropped src.sk_trace));
   Span_state.absorb into.sk_spans src.sk_spans

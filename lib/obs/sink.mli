@@ -54,13 +54,24 @@ val trace_events : t -> Trace_state.entry list
 
 (** {2 Join-time aggregation} *)
 
-val merge : into:t -> t -> unit
+val merge : ?traces:[ `Last | `Drop ] -> into:t -> t -> unit
 (** Fold [src] into [into]: counter and gauge values sum (fleet
-    totals), histograms merge sample-exactly, trace events are
-    replayed into the destination ring (sequence numbers reassigned,
-    drop counts carried over) and completed spans are concatenated
-    (span ids are process-unique, so parent links survive).  Raises
-    [Invalid_argument] when both arguments are the same sink. *)
+    totals), histograms merge sample-exactly and completed spans are
+    concatenated (span ids are process-unique, so parent links
+    survive).  Raises [Invalid_argument] when both arguments are the
+    same sink.
+
+    Trace carry-over contract: with [~traces:`Last] (the default),
+    [src]'s trace events are replayed into [into]'s ring — sequence
+    numbers are reassigned in replay order and [src]'s drop count
+    carries over.  Because the destination ring is bounded
+    ({!Trace_state.default_capacity} entries), merging N worlds whose
+    combined event count exceeds the capacity keeps only the newest
+    events, i.e. the {e last} sink merged effectively wins and
+    earlier worlds' events are accounted as drops.  Pass
+    [~traces:`Drop] to skip trace replay entirely (drop counts
+    included) when only metric aggregation is wanted — span
+    absorption is unaffected either way. *)
 
 (** {2 Metric descriptors (plumbing for {!Counters})}
 
@@ -73,13 +84,17 @@ type kind = Counter | Gauge
 
 type descr
 
-val register : kind:kind -> string -> descr
+val register : ?help:string -> kind:kind -> string -> descr
 (** Get-or-create.  Raises [Invalid_argument] when the name is already
-    registered with the other kind. *)
+    registered with the other kind.  [?help] is a one-line description
+    for exposition ([# HELP] in the Prometheus text format); the first
+    non-empty help string registered for a name wins. *)
 
 val descr_name : descr -> string
 
 val descr_kind : descr -> kind
+
+val descr_help : descr -> string option
 
 val find_descr : string -> descr option
 

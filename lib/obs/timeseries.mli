@@ -1,0 +1,72 @@
+(** Bounded time series of metric samples.
+
+    One [t] holds a ring of timestamped points per metric name:
+    counters as (delta, running total), gauges as last value,
+    histograms as per-interval observation sets (a private
+    {!Histogram.t} of only the interval's samples, so per-interval
+    percentiles are exact).  Once a series holds [capacity] points the
+    oldest is overwritten and counted as dropped.
+
+    Timestamps are abstract monotone integers — the {!Collector}
+    stamps simulated CPU cycles, which makes sampled series from a
+    parallel fleet bit-comparable with the serial run. *)
+
+type value =
+  | Counter of { delta : int; total : int }
+      (** events in the interval, and the running total at its end *)
+  | Gauge of int  (** last-written value at the sample boundary *)
+  | Hist of Histogram.t  (** the interval's own observations *)
+
+type point = { p_t : int;  (** timestamp *) p_v : value }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh series set; every series ring holds at most [capacity]
+    (default 4096) points.  Raises [Invalid_argument] when [capacity]
+    < 1. *)
+
+val capacity : t -> int
+
+val append : t -> name:string -> at:int -> value -> unit
+(** Push one point; timestamps are expected non-decreasing per series
+    (the Collector guarantees strictly increasing boundaries). *)
+
+val names : t -> string list
+(** Series names, sorted. *)
+
+val points : t -> string -> point list
+(** Buffered points, oldest first; [[]] for an unknown series. *)
+
+val points_since : t -> string -> after:int -> point list
+(** Buffered points with [p_t > after], oldest first — the tail a
+    periodic flusher has not emitted yet. *)
+
+val last : t -> string -> point option
+
+val length : t -> string -> int
+
+val dropped : t -> string -> int
+(** Points lost to ring overwrite (plus drops carried over by
+    {!merge}). *)
+
+val merge : into:t -> t -> unit
+(** Sample-exact merge mirroring {!Sink.merge}: points at equal
+    timestamps combine (counter deltas and totals sum, gauges sum,
+    interval histograms merge observation-exactly); a timestamp
+    present on only one side carries the other side's last-seen
+    running total (counter) or last value (gauge) forward, so merged
+    totals stay cumulative even when worlds sample on different
+    boundaries.  Histogram points are copied, never aliased.  [src]'s
+    drop counts carry over.  Raises [Invalid_argument] on merging a
+    series set into itself or on mixed point kinds within a series. *)
+
+val json_of_point : point -> Json.t
+(** Counter points as [{t; delta; total}], gauge points as
+    [{t; value}], histogram points as
+    [{t; count; sum; p50; p90; p99; max}]. *)
+
+val to_json : t -> Json.t
+(** [{capacity; series: [{name; kind; dropped; points}]}], series
+    sorted by name — the [/timeseries.json] and [BENCH_timeline.json]
+    payload. *)

@@ -134,6 +134,32 @@ let () =
   else
     Printf.printf
       "bench-smoke parallel: single core, skipping speedup assertion\n%!";
+  (* the sampled time series: per-world series from a parallel fleet
+     must be bit-identical to the serial run, and the merged bcache
+     series must show cache warm-up (first busy interval strictly
+     below steady state) *)
+  let tl =
+    Bench_runs.timeline ~json_dir ~domains:2 ~batches:4 ~calls:12 ~requests:64
+      ()
+  in
+  validate "timeline";
+  if not tl.Bench_runs.tl_deterministic then
+    fail "timeline: sampled series diverged from the serial run";
+  if not (Bench_runs.tl_warmed tl) then
+    fail "timeline: no bcache warm-up (first %.4f, steady %.4f)"
+      tl.Bench_runs.tl_first_ratio tl.Bench_runs.tl_steady_ratio;
+  if tl.Bench_runs.tl_samples < tl.Bench_runs.tl_worlds * 4 then
+    fail "timeline: only %d sampled points" tl.Bench_runs.tl_samples;
+  let doc = load "timeline" in
+  (match mem "deterministic" doc with
+  | J.Bool true -> ()
+  | _ -> fail "timeline: artifact does not record determinism");
+  (match mem "warmed" (mem "warmup" doc) with
+  | J.Bool true -> ()
+  | _ -> fail "timeline: artifact does not record the warm-up");
+  (match J.member "series" (mem "series" doc) with
+  | Some (J.List (_ :: _)) -> ()
+  | _ -> fail "timeline: artifact series missing");
   (* the basic-block engine: every workload must produce bit-identical
      architectural totals under both engines, and the compute-heavy
      protected-call sweep must clear a 3x simulated-MIPS floor *)

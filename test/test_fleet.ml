@@ -173,6 +173,72 @@ let prop_fleet_determinism =
       Fleet.values serial = Fleet.values par
       && Fleet.divergences serial par = [])
 
+(* The synthetic workload again, but each world also drives an
+   {!Obs.Collector} on a seeded simulated clock — the sampled time
+   series (ring contents, timestamps, deltas, interval histograms)
+   must come out bit-identical whether the fleet ran serially or
+   sharded over domains. *)
+let sampled_world ~collectors ~seed ~steps i =
+  let state = ref ((seed * 31) + (i * 7) + 1) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  let c = C.counter (Printf.sprintf "test.fleet.ts.%d" (i mod 2)) in
+  let h = H.get_or_create "test.fleet.ts_hist" in
+  let co = collectors.(i) in
+  let now = ref 0 in
+  for _ = 1 to steps do
+    C.add c (next () mod 5);
+    H.observe h (next () mod 1000);
+    now := !now + 40 + (next () mod 100);
+    Obs.Collector.tick co ~now:!now
+  done;
+  Obs.Collector.flush co ~now:!now;
+  C.value c
+
+let prop_sampled_series_determinism =
+  QCheck.Test.make ~count:10
+    ~name:"sampled series bit-identical, serial vs parallel"
+    QCheck.(pair (int_bound 1000) (int_range 1 4))
+    (fun (seed, worlds) ->
+      let fresh () =
+        Array.init worlds (fun _ -> Obs.Collector.create ~every:100 ())
+      in
+      let cs_serial = fresh () and cs_par = fresh () in
+      let serial =
+        Fleet.run ~domains:1 ~worlds
+          (sampled_world ~collectors:cs_serial ~seed ~steps:40)
+      in
+      let par =
+        Fleet.run ~domains:2 ~worlds
+          (sampled_world ~collectors:cs_par ~seed ~steps:40)
+      in
+      let series cs =
+        Array.to_list cs
+        |> List.map (fun co ->
+               Obs.Timeseries.to_json (Obs.Collector.series co))
+      in
+      Fleet.values serial = Fleet.values par
+      && series cs_serial = series cs_par)
+
+let test_fleet_sampled_4worlds () =
+  (* the ISSUE's canonical shape: 4 worlds over 2 domains, merged
+     series identical to the serial merge *)
+  let fresh () = Array.init 4 (fun _ -> Obs.Collector.create ~every:100 ()) in
+  let cs_serial = fresh () and cs_par = fresh () in
+  ignore
+    (Fleet.run ~domains:1 ~worlds:4
+       (sampled_world ~collectors:cs_serial ~seed:7 ~steps:60));
+  ignore
+    (Fleet.run ~domains:2 ~worlds:4
+       (sampled_world ~collectors:cs_par ~seed:7 ~steps:60));
+  let merged cs = Obs.Collector.merged_series (Array.to_list cs) in
+  Alcotest.(check bool)
+    "merged sampled series identical" true
+    (Obs.Timeseries.to_json (merged cs_serial)
+    = Obs.Timeseries.to_json (merged cs_par))
+
 (* --- Atomic ID allocators across domains ------------------------------- *)
 
 let test_atomic_ids_across_domains () =
@@ -232,6 +298,9 @@ let () =
           Alcotest.test_case "palladium worlds" `Quick
             test_fleet_palladium_determinism;
           QCheck_alcotest.to_alcotest prop_fleet_determinism;
+          QCheck_alcotest.to_alcotest prop_sampled_series_determinism;
+          Alcotest.test_case "sampled series, 4 worlds over 2 domains" `Quick
+            test_fleet_sampled_4worlds;
         ] );
       ( "domain-safety",
         [
