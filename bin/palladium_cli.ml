@@ -869,7 +869,19 @@ let verify_catalogue : (string * bool * (unit -> Verify.report)) list =
       fun () -> report_of ~require_termination:true Ulib.rogue_loop_image );
   ]
 
-let run_verify name out_dir =
+let run_verify name out_dir oracle seed =
+  (match oracle with
+  | None -> ()
+  | Some count ->
+      let s = Soundness.run ~json_dir:out_dir ~count ~seed () in
+      Fmt.pr "%a@." Soundness.pp_summary s;
+      if s.Soundness.s_violations <> 0 then begin
+        Printf.eprintf
+          "palladium: %d soundness violations (minimised counterexamples in \
+           %s/SOUNDNESS_*.json)\n"
+          s.Soundness.s_violations out_dir;
+        exit 1
+      end);
   match name with
   | "all" ->
       let mismatches =
@@ -928,13 +940,35 @@ let verify_cmd =
       & info [ "o"; "out" ] ~docv:"DIR"
           ~doc:"Directory for the VERIFY_<image>.json artifact.")
   in
+  let oracle =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "oracle" ] ~docv:"N"
+          ~doc:
+            "First run the static-vs-dynamic soundness oracle over $(docv) \
+             generated specimens (verify, then execute under both engines \
+             with every access classification checked concretely); exits \
+             non-zero on any contract violation, leaving minimised \
+             SOUNDNESS_*.json counterexamples in the output directory.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 0xA11D
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Generator seed for --oracle (specimens are a pure function \
+                of (seed, index)).")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Run the load-time extension verifier (CFG decode, instruction \
-          lints, interval-domain bounds analysis) over the shipped example \
-          images and the unsafe demo programs, printing per-check reports.")
-    Term.(const run_verify $ image $ out_dir)
+          lints, taint/interval bounds analysis, routine summaries) over the \
+          shipped example images and the unsafe demo programs, printing \
+          per-check reports; --oracle cross-examines the analysis against \
+          the simulated CPU.")
+    Term.(const run_verify $ image $ out_dir $ oracle $ seed)
 
 (* --- audit: protection-state auditor over the scenario catalogue ----------- *)
 

@@ -131,6 +131,40 @@ let analyse (s : S.t) =
   let nodes = List.map fst (code_nodes s) in
   let audited = audited_sites s in
   let is_audited site = List.mem site audited in
+  (* Load-time far-target restriction: when the verifier proved a
+     registered segment's code can only name a static selector set,
+     edges out of that segment's node exist only toward those
+     selectors.  Unregistered sources (user tasks, planted segments)
+     and segments with an unknown set stay fully over-approximated. *)
+  let far_restriction =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (rs : S.registered_segment) ->
+        match rs.S.rs_far_targets with
+        | Some sels -> Hashtbl.replace tbl (Rgdt rs.S.rs_cs) (List.map Sel.decode sels)
+        | None -> ())
+      (S.live_segments s);
+    tbl
+  in
+  let may_reach_slot src ~table ~slot =
+    match Hashtbl.find_opt far_restriction src.n_seg with
+    | None -> true
+    | Some sels ->
+        List.exists (fun sel -> Sel.table sel = table && Sel.index sel = slot) sels
+  in
+  let may_use_site src = function
+    | Ggdt slot -> may_reach_slot src ~table:Sel.Gdt ~slot
+    | Gldt { slot; _ } -> may_reach_slot src ~table:Sel.Ldt ~slot
+    | Gidt _ ->
+        (* verified extension code carries no [int]: the privileged
+           lint rejects it before a far-target set is ever recorded *)
+        not (Hashtbl.mem far_restriction src.n_seg)
+  in
+  let may_far_to src dst =
+    match dst.n_seg with
+    | Rgdt slot -> may_reach_slot src ~table:Sel.Gdt ~slot
+    | Rldt { slot; _ } -> may_reach_slot src ~table:Sel.Ldt ~slot
+  in
   let gate_edges ~via ~site topt (g : Desc.gate) =
     match target_node s topt g with
     | None -> []
@@ -139,7 +173,7 @@ let analyse (s : S.t) =
         let aud = is_audited site in
         List.filter_map
           (fun src ->
-            if src.n_ring <= dpl && src <> dst then
+            if src.n_ring <= dpl && src <> dst && may_use_site src site then
               Some
                 {
                   e_from = src;
@@ -194,7 +228,7 @@ let analyse (s : S.t) =
                   e_site = None;
                   e_audited = false;
                 }
-            else if dst.n_ring = src.n_ring then
+            else if dst.n_ring = src.n_ring && may_far_to src dst then
               Some
                 {
                   e_from = src;

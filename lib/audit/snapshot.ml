@@ -44,6 +44,7 @@ type registered_segment = {
   rs_base : int;
   rs_size : int;
   rs_gates : (int * int) list;
+  rs_far_targets : int list option;
   rs_dead : bool;
 }
 

@@ -40,6 +40,12 @@ type registered_segment = {
   rs_gates : (int * int) list;
       (** sanctioned DPL 1 call gates: (GDT slot, kernel entry offset)
           — the return gate plus every exposed kernel service *)
+  rs_far_targets : int list option;
+      (** encoded selectors of every far transfer the load-time
+          verifier proved the segment's code can issue ([Some], the
+          reachability analysis prunes other outgoing gate edges);
+          [None] when at least one loaded module's far transfers are
+          not statically known, or verification did not run *)
   rs_dead : bool;  (** aborted; its descriptors must be gone *)
 }
 

@@ -197,6 +197,7 @@ let emit_kernel_stub t program =
    additionally demands an acyclic CFG (BPF-derived filters). *)
 let insmod ?(require_termination = false) t (image : Image.t) =
   if t.dead then invalid_arg "Kernel_ext.insmod: segment is dead";
+  let far_targets = ref None in
   (let policy = Pconfig.effective_verify_policy t.kernel in
    if policy <> Verify.Off then
      let data_names =
@@ -214,10 +215,20 @@ let insmod ?(require_termination = false) t (image : Image.t) =
      let allowed_far sel =
        sel = t.kgate_sel || List.exists (fun (_, s) -> s = sel) t.ksvcs
      in
-     Verify.enforce ~policy ~mechanism:"insmod(ext)"
-       (Verify.verify ~org:t.cursor_off ~entries:image.Image.exports ~externs
-          ~region:(0, t.seg_size) ~allowed_far ~require_termination
-          ~name:image.Image.name image.Image.text));
+     let report =
+       Verify.verify ~org:t.cursor_off ~entries:image.Image.exports ~externs
+         ~region:(0, t.seg_size) ~allowed_far ~require_termination
+         ~name:image.Image.name image.Image.text
+     in
+     (* A clean verdict with a static far-target set feeds the
+        reachability audit: the segment's outgoing gate edges shrink
+        to exactly the selectors the module can name, plus the return
+        gate the Transfer stubs below always lcall. *)
+     (if Verify.ok report then
+        match report.Verify.r_far_targets with
+        | Some sels -> far_targets := Some (t.kgate_sel :: sels)
+        | None -> ());
+     Verify.enforce ~policy ~mechanism:"insmod(ext)" report);
   let text_off = t.cursor_off in
   let text_size =
     Asm.length_bytes image.Image.text + (4 * Instr.size * List.length image.Image.exports)
@@ -313,6 +324,7 @@ let insmod ?(require_termination = false) t (image : Image.t) =
     }
   in
   t.modules <- m :: t.modules;
+  Paudit.note_far_targets t.kernel ~cs:t.gdt_cs_idx !far_targets;
   (* Warm the basic-block engine: pre-translate the module's text at
      its CFG block leaders under the exact CS signature the extension
      runs with (the lret into the segment stamps CPL 1 into the

@@ -19,6 +19,10 @@ type seg = {
   sg_base : int;
   sg_size : int;
   mutable sg_gates : (int * int) list;
+  (* Union of the verifier-proved far-target selector sets of every
+     module loaded into the segment; [None] once any module's far
+     transfers are not statically known (sticky). *)
+  mutable sg_far : int list option;
   mutable sg_dead : bool;
 }
 
@@ -58,6 +62,7 @@ let register_segment kernel ~name ~cs ~ds ~base ~size =
       sg_base = base;
       sg_size = size;
       sg_gates = [];
+      sg_far = Some [];
       sg_dead = false;
     }
     :: st.st_segs
@@ -69,6 +74,15 @@ let add_segment_gate kernel ~cs ~slot ~entry =
   match find_seg kernel ~cs with
   | Some sg -> sg.sg_gates <- (slot, entry) :: sg.sg_gates
   | None -> invalid_arg "Paudit.add_segment_gate: unregistered segment"
+
+let note_far_targets kernel ~cs far =
+  match find_seg kernel ~cs with
+  | Some sg ->
+      sg.sg_far <-
+        (match (sg.sg_far, far) with
+        | Some a, Some b -> Some (List.sort_uniq compare (a @ b))
+        | _ -> None)
+  | None -> invalid_arg "Paudit.note_far_targets: unregistered segment"
 
 let mark_segment_dead kernel ~cs =
   match find_seg kernel ~cs with
@@ -85,6 +99,7 @@ let segments kernel =
         rs_base = sg.sg_base;
         rs_size = sg.sg_size;
         rs_gates = sg.sg_gates;
+        rs_far_targets = sg.sg_far;
         rs_dead = sg.sg_dead;
       })
     (state_of kernel).st_segs
@@ -106,7 +121,9 @@ let generation kernel =
   let registry_shape =
     List.fold_left
       (fun acc sg ->
-        acc + 1 + List.length sg.sg_gates + if sg.sg_dead then 1 else 0)
+        acc + 1 + List.length sg.sg_gates
+        + (match sg.sg_far with None -> 1 | Some sels -> List.length sels)
+        + if sg.sg_dead then 1 else 0)
       0 (state_of kernel).st_segs
   in
   dt_writes + pg_gens + List.length tasks + registry_shape

@@ -22,6 +22,14 @@ val add_segment_gate : Kernel.t -> cs:int -> slot:int -> entry:int -> unit
     [entry]) belonging to the segment registered with code slot
     [cs]. *)
 
+val note_far_targets : Kernel.t -> cs:int -> int list option -> unit
+(** Record the far-transfer selector set the load-time verifier proved
+    for a module loaded into the segment registered with code slot
+    [cs]: [Some sels] unions into the segment's set (the reachability
+    analysis then prunes outgoing gate edges to other selectors);
+    [None] — not statically known, or verification did not run —
+    permanently widens the segment back to unrestricted. *)
+
 val mark_segment_dead : Kernel.t -> cs:int -> unit
 (** The segment was aborted; its descriptors must now be absent. *)
 

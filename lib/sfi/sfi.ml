@@ -187,7 +187,11 @@ let rewrite_program ?(mode = Full) ?entries ?externs ?arg policy region
     match mode with
     | Full -> fun _ -> false
     | Verified ->
-        Verify.proved_instrs ?entries ?externs ?arg
+        (* SS-confined stack-relative accesses are elided too: SFI
+           already trusts the implicit push/pop traffic it leaves
+           unguarded, and the soundness oracle exercises exactly this
+           elision dynamically (bench soundness). *)
+        Verify.proved_instrs ?entries ?externs ?arg ~trust_stack:true
           ~region:(region.base, region.base + region.size)
           program
   in

@@ -1,0 +1,87 @@
+(** Static-vs-dynamic soundness oracle for the load-time verifier.
+
+    Generates random (and randomly mutated) [Asm.program]s from the
+    verifier's input language, verifies each against the fixed oracle
+    region, then executes it on the simulated CPU — under both the
+    interpreter and the block engine — in a world whose data and stack
+    segment limits equal the region boundary.  An instruction hook
+    mirrors the static classification table dynamically:
+
+    - a [Proved] access must stay inside the region on every execution;
+    - an [Oob] access must fault (the instruction must not retire);
+    - an instruction whose SFI guard {!Verify.proved_instrs} would
+      elide must never retire an access outside the region.
+
+    Violations are minimised by greedy nop substitution and written as
+    SOUNDNESS_*.json artifacts; a specimen is a pure function of
+    (seed, specimen index), so an artifact is replayable from those
+    two integers. *)
+
+val region_hi : int
+(** Region end: the oracle verifies and executes against [0, region_hi). *)
+
+val org : int
+(** Text placement offset used for every specimen. *)
+
+val gen_program : Random.State.t -> Asm.program
+(** Draw one specimen (exposed for the test suite). *)
+
+(** {2 Single-run plumbing (exposed for the test suite)} *)
+
+type exec_result = {
+  x_stop : Cpu.stop;
+  x_violations : string list;
+  x_diverged : bool;  (** concrete flow left the static CFG at a ret *)
+}
+
+val static_table :
+  Verify.report -> (int * bool * int * bool, Verify.access_class) Hashtbl.t
+(** Classification table keyed by (instruction index, write, size,
+    through-SS). *)
+
+val execute :
+  Cpu.engine ->
+  Asm.assembled ->
+  static:(int * bool * int * bool, Verify.access_class) Hashtbl.t ->
+  elide:(int -> bool) ->
+  fuel:int ->
+  exec_result
+(** Run one assembled specimen in the oracle world under [engine],
+    checking the given classification table and elision predicate.
+    Tests plant deliberately wrong tables here to prove the oracle
+    can detect a lying verifier. *)
+
+val elision_mismatches : Verify.report -> (int -> bool) -> string list
+(** Static cross-check: every access of an instruction the elision
+    predicate unguards must be [Proved] or stack-relative through SS.
+    Empty when consistent. *)
+
+type summary = {
+  s_specimens : int;  (** generated and verified *)
+  s_skipped : int;  (** flow-integrity errors: not executed *)
+  s_diverged : int;  (** engine runs whose flow left the static CFG *)
+  s_runs : int;  (** engine runs with contracts active *)
+  s_violations : int;
+  s_artifacts : string list;  (** SOUNDNESS_*.json files written *)
+  s_instrs : int;  (** static instructions across all specimens *)
+  s_accesses : int;
+  s_proved : int;
+  s_stack_rel : int;
+  s_runtime : int;
+  s_oob : int;
+  s_elided : int;  (** instructions [proved_instrs] would unguard *)
+  s_verify_s : float;  (** CPU seconds spent in static analysis *)
+  s_spec_verify_us : int list;
+      (** per-specimen static-analysis latency, microseconds *)
+}
+
+val run :
+  ?json_dir:string -> ?fuel:int -> ?count:int -> seed:int -> unit -> summary
+(** [run ~seed ~count ()] drives [count] specimens derived from [seed]
+    through verification and both engines ([fuel] caps retired
+    instructions per run, default 2000).  Artifacts go to [json_dir]
+    (default ["."]). *)
+
+val pp_summary : summary Fmt.t
+
+val summary_json : summary -> Obs.Json.t

@@ -5,12 +5,14 @@
    discipline (ESP must be back at entry-ESP + 0 on [Ret]) and avoid
    mistaking stack traffic for region traffic.
 
-   Soundness note: the simulated CPU wraps arithmetic at 2^32 only on
-   memory writes, and effective addresses are computed in OCaml ints.
-   The interval transfer functions below therefore work in unbounded
-   (saturated) integers; an operation whose concrete result could reach
-   2^32 yields an interval that is not contained in any extension
-   region, so bound proofs can never be fooled by wrap-around. *)
+   Soundness note: the simulated CPU masks every register write and
+   every effective address to 32 bits.  The interval transfer functions
+   below work in unbounded (saturated) integers; the verifier applies
+   {!wrap32} at each register-write and address-production point, which
+   folds an interval that crossed 2^32 back into the concrete [0, 2^32)
+   window.  Claims about wrapped addresses (in particular [Oob]) are
+   therefore made against the address the hardware actually sees, not
+   against the pre-wrap sum. *)
 
 type t =
   | Bot
@@ -63,6 +65,36 @@ let widen old next =
       Sp ((if b1 < a1 then -inf_bound else a1), if b2 > a2 then inf_bound else a2)
   | Itv _, Sp _ | Sp _, Itv _ -> Top
 
+(* Greatest lower bound (up to the Sp/Itv incomparability: their
+   concretisations intersect in ways the domain cannot express, so the
+   meet keeps the relational side — any over-approximation of the
+   intersection is sound).  Used by the reduced product to fold a
+   taint-derived bound back into the interval. *)
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, x | x, Top -> x
+  | Itv (a1, a2), Itv (b1, b2) -> itv (max a1 b1) (min a2 b2)
+  | Sp (a1, a2), Sp (b1, b2) -> sp (max a1 b1) (min a2 b2)
+  | (Sp _ as s), Itv _ | Itv _, (Sp _ as s) -> s
+
+let wrap_limit = 1 lsl 32
+
+(* Fold an interval into the hardware's [0, 2^32) window, mirroring the
+   [mask32] the CPU applies on register writes and effective-address
+   computation.  An interval narrower than 2^32 that sits entirely in
+   one wrap period translates exactly; anything wider or straddling a
+   period boundary degrades to the full window. *)
+let wrap32 = function
+  | Itv (l, h) when l >= 0 && h < wrap_limit -> Itv (l, h)
+  | Itv (l, h) ->
+      if h - l >= wrap_limit - 1 then Itv (0, wrap_limit - 1)
+      else
+        let l' = ((l mod wrap_limit) + wrap_limit) mod wrap_limit in
+        let h' = h - l + l' in
+        if h' < wrap_limit then Itv (l', h') else Itv (0, wrap_limit - 1)
+  | v -> v (* Sp stays symbolic: stack discipline assumes no ESP wrap *)
+
 let add a b =
   match (a, b) with
   | Bot, _ | _, Bot -> Bot
@@ -92,27 +124,45 @@ let nonneg = function Itv (l, _) -> l >= 0 | _ -> false
    all-ones mask covering x. *)
 let all_ones m = m >= 0 && m land (m + 1) = 0
 
+(* The concrete operands of every logical instruction are 32-bit
+   register or memory words, i.e. non-negative: masking with *any*
+   interval whose upper bound is known pins the result into [0, hi],
+   whatever the other side is (Top, Sp, a widened interval).  This —
+   not just the constant-mask special case — is what lets the analysis
+   prove that an SFI and-coercion pins an address into the region. *)
 let band a b =
   match (a, b) with
   | Bot, _ | _, Bot -> Bot
-  | x, Itv (m, m') when m = m' && m >= 0 -> (
+  | x, Itv (ml, mh) when ml >= 0 -> (
       match x with
-      | Itv (l, h) when l >= 0 && h <= m && all_ones m -> x
-      | _ -> itv 0 m)
-  | Itv (m, m'), x when m = m' && m >= 0 -> (
+      | Itv (l, h) when l >= 0 && h <= mh && ml = mh && all_ones mh -> x
+      | Itv (l, h) when l >= 0 && h <= mh -> itv 0 (min h mh)
+      | _ -> itv 0 mh)
+  | Itv (ml, mh), x when ml >= 0 -> (
       match x with
-      | Itv (l, h) when l >= 0 && h <= m && all_ones m -> x
-      | _ -> itv 0 m)
-  | x, y when nonneg x && nonneg y ->
-      let hi = function Itv (_, h) -> h | _ -> assert false in
-      itv 0 (min (hi x) (hi y))
+      | Itv (l, h) when l >= 0 && h <= mh && ml = mh && all_ones mh -> x
+      | Itv (l, h) when l >= 0 && h <= mh -> itv 0 (min h mh)
+      | _ -> itv 0 mh)
   | _ -> Top
 
+(* Smallest all-ones mask covering m: every value in [0, m] has all its
+   bits inside [cover m]. *)
+let cover m =
+  let rec go c = if c >= m then c else go ((c lsl 1) lor 1) in
+  if m <= 0 then 0 else go 1
+
 (* x lor y <= x + y for non-negative operands; the low bound is the
-   larger of the two low bounds. *)
+   larger of the two low bounds.  When one side is an exact constant
+   whose bits are disjoint from everything the other side can be,
+   [c lor y = c + y] — the or-base half of the SFI coercion, translated
+   exactly. *)
 let bor a b =
   match (a, b) with
   | Bot, _ | _, Bot -> Bot
+  | Itv (c, c'), Itv (l, h) when c = c' && c >= 0 && l >= 0 && c land cover h = 0 ->
+      itv (c + l) (c + h)
+  | Itv (l, h), Itv (c, c') when c = c' && c >= 0 && l >= 0 && c land cover h = 0 ->
+      itv (c + l) (c + h)
   | Itv (a1, a2), Itv (b1, b2) when a1 >= 0 && b1 >= 0 -> itv (max a1 b1) (a2 + b2)
   | _ -> Top
 
@@ -122,29 +172,56 @@ let bxor a b =
   | Itv (a1, a2), Itv (b1, b2) when a1 >= 0 && b1 >= 0 -> itv 0 (a2 + b2)
   | _ -> Top
 
-(* Shifts and multiplies can reach 2^32 and wrap on the concrete CPU's
-   memory path; any result that could do so degrades to Top rather than
-   claiming a (wrong) large interval. *)
-let wrap_limit = 1 lsl 32
+(* Shift transfers mirror the CPU exactly: the count is masked with
+   [land 31], [shl] wraps at 2^32 and [shr] is a logical shift.  A
+   constant stays constant (computed with the CPU's own arithmetic); a
+   non-constant operand that could wrap degrades to the full 32-bit
+   window rather than Top — the hardware result is a 32-bit word no
+   matter what. *)
+let mask32 x = x land (wrap_limit - 1)
+
+let full32 = Itv (0, wrap_limit - 1)
 
 let shl a n =
-  match a with
-  | Bot -> Bot
-  | Itv (l, h) when l >= 0 && n >= 0 && n < 32 && h lsl n < wrap_limit -> itv (l lsl n) (h lsl n)
-  | _ -> Top
+  let n = n land 31 in
+  if n = 0 then a
+  else
+    match a with
+    | Bot -> Bot
+    | Itv (l, h) when l = h && l >= 0 && l < wrap_limit -> const (mask32 (l lsl n))
+    (* guard via a right shift: [h lsl n] can overflow the OCaml int
+       and flip the comparison for large bounds *)
+    | Itv (l, h) when l >= 0 && h <= (wrap_limit - 1) lsr n ->
+        itv (l lsl n) (h lsl n)
+    | Sp _ -> Top (* a shifted stack pointer is no longer stack-relative *)
+    | _ -> full32
 
+(* [shr] bounds even a Top operand: any 32-bit word shifted right by n
+   lands in [0, (2^32 - 1) >> n]. *)
 let shr a n =
-  match a with
-  | Bot -> Bot
-  | Itv (l, h) when l >= 0 && n >= 0 && n < 63 -> itv (l asr n) (h asr n)
-  | _ -> Top
+  let n = n land 31 in
+  if n = 0 then a
+  else
+    match a with
+    | Bot -> Bot
+    | Itv (l, h) when l = h && l >= 0 && l < wrap_limit -> const (l lsr n)
+    | Itv (l, h) when l >= 0 && h < wrap_limit -> itv (l lsr n) (h lsr n)
+    | _ -> itv 0 ((wrap_limit - 1) lsr n)
 
+(* The CPU computes [mask32 (s32 a * s32 b)], which equals
+   [mask32 (a * b)] — sign-extension differs from the unsigned product
+   only by multiples of 2^32. *)
 let mul a b =
   match (a, b) with
   | Bot, _ | _, Bot -> Bot
-  | Itv (a1, a2), Itv (b1, b2) when a1 >= 0 && b1 >= 0 && a2 * b2 < wrap_limit ->
+  | Itv (a1, a2), Itv (b1, b2) when a1 = a2 && b1 = b2 && a1 >= 0 && b1 >= 0 ->
+      const (mask32 (a1 * b1))
+  (* guard via division: [a2 * b2] itself can overflow the OCaml int
+     and flip the comparison for large operands *)
+  | Itv (a1, a2), Itv (b1, b2)
+    when a1 >= 0 && b1 >= 0 && (b2 = 0 || a2 <= (wrap_limit - 1) / b2) ->
       itv (a1 * b1) (a2 * b2)
-  | _ -> Top
+  | _ -> full32
 
 let pp ppf = function
   | Bot -> Fmt.string ppf "bot"

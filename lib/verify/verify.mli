@@ -3,11 +3,14 @@
     Static analysis over a raw [Asm.program] (before assembly, before
     any loader-generated stubs): control-flow decoding into basic
     blocks, a catalogue of instruction lints, and a fixpoint abstract
-    interpretation with an interval domain ({!Vdomain}) that bounds
+    interpretation over a reduced product of saturated intervals
+    ({!Vdomain}) and a provenance/taint lattice ({!Vtaint}) that bounds
     every memory operand's effective address against the extension's
-    region.  Loaders call {!verify} + {!enforce} behind the global
-    {!policy}; the SFI rewriter uses {!proved_instrs} to elide guards
-    the analysis proves redundant ([Sfi.Verified]). *)
+    region.  Internal [call] targets are analysed once per routine and
+    condensed into {!Vsum} summaries applied at their call sites.
+    Loaders call {!verify} + {!enforce} behind the global {!policy};
+    the SFI rewriter uses {!proved_instrs} to elide guards the analysis
+    proves redundant ([Sfi.Verified]). *)
 
 (** {1 Reports} *)
 
@@ -30,7 +33,7 @@ type diag = {
 
 type access_class =
   | Proved  (** whole access provably inside the region *)
-  | Stack_rel  (** stack-relative: confined by SS, not the region *)
+  | Stack_rel  (** stack-relative through SS: confined by SS *)
   | Runtime  (** not statically bounded; hardware checks it at run time *)
   | Oob  (** provably outside the region: always faults *)
 
@@ -38,7 +41,9 @@ type access = {
   a_index : int;
   a_write : bool;
   a_size : int;
-  a_ea : Vdomain.t;
+  a_ea : Vdomain.t;  (** abstract effective address *)
+  a_taint : Vtaint.t;  (** provenance of the effective address *)
+  a_ss : bool;  (** goes through SS (stack-segment default rule) *)
   a_class : access_class;
 }
 
@@ -48,8 +53,17 @@ type report = {
   r_blocks : int;
   r_diags : diag list;
   r_accesses : access list;
+      (** one entry per reachable (instruction, direction, size,
+          segment) memory access, joined over all paths and routines;
+          accesses in unreachable code are excluded *)
   r_back_edges : int;
   r_unreachable : int;
+  r_far_targets : int list option;
+      (** [Some sels] when every reachable far transfer resolves to a
+          statically known selector (the set the loader can feed into
+          the reachability audit); [None] when at least one far-call
+          operand — or a CFG-defeating indirect near transfer — is not
+          static *)
 }
 
 val ok : report -> bool
@@ -59,6 +73,8 @@ val errors : report -> diag list
 
 val check_name : check -> string
 
+val class_name : access_class -> string
+
 val count_class : report -> access_class -> int
 
 val pp_diag : Format.formatter -> diag -> unit
@@ -66,6 +82,8 @@ val pp_diag : Format.formatter -> diag -> unit
 val pp_report : Format.formatter -> report -> unit
 
 val report_json : report -> Obs.Json.t
+(** Full report including the per-access classification table
+    (index, class, interval, taint) and the static far-target set. *)
 
 (** {1 Analysis} *)
 
@@ -90,23 +108,31 @@ val verify :
       absolute branch targets are resolved against it.
     - [entries]: exported symbols — analysis entry points, each with a
       fresh stack frame and the [arg] interval at [esp+4].  When empty
-      (or nothing resolves), instruction 0 is the entry.
+      (or nothing resolves), instruction 0 is the entry.  Reachability
+      is computed from these roots only; internal [call] targets found
+      in reachable code are analysed as separate routines with
+      unconstrained entry frames and summarised ({!Vsum}).
     - [externs]: symbols the loader will resolve (imports, data/bss,
       kernel services); calls/jumps to them leave the program.
     - [region]: half-open [lo, hi) byte range memory accesses are
       bounded against (default: the full 32-bit space).
-    - [arg]: interval of the argument word at [esp+4] on entry.
+    - [arg]: interval of the argument word at [esp+4] on entry (tagged
+      region-derived in the taint domain).
     - [allowed_far]: vetted far-call selectors (kernel gate, services).
-    - [allow_far_indirect] (default true): [lcall *o] is vetted by the
-      hardware gate at run time.
+      Far-call operands the abstract interpretation resolves to a
+      constant are checked against this table statically; an unvetted
+      static selector is an error even when [allow_far_indirect].
+    - [allow_far_indirect] (default true): [lcall *o] with a
+      non-static operand is vetted by the hardware gate at run time.
     - [allow_near_indirect] (default false): [jmp *o]/[call *o] defeat
       the CFG and are errors unless the caller opts in.
     - [lint_privileged] (default true): flag sreg writes, [lret],
       [int], [iret], [hlt] and kernel upcalls.
     - [require_termination] (default false): any CFG back edge is an
       error (BPF-derived filters must terminate).
-    - [check_stack] (default true): an unbalanced ESP at [ret] is an
-      error; when false it is reported as info only (trusted kernel
+    - [check_stack] (default true): an unbalanced ESP at [ret], or a
+      store that may overwrite a return-address slot, is an error;
+      when false these are reported as info only (trusted kernel
       modules with cross-routine non-local exits). *)
 
 (** {1 Policy and enforcement} *)
@@ -145,15 +171,20 @@ val proved_instrs :
   ?entries:string list ->
   ?externs:(string -> bool) ->
   ?arg:int * int ->
+  ?trust_stack:bool ->
   region:int * int ->
   Asm.program ->
   int ->
   bool
 (** Predicate on instruction indices (counting [Asm.I] items): true
     iff every memory access of that instruction is provably inside
-    [region], making an SFI guard redundant.  Conservatively false for
-    everything when the CFG does not decode or the program contains
-    indirect near control flow. *)
+    [region], making an SFI guard redundant.  With [trust_stack]
+    (default false), [Stack_rel] accesses — stack-relative *and*
+    through SS, by construction — also count as elidable: they are
+    confined by the stack segment's limit, the same trust SFI already
+    extends to the implicit push/pop traffic it leaves unguarded.
+    Conservatively false for everything when the CFG does not decode
+    or the program contains indirect near control flow. *)
 
 val sfi_check :
   ?entries:string list ->
@@ -162,7 +193,7 @@ val sfi_check :
   region:int * int ->
   Asm.program ->
   (unit, string) result
-(** The SFI containment property: every store is stack-relative or has
-    an address provably inside [region] (address-in-region, matching
-    the runtime coercion's guarantee).  [Error] names the first
-    offending instruction. *)
+(** The SFI containment property: every store is stack-relative
+    through SS or has an address provably inside [region]
+    (address-in-region, matching the runtime coercion's guarantee).
+    [Error] names the first offending instruction. *)

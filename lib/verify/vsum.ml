@@ -1,0 +1,93 @@
+(* Interprocedural call summaries for the load-time verifier.
+
+   A summary describes the caller-visible effect of one internal [call]
+   target, computed once per routine (context-insensitively, from an
+   unconstrained entry frame) and applied at every call site in place
+   of the old whole-state havoc:
+
+   - [s_esp_delta]: the caller's ESP after the call returns is
+     ESP-before-call + delta.  A balanced cdecl callee has delta
+     [0, 0]; a stdcall callee that pops its k argument bytes with
+     [ret k] has delta [k, k]; [None] means some return path leaves
+     ESP untracked and the caller's ESP degrades to Top.
+   - [s_clobbers]: per-register may-write set (ESP excluded — it is
+     governed by the delta).  Unclobbered registers keep their caller
+     value across the call.
+   - [s_ret_val]: joined abstract EAX over all return sites, consulted
+     only when EAX is clobbered.
+   - [s_writes_mem]: the callee (or anything it calls) may store to
+     caller-visible memory — a store at or above its return-address
+     slot, a store through an untracked stack-segment address, or a
+     call to something opaque.  When set, the caller's tracked stack
+     cells are dropped.
+   - [s_returns]: the callee has at least one reachable return path;
+     when false, the call site's fall-through edge is dead code.
+
+   The types live here; the fixpoint that computes summaries is in
+   {!Verify} (it is the same abstract interpreter the rest of the
+   verifier uses). *)
+
+type av = Vdomain.t * Vtaint.t
+
+type t = {
+  s_esp_delta : (int * int) option;
+  s_clobbers : bool array; (* indexed by Reg.index *)
+  s_ret_val : av;
+  s_writes_mem : bool;
+  s_returns : bool;
+}
+
+let av_top : av = (Vdomain.top, Vtaint.untrusted)
+
+(* The summary of an opaque callee: external imports, kernel services,
+   indirect and far calls.  Kernel services are cdecl-balanced by
+   convention, so ESP survives exactly — this is the behaviour the
+   pre-summary verifier hard-coded for every call. *)
+let havoc =
+  {
+    s_esp_delta = Some (0, 0);
+    s_clobbers = Array.init Reg.count (fun i -> i <> Reg.index Reg.ESP);
+    s_ret_val = av_top;
+    s_writes_mem = true;
+    s_returns = true;
+  }
+
+let join_delta a b =
+  match (a, b) with
+  | None, _ | _, None -> None
+  | Some (al, ah), Some (bl, bh) -> Some (min al bl, max ah bh)
+
+let join a b =
+  {
+    s_esp_delta = join_delta a.s_esp_delta b.s_esp_delta;
+    s_clobbers = Array.map2 ( || ) a.s_clobbers b.s_clobbers;
+    s_ret_val =
+      (Vdomain.join (fst a.s_ret_val) (fst b.s_ret_val), Vtaint.join (snd a.s_ret_val) (snd b.s_ret_val));
+    s_writes_mem = a.s_writes_mem || b.s_writes_mem;
+    s_returns = a.s_returns || b.s_returns;
+  }
+
+(* A summary for a routine with no reachable return at all: the call
+   never comes back, so nothing else matters. *)
+let no_return =
+  {
+    s_esp_delta = Some (0, 0);
+    s_clobbers = Array.make Reg.count false;
+    s_ret_val = (Vdomain.Bot, Vtaint.untrusted);
+    s_writes_mem = false;
+    s_returns = false;
+  }
+
+let pp ppf s =
+  let delta =
+    match s.s_esp_delta with
+    | Some (l, h) when l = h -> Printf.sprintf "%+d" l
+    | Some (l, h) -> Printf.sprintf "[%+d,%+d]" l h
+    | None -> "?"
+  in
+  let clobbered =
+    List.filter (fun r -> s.s_clobbers.(Reg.index r)) Reg.all |> List.map Reg.name |> String.concat ","
+  in
+  Fmt.pf ppf "esp%s clobbers{%s}%s%s" delta clobbered
+    (if s.s_writes_mem then " writes-mem" else "")
+    (if s.s_returns then "" else " no-return")

@@ -1,0 +1,195 @@
+(* Provenance lattice for the load-time verifier, the second half of
+   the reduced product with {!Vdomain} intervals.
+
+   Where the interval domain answers "what values can this register
+   hold?", the taint domain answers "why is it bounded?":
+
+   - [Const]        — built from immediates only; the partner interval
+                      already knows the exact value, so [Const] carries
+                      no bound of its own (gamma = everything).
+   - [Masked m]     — pinned into [0, m] by an explicit and-mask, a
+                      narrow (byte) load, or a logical shift right.
+   - [Region (l,h)] — base-plus-bounded-offset: a region-derived
+                      pointer known to stay inside [l, h].
+   - [Untrusted]    — attacker-influenced with no provenance bound.
+
+   The practical difference from plain intervals is loop behaviour:
+   interval widening blows a growing induction variable out to the
+   saturation bound, but a mask that is re-applied on every iteration
+   re-establishes the same [Masked m] fact, so the taint tag is stable
+   across widening and the reduction ([Vdomain.meet] against
+   {!bound}) recovers a finite interval where the intervals alone have
+   given up.  This is what lets the classic SFI pattern
+   [and reg, mask; mov [region + reg]] classify as [Proved] even
+   inside loops.
+
+   Transfer functions receive the *partner interval* of each operand
+   ([opd_bound]): any sound bound — taint-derived or interval-derived
+   — may justify the result tag, because both domains over-approximate
+   the same concrete 32-bit value.  All bounds are within [0, 2^32):
+   an operation that could wrap degrades to [Untrusted] rather than
+   claiming a wrong bound. *)
+
+type t =
+  | Const
+  | Masked of int (* value in [0, m] *)
+  | Region of int * int (* value in [l, h], region-pointer-shaped *)
+  | Untrusted
+
+let wrap_limit = 1 lsl 32
+
+let untrusted = Untrusted
+
+let const = Const
+
+(* Smart constructor: a claimed bound outside the 32-bit range is no
+   bound at all. *)
+let mk lo hi =
+  if lo < 0 || hi >= wrap_limit || lo > hi then Untrusted
+  else if lo = 0 then Masked hi
+  else Region (lo, hi)
+
+let masked m = mk 0 m
+
+let region lo hi = mk lo hi
+
+let bound = function
+  | Masked m -> Some (0, m)
+  | Region (lo, hi) -> Some (lo, hi)
+  | Const | Untrusted -> None
+
+let name = function
+  | Const -> "const"
+  | Masked _ -> "masked"
+  | Region _ -> "region"
+  | Untrusted -> "untrusted"
+
+let equal a b =
+  match (a, b) with
+  | Const, Const | Untrusted, Untrusted -> true
+  | Masked a, Masked b -> a = b
+  | Region (a1, a2), Region (b1, b2) -> a1 = b1 && a2 = b2
+  | _ -> false
+
+let join a b =
+  match (a, b) with
+  | Const, Const -> Const
+  | Masked a, Masked b -> Masked (max a b)
+  | Region (a1, a2), Region (b1, b2) -> Region (min a1 b1, max a2 b2)
+  | Masked m, Region (lo, hi) | Region (lo, hi), Masked m -> mk (min 0 lo) (max m hi)
+  | _ -> Untrusted
+  (* Const joined with a bounded tag must forget the bound: gamma(Const)
+     is unbounded, so any finite claim would be unsound. *)
+
+(* Widening: a provenance fact either re-establishes itself exactly on
+   every loop iteration (a stable mask) or it is gone.  Bounds that
+   grow between iterations go straight to [Untrusted] — termination is
+   immediate and the surviving facts are exactly the loop-invariant
+   masks the reduction needs. *)
+let widen old next =
+  let j = join old next in
+  if equal j old then old else Untrusted
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* An operand is a taint tag plus its partner interval.  Its effective
+   concrete bound is the taint bound when there is one, else the
+   interval when that is a finite non-negative 32-bit interval. *)
+type opd = t * Vdomain.t
+
+let opd_bound ((t, n) : opd) =
+  match bound t with
+  | Some _ as b -> b
+  | None -> (
+      match n with
+      | Vdomain.Itv (l, h) when l >= 0 && h < wrap_limit -> Some (l, h)
+      | _ -> None)
+
+let is_const ((t, _) : opd) = match t with Const -> true | _ -> false
+
+let binop_bounds a b f =
+  match (opd_bound a, opd_bound b) with
+  | Some (al, ah), Some (bl, bh) -> f (al, ah) (bl, bh)
+  | _ -> Untrusted
+
+let add a b =
+  if is_const a && is_const b then Const
+  else binop_bounds a b (fun (al, ah) (bl, bh) -> mk (al + bl) (ah + bh))
+
+let sub a b =
+  if is_const a && is_const b then Const
+  else binop_bounds a b (fun (al, ah) (bl, bh) -> mk (al - bh) (ah - bl))
+
+(* x land y <= y for non-negative y and any 32-bit x: one bounded
+   operand is enough, which is exactly how an SFI mask launders an
+   untrusted index. *)
+let band a b =
+  if is_const a && is_const b then Const
+  else
+    match (opd_bound a, opd_bound b) with
+    | Some (_, ah), Some (_, bh) -> mk 0 (min ah bh)
+    | Some (_, h), None | None, Some (_, h) -> mk 0 h
+    | None, None -> Untrusted
+
+(* Smallest all-ones mask covering m. *)
+let cover m =
+  let rec go c = if c >= m then c else go ((c lsl 1) lor 1) in
+  if m <= 0 then 0 else go 1
+
+let bor a b =
+  if is_const a && is_const b then Const
+  else
+    match (opd_bound a, opd_bound b) with
+    (* Exact constant base with disjoint bits: c lor y = c + y.  This is
+       the or-base half of the SFI coercion — the result is a region
+       pointer, not just a mask. *)
+    | Some (c, c'), Some (yl, yh) when c = c' && c land cover yh = 0 -> mk (c + yl) (c + yh)
+    | Some (yl, yh), Some (c, c') when c = c' && c land cover yh = 0 -> mk (c + yl) (c + yh)
+    | Some (al, ah), Some (bl, bh) -> mk (max al bl) (cover ah lor cover bh)
+    | _ -> Untrusted
+
+let bxor a b =
+  if is_const a && is_const b then Const
+  else
+    match (opd_bound a, opd_bound b) with
+    | Some (_, ah), Some (_, bh) -> mk 0 (cover ah lor cover bh)
+    | _ -> Untrusted
+
+(* Shift counts are immediates and the CPU masks them with [land 31]. *)
+let shl (a : opd) n =
+  let n = n land 31 in
+  if n = 0 then fst a
+  else if is_const a then Const
+  else
+    match opd_bound a with
+    | Some (al, ah) when ah lsl n < wrap_limit -> mk (al lsl n) (ah lsl n)
+    | _ -> Untrusted
+
+(* A logical shift right bounds *any* 32-bit value: even an untrusted
+   operand comes out masked to the remaining width. *)
+let shr (a : opd) n =
+  let n = n land 31 in
+  if n = 0 then fst a
+  else if is_const a then Const
+  else
+    match opd_bound a with
+    | Some (al, ah) -> mk (al lsr n) (ah lsr n)
+    | None -> mk 0 ((wrap_limit - 1) lsr n)
+
+let mul a b =
+  if is_const a && is_const b then Const
+  else
+    binop_bounds a b (fun (al, ah) (bl, bh) ->
+        if ah * bh < wrap_limit then mk (al * bl) (ah * bh) else Untrusted)
+
+let neg (a : opd) = if is_const a then Const else Untrusted
+
+let byte = Masked 255
+
+let pp ppf = function
+  | Const -> Fmt.string ppf "const"
+  | Masked m -> Fmt.pf ppf "masked<=%#x" m
+  | Region (lo, hi) -> Fmt.pf ppf "region[%#x,%#x]" lo hi
+  | Untrusted -> Fmt.string ppf "untrusted"

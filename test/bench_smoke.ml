@@ -107,6 +107,20 @@ let () =
   | Some full, Some ver ->
       fail "sfi: verified guard count %d not below full %d" ver full
   | _ -> fail "sfi: guard counts missing");
+  (* the soundness oracle: a small batch must verify, execute under
+     both engines and come back violation-free *)
+  let snd = Bench_runs.soundness ~json_dir ~specimens:30 () in
+  validate "verify";
+  if snd.Soundness.s_runs = 0 then fail "soundness: no engine runs";
+  let doc = load "verify" in
+  let body = mem "soundness" doc in
+  (match J.to_int (mem "violations" body) with
+  | Some 0 -> ()
+  | Some n -> fail "soundness: %d contract violations" n
+  | None -> fail "soundness: violations missing");
+  (match J.to_int (mem "total" (mem "accesses" body)) with
+  | Some n when n > 0 -> ()
+  | _ -> fail "soundness: no accesses classified");
   (* the fleet runner: a 4-domain parallel sweep must reproduce the
      serial per-world results bit-for-bit, and the merged histogram
      must account for every request *)

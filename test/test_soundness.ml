@@ -1,0 +1,100 @@
+(* The soundness oracle tested against itself: a clean batch of
+   specimens must produce no violations, a deliberately lying
+   classification table must be caught dynamically, and a lying
+   elision predicate must be caught by the static cross-check.
+   The second half is what makes the oracle's green run meaningful —
+   an oracle that cannot detect a planted lie proves nothing. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let i x = Asm.I x
+
+(* --- specimens are replayable ----------------------------------------- *)
+
+let test_generator_deterministic () =
+  let draw () =
+    let st = Random.State.make [| 0x5eed; 42; 7 |] in
+    Soundness.gen_program st
+  in
+  check_bool "same (seed, specimen) draws the same program" true
+    (draw () = draw ())
+
+(* --- a clean batch runs violation-free --------------------------------- *)
+
+let test_oracle_smoke () =
+  (* a clean batch writes no artifacts, so pointing json_dir at the
+     system temp directory only matters if this test regresses *)
+  let dir = Filename.get_temp_dir_name () in
+  let s = Soundness.run ~json_dir:dir ~count:40 ~seed:0xA11D () in
+  check_int "no violations" 0 s.Soundness.s_violations;
+  check_int "no artifacts" 0 (List.length s.Soundness.s_artifacts);
+  check_bool "specimens executed" true (s.Soundness.s_runs > 0);
+  check_bool "accesses observed" true (s.Soundness.s_accesses > 0);
+  check_bool "some accesses proved" true (s.Soundness.s_proved > 0);
+  check_bool "per-specimen latencies recorded" true
+    (List.length s.Soundness.s_spec_verify_us = s.Soundness.s_specimens)
+
+(* --- the oracle catches a lying verifier ------------------------------- *)
+
+let lie_prog =
+  [
+    Asm.L "entry";
+    i (Instr.Mov (Operand.Reg Reg.EAX, Operand.Imm 0x9000));
+    i (Instr.Mov (Operand.deref Reg.EAX, Operand.Reg Reg.EBX)); (* 1 *)
+    i Instr.Hlt;
+  ]
+
+let lie_report () =
+  Verify.verify ~org:Soundness.org ~entries:[ "entry" ]
+    ~region:(0, Soundness.region_hi) ~lint_privileged:false ~name:"lie"
+    lie_prog
+
+let test_planted_lie_detected () =
+  let report = lie_report () in
+  let asm = Asm.assemble ~org:Soundness.org lie_prog in
+  (* the honest table classifies the wild store Oob and the run is
+     clean: the store faults, as the verifier predicted *)
+  let honest = Soundness.static_table report in
+  List.iter
+    (fun e ->
+      let r = Soundness.execute e asm ~static:honest ~elide:(fun _ -> false) ~fuel:100 in
+      check_int "honest table: no violations" 0 (List.length r.Soundness.x_violations))
+    [ Cpu.Interp; Cpu.Blocks ];
+  (* plant the lie: claim the store at instr 1 is Proved; both engines
+     must report the contract breach *)
+  List.iter
+    (fun e ->
+      let static = Soundness.static_table report in
+      Hashtbl.replace static (1, true, 4, false) Verify.Proved;
+      let r = Soundness.execute e asm ~static ~elide:(fun _ -> false) ~fuel:100 in
+      check_bool "planted Proved lie detected" true
+        (r.Soundness.x_violations <> []))
+    [ Cpu.Interp; Cpu.Blocks ]
+
+let test_elision_lie_detected () =
+  let report = lie_report () in
+  (* honest elision: nothing elidable in a program with a wild store *)
+  check_int "honest elision is consistent" 0
+    (List.length (Soundness.elision_mismatches report (fun _ -> false)));
+  (* lying elision: dropping the guard on the Oob store must be flagged
+     by the static cross-check *)
+  check_bool "elide-everything lie flagged" true
+    (Soundness.elision_mismatches report (fun _ -> true) <> [])
+
+let () =
+  Alcotest.run "soundness"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "generator is deterministic" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "clean batch has no violations" `Quick
+            test_oracle_smoke;
+          Alcotest.test_case "planted Proved lie detected" `Quick
+            test_planted_lie_detected;
+          Alcotest.test_case "elision lie detected statically" `Quick
+            test_elision_lie_detected;
+        ] );
+    ]

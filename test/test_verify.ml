@@ -201,6 +201,295 @@ let prop_never_raises =
       ignore (Verify.report_json r);
       true)
 
+(* --- gamma-soundness of the abstract domains -------------------------- *)
+
+(* Every Vdomain/Vtaint transfer must over-approximate the CPU's
+   concrete operation (which masks register writes to 32 bits).  The
+   generators produce (abstract, concrete) pairs with the concrete
+   value inside the abstraction's concretisation; the properties check
+   membership is preserved through each transfer, mirrored exactly as
+   the verifier composes them ([wrap32] at every write point). *)
+
+let wrap_limit = 1 lsl 32
+
+let mask32 v = v land (wrap_limit - 1)
+
+let mem_dom v = function
+  | Vdomain.Bot -> false
+  | Vdomain.Top -> true
+  | Vdomain.Itv (l, h) -> l <= v && v <= h
+  | Vdomain.Sp _ -> true (* not produced by these generators *)
+
+(* An abstract interval containing [x]: exact, padded, or Top. *)
+let gen_dom_for x =
+  let open QCheck.Gen in
+  let* shape = int_bound 3 in
+  match shape with
+  | 0 -> return (Vdomain.const x)
+  | 1 -> return Vdomain.top
+  | _ ->
+      let* sl = int_bound 0x10000 in
+      let* sh = int_bound 0x10000 in
+      return (Vdomain.itv (x - sl) (x + sh))
+
+let gen_dom_pair =
+  let open QCheck.Gen in
+  let* x = int_bound (wrap_limit - 1) in
+  let* a = gen_dom_for x in
+  return (a, x)
+
+(* A taint tag whose claimed bound contains [x], paired with a partner
+   interval that also contains it — the reduced-product invariant.
+   [Const] additionally promises the partner interval is exact. *)
+let gen_taint_pair =
+  let open QCheck.Gen in
+  let* x = int_bound (wrap_limit - 1) in
+  let* shape = int_bound 3 in
+  let* t, n =
+    match shape with
+    | 0 ->
+        let* n = gen_dom_for x in
+        return (Vtaint.untrusted, n)
+    | 1 -> return (Vtaint.const, Vdomain.const x)
+    | 2 ->
+        let* n = gen_dom_for x in
+        return (Vtaint.masked (x + 7), n)
+    | _ ->
+        let* n = gen_dom_for x in
+        return (Vtaint.region (max 0 (x - 5)) (x + 5), n)
+  in
+  return ((t, n), x)
+
+let arb_dom_op =
+  QCheck.make
+    ~print:(fun ((a, x), (b, y), n) ->
+      Fmt.str "a=%a x=%d b=%a y=%d n=%d" Vdomain.pp a x Vdomain.pp b y n)
+    QCheck.Gen.(
+      let* p1 = gen_dom_pair and* p2 = gen_dom_pair and* n = int_bound 40 in
+      return (p1, p2, n))
+
+let prop_vdomain_sound =
+  QCheck.Test.make ~count:2000 ~name:"Vdomain transfers over-approximate the CPU"
+    arb_dom_op (fun ((a, x), (b, y), n) ->
+      let chk op_name abs conc =
+        if not (mem_dom conc (Vdomain.wrap32 abs)) then
+          QCheck.Test.fail_reportf "%s: %d not in %a (x=%d y=%d)" op_name conc
+            Vdomain.pp (Vdomain.wrap32 abs) x y
+        else true
+      in
+      chk "add" (Vdomain.add a b) (mask32 (x + y))
+      && chk "sub" (Vdomain.sub a b) (mask32 (x - y))
+      && chk "band" (Vdomain.band a b) (x land y)
+      && chk "bor" (Vdomain.bor a b) (x lor y)
+      && chk "bxor" (Vdomain.bxor a b) (x lxor y)
+      && chk "neg" (Vdomain.neg a) (mask32 (-x))
+      && chk "shl" (Vdomain.shl a n) (mask32 (x lsl (n land 31)))
+      && chk "shr" (Vdomain.shr a n) (x lsr (n land 31))
+      && chk "mul" (Vdomain.mul a b) (mask32 (x * y))
+      && chk "join" (Vdomain.join a b) x
+      && chk "widen" (Vdomain.widen a b) y)
+
+let mem_taint v t =
+  match Vtaint.bound t with Some (l, h) -> l <= v && v <= h | None -> true
+
+let arb_taint_op =
+  QCheck.make
+    ~print:(fun (((t1, n1), x), ((t2, n2), y), n) ->
+      Fmt.str "t1=%a n1=%a x=%d t2=%a n2=%a y=%d n=%d" Vtaint.pp t1 Vdomain.pp
+        n1 x Vtaint.pp t2 Vdomain.pp n2 y n)
+    QCheck.Gen.(
+      let* p1 = gen_taint_pair and* p2 = gen_taint_pair and* n = int_bound 40 in
+      return (p1, p2, n))
+
+(* The taint properties hold only when each operand's *claimed* bound
+   actually contains its concrete value; [gen_taint_pair] guarantees
+   the taint side, and we additionally require the partner interval to
+   agree (as it does by construction inside the analysis). *)
+let prop_vtaint_sound =
+  QCheck.Test.make ~count:2000 ~name:"Vtaint transfers over-approximate the CPU"
+    arb_taint_op (fun (((t1, n1), x), ((t2, n2), y), n) ->
+      let a : Vtaint.opd = (t1, n1) and b : Vtaint.opd = (t2, n2) in
+      let chk op_name abs conc =
+        if not (mem_taint conc abs) then
+          QCheck.Test.fail_reportf "%s: %d escapes %a (x=%d y=%d)" op_name conc
+            Vtaint.pp abs x y
+        else true
+      in
+      chk "add" (Vtaint.add a b) (mask32 (x + y))
+      && chk "sub" (Vtaint.sub a b) (mask32 (x - y))
+      && chk "band" (Vtaint.band a b) (x land y)
+      && chk "bor" (Vtaint.bor a b) (x lor y)
+      && chk "bxor" (Vtaint.bxor a b) (x lxor y)
+      && chk "neg" (Vtaint.neg a) (mask32 (-x))
+      && chk "shl" (Vtaint.shl a n) (mask32 (x lsl (n land 31)))
+      && chk "shr" (Vtaint.shr a n) (x lsr (n land 31))
+      && chk "mul" (Vtaint.mul a b) (mask32 (x * y))
+      && chk "join" (Vtaint.join t1 t2) x
+      && chk "widen" (Vtaint.widen t1 t2) y)
+
+(* --- call summaries --------------------------------------------------- *)
+
+let test_vsum_join () =
+  let a =
+    {
+      Vsum.s_esp_delta = Some (0, 0);
+      s_clobbers = Array.init Reg.count (fun i -> i = Reg.index Reg.EAX);
+      s_ret_val = (Vdomain.const 5, Vtaint.const);
+      s_writes_mem = false;
+      s_returns = true;
+    }
+  in
+  let b =
+    {
+      Vsum.s_esp_delta = Some (4, 4);
+      s_clobbers = Array.init Reg.count (fun i -> i = Reg.index Reg.EBX);
+      s_ret_val = (Vdomain.const 9, Vtaint.const);
+      s_writes_mem = true;
+      s_returns = true;
+    }
+  in
+  let j = Vsum.join a b in
+  check_bool "delta band" true (j.Vsum.s_esp_delta = Some (0, 4));
+  check_bool "eax clobbered" true j.Vsum.s_clobbers.(Reg.index Reg.EAX);
+  check_bool "ebx clobbered" true j.Vsum.s_clobbers.(Reg.index Reg.EBX);
+  check_bool "ecx untouched" false j.Vsum.s_clobbers.(Reg.index Reg.ECX);
+  check_bool "ret val joined" true
+    (Vdomain.equal (fst j.Vsum.s_ret_val) (Vdomain.itv 5 9));
+  check_bool "writes-mem sticky" true j.Vsum.s_writes_mem;
+  check_bool "no-return absorbs" true
+    (Vsum.join a Vsum.no_return).Vsum.s_returns
+
+(* A stdcall callee ([ret 4]) balances its caller's argument push: the
+   caller's own [ret] must see the entry depth, which only works if the
+   call site applies the callee's summary rather than a havoc. *)
+let test_stdcall_summary_balances () =
+  let r =
+    report_of
+      (Image.create ~name:"stdcall" ~exports:[ "f" ]
+         [
+           Asm.L "f";
+           i (Instr.Push (imm 0x123));
+           i (Instr.Call (Instr.Label "callee"));
+           i Instr.Ret;
+           Asm.L "callee";
+           i (Instr.Mov (reg Reg.EAX, imm 5));
+           i (Instr.Ret_imm 4);
+         ])
+  in
+  if not (Verify.ok r) then Alcotest.failf "stdcall rejected: %a" Verify.pp_report r
+
+let class_at (r : Verify.report) idx =
+  match
+    List.find_opt (fun (a : Verify.access) -> a.Verify.a_index = idx) r.Verify.r_accesses
+  with
+  | Some a -> a.Verify.a_class
+  | None -> Alcotest.failf "no access recorded at instr %d" idx
+
+(* The callee's summary carries its return-value interval and its
+   clobber set: EAX's post-call constant proves a load, and a register
+   the callee never touches keeps the caller's value. *)
+let test_summary_retval_and_clobbers () =
+  let r =
+    Verify.verify ~entries:[ "g" ] ~region:(0, 4096) ~name:"retval"
+      [
+        Asm.L "g";
+        i (Instr.Call (Instr.Label "five")); (* 0 *)
+        i (Instr.Mov (reg Reg.EBX, dref ~disp:0x100 Reg.EAX)); (* 1 *)
+        i Instr.Ret; (* 2 *)
+        Asm.L "five";
+        i (Instr.Mov (reg Reg.EAX, imm 5)); (* 3 *)
+        i Instr.Ret; (* 4 *)
+      ]
+  in
+  check_bool "retval program verifies" true (Verify.ok r);
+  check_bool "load through returned EAX proved" true (class_at r 1 = Verify.Proved);
+  let r2 =
+    Verify.verify ~entries:[ "h" ] ~region:(0, 4096) ~name:"clobber"
+      [
+        Asm.L "h";
+        i (Instr.Mov (reg Reg.EBX, imm 0x10)); (* 0 *)
+        i (Instr.Call (Instr.Label "noop")); (* 1 *)
+        i (Instr.Mov (reg Reg.ECX, dref Reg.EBX)); (* 2 *)
+        i Instr.Ret; (* 3 *)
+        Asm.L "noop";
+        i (Instr.Mov (reg Reg.EAX, imm 7)); (* 4 *)
+        i Instr.Ret; (* 5 *)
+      ]
+  in
+  check_bool "unclobbered base survives the call" true
+    (class_at r2 2 = Verify.Proved)
+
+(* The S1 pattern: a masked index inside a loop.  Interval widening
+   blows the induction variable to the saturation bound, but the
+   re-applied mask is a loop-invariant taint fact, so the reduced
+   product recovers the finite bound and proves the access. *)
+let test_masked_loop_proved () =
+  let r =
+    Verify.verify ~entries:[ "f" ] ~region:(0, 0x1000) ~name:"maskloop"
+      [
+        Asm.L "f";
+        i (Instr.Mov (reg Reg.EAX, imm 0)); (* 0 *)
+        Asm.L "lp";
+        i (Instr.Alu (Instr.Add, reg Reg.EAX, imm 1)); (* 1 *)
+        i (Instr.Alu (Instr.And, reg Reg.EAX, imm 0xff)); (* 2 *)
+        i (Instr.Movb (reg Reg.EBX, dref ~disp:0x100 Reg.EAX)); (* 3 *)
+        i (Instr.Cmp (reg Reg.EBX, imm 0)); (* 4 *)
+        i (Instr.Jcc (Instr.Ne, Instr.Label "lp")); (* 5 *)
+        i Instr.Ret; (* 6 *)
+      ]
+  in
+  check_bool "masked loop verifies" true (Verify.ok r);
+  check_bool "masked-index load proved inside the loop" true
+    (class_at r 3 = Verify.Proved)
+
+(* --- static gate-operand lint ----------------------------------------- *)
+
+let gate_sel = X86.Selector.(encode (make ~rpl:X86.Privilege.R1 5))
+
+let lcall_const_prog =
+  [
+    Asm.L "f";
+    i (Instr.Mov (reg Reg.EAX, imm gate_sel));
+    i (Instr.Lcall_ind (reg Reg.EAX));
+    i Instr.Ret;
+  ]
+
+let test_gate_operand_lint () =
+  (* vetted constant selector: accepted, and exported as the static
+     far-target set the loader feeds to the reachability audit *)
+  let ok_r =
+    Verify.verify ~entries:[ "f" ]
+      ~allowed_far:(fun s -> s = gate_sel)
+      ~name:"gate-ok" lcall_const_prog
+  in
+  check_bool "vetted static selector accepted" true (Verify.ok ok_r);
+  check_bool "far targets exported" true
+    (ok_r.Verify.r_far_targets = Some [ gate_sel land 0xFFFF ]);
+  (* the same program against an empty gate table: a static error even
+     though far-indirect calls are allowed in general *)
+  let bad_r =
+    Verify.verify ~entries:[ "f" ]
+      ~allowed_far:(fun _ -> false)
+      ~allow_far_indirect:true ~name:"gate-bad" lcall_const_prog
+  in
+  check_bool "unvetted static selector rejected" false (Verify.ok bad_r);
+  check_bool "indirect error" true (has_error Verify.Indirect bad_r);
+  (* a genuinely dynamic operand stays a run-time matter: no static
+     far-target set for the loader *)
+  let dyn_r =
+    Verify.verify ~entries:[ "f" ]
+      ~allowed_far:(fun _ -> false)
+      ~name:"gate-dyn"
+      [
+        Asm.L "f";
+        i (Instr.Mov (reg Reg.EAX, dref ~disp:0x40 Reg.EBX));
+        i (Instr.Lcall_ind (reg Reg.EAX));
+        i Instr.Ret;
+      ]
+  in
+  check_bool "dynamic selector tolerated" true (Verify.ok dyn_r);
+  check_bool "no static far-target set" true (dyn_r.Verify.r_far_targets = None)
+
 (* --- SFI regression: the formerly-escaping stores -------------------- *)
 
 (* Each of these stores through an address provably outside the
@@ -288,6 +577,24 @@ let test_verified_elides_guards () =
   check_bool "guards elided" true (verified < full);
   check_bool "still some guards" true (verified >= 0)
 
+(* The headline result, pinned: with taint tracking the verifier
+   discharges every guard in the compiled packet filter.  Mirrors the
+   bench sfi configuration (2 KiB packet buffer at the segment base). *)
+let test_filter_full_elision () =
+  let text = Native_compile.filter_text (Filter_expr.canonical 4) in
+  let sfi_region = { Sfi.base = 0; size = 1 lsl 30 } in
+  let arg = (0, (1 lsl 30) - 2048) in
+  let full =
+    Sfi.inserted_instructions ~entries:[ "filter" ] ~arg ~region:sfi_region
+      Sfi.Read_write text
+  in
+  let verified =
+    Sfi.inserted_instructions ~mode:Sfi.Verified ~entries:[ "filter" ] ~arg
+      ~region:sfi_region Sfi.Read_write text
+  in
+  check_int "unverified guard count" 55 full;
+  check_int "every guard elided" 0 verified
+
 (* --- loader integration under the Reject policy ---------------------- *)
 
 let with_policy p f =
@@ -354,6 +661,26 @@ let () =
         ] );
       ( "robustness",
         [ QCheck_alcotest.to_alcotest prop_never_raises ] );
+      ( "gamma-soundness",
+        [
+          QCheck_alcotest.to_alcotest prop_vdomain_sound;
+          QCheck_alcotest.to_alcotest prop_vtaint_sound;
+        ] );
+      ( "summaries",
+        [
+          Alcotest.test_case "Vsum.join" `Quick test_vsum_join;
+          Alcotest.test_case "stdcall callee balances the caller" `Quick
+            test_stdcall_summary_balances;
+          Alcotest.test_case "return value and clobber set" `Quick
+            test_summary_retval_and_clobbers;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "masked index proved inside a loop" `Quick
+            test_masked_loop_proved;
+        ] );
+      ( "gates",
+        [ Alcotest.test_case "gate-operand lint" `Quick test_gate_operand_lint ] );
       ( "sfi",
         [
           Alcotest.test_case "containment regression" `Quick
@@ -362,6 +689,8 @@ let () =
             test_guard_sequences_execute;
           Alcotest.test_case "verified mode elides guards" `Quick
             test_verified_elides_guards;
+          Alcotest.test_case "packet filter fully elides" `Quick
+            test_filter_full_elision;
         ] );
       ( "policy",
         [
