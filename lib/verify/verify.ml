@@ -201,7 +201,12 @@ let apply_call st (s : Vsum.t) : state option =
   else
     let esp' =
       match s.Vsum.s_esp_delta with
-      | Some (l, h) -> (Vdomain.add (fst st.regs.(esp_i)) (Vdomain.itv l h), Vtaint.untrusted)
+      | Some (l, h) ->
+          (* wrap32 like every other register write: a hijacked (plain
+             Itv) ESP near 2^32 plus a stdcall delta must not exceed the
+             hardware window, or later stack accesses get spurious Oob.
+             Sp stays symbolic — wrap32 leaves it untouched. *)
+          (Vdomain.wrap32 (Vdomain.add (fst st.regs.(esp_i)) (Vdomain.itv l h)), Vtaint.untrusted)
       | None -> av_top
     in
     let regs =

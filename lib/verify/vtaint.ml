@@ -164,7 +164,9 @@ let shl (a : opd) n =
   else if is_const a then Const
   else
     match opd_bound a with
-    | Some (al, ah) when ah lsl n < wrap_limit -> mk (al lsl n) (ah lsl n)
+    (* guard via a right shift: [ah lsl n] can overflow the OCaml int
+       and flip the comparison for large bounds *)
+    | Some (al, ah) when ah <= (wrap_limit - 1) lsr n -> mk (al lsl n) (ah lsl n)
     | _ -> Untrusted
 
 (* A logical shift right bounds *any* 32-bit value: even an untrusted
@@ -182,7 +184,11 @@ let mul a b =
   if is_const a && is_const b then Const
   else
     binop_bounds a b (fun (al, ah) (bl, bh) ->
-        if ah * bh < wrap_limit then mk (al * bl) (ah * bh) else Untrusted)
+        (* guard via division: [ah * bh] can overflow the OCaml int and
+           flip the comparison for large operands; [al * bl] is then
+           safe too since al <= ah and bl <= bh *)
+        if bh = 0 || ah <= (wrap_limit - 1) / bh then mk (al * bl) (ah * bh)
+        else Untrusted)
 
 let neg (a : opd) = if is_const a then Const else Untrusted
 

@@ -327,6 +327,30 @@ let prop_vtaint_sound =
       && chk "join" (Vtaint.join t1 t2) x
       && chk "widen" (Vtaint.widen t1 t2) y)
 
+(* Deterministic witnesses for the native-int overflow class in the
+   taint transfers: the unguarded products/shifts wrap mod 2^63 and can
+   land back inside [0, 2^32), so the uniform qcheck sampler almost
+   never hits them.  mul: bounds [0,0x80000001] x [0,0xFFFFFFFF] give
+   ah*bh = 0x7FFFFFFF after 63-bit wrap — a guard comparing the wrapped
+   product would claim Masked 0x7FFFFFFF while the concrete
+   mask32(1 * 0xC0000000) = 0xC0000000 escapes it.  shl: ah >= 2^31
+   shifted by 31 also wraps. *)
+let test_taint_overflow_witnesses () =
+  let opd t = ((t, Vdomain.top) : Vtaint.opd) in
+  let a = opd (Vtaint.masked 0x80000001) in
+  let b = opd (Vtaint.masked 0xFFFFFFFF) in
+  let conc = mask32 (1 * 0xC0000000) in
+  check_bool "mul witness stays in gamma" true
+    (match Vtaint.bound (Vtaint.mul a b) with
+    | Some (l, h) -> l <= conc && conc <= h
+    | None -> true);
+  let s = opd (Vtaint.masked 0x80000001) in
+  let conc_shl = mask32 (0x80000001 lsl 31) in
+  check_bool "shl witness stays in gamma" true
+    (match Vtaint.bound (Vtaint.shl s 31) with
+    | Some (l, h) -> l <= conc_shl && conc_shl <= h
+    | None -> true)
+
 (* --- call summaries --------------------------------------------------- *)
 
 let test_vsum_join () =
@@ -665,6 +689,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_vdomain_sound;
           QCheck_alcotest.to_alcotest prop_vtaint_sound;
+          Alcotest.test_case "taint transfer overflow witnesses" `Quick
+            test_taint_overflow_witnesses;
         ] );
       ( "summaries",
         [
