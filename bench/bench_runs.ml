@@ -924,6 +924,311 @@ let soundness ?(json_dir = ".") ?(specimens = 200) ?(seed = 0xA11D)
       s.s_violations specimens;
   s
 
+(* --- Certified WCET vs observed worst case ----------------------------- *)
+
+(* How tight are the verifier's certified resource bounds?  Each
+   catalogue extension is verified the way the loaders verify it (same
+   entries/externs shape, the oracle region), then driven in the bare
+   oracle world while the architectural cycle ledger runs; the table
+   compares the certified WCET/stack/instruction bounds against the
+   observed worst case over the workload.  Pass conditions: no
+   observation may exceed a finite certified bound, and the compiled
+   4-term packet filter must be certified finite with
+   static/observed-worst tightness at most 2x.  The admission rows
+   demonstrate what the bound buys the web-server model: with a
+   deadline and a per-handler WCET, hopeless requests are shed at
+   arrival instead of missing the deadline in the queue. *)
+
+type wcet_row = {
+  wr_name : string;
+  wr_bounds : Vcost.bounds;
+  wr_worst : int; (* observed worst architectural cycles *)
+  wr_mean : float;
+  wr_stack : int; (* observed worst stack depth, bytes *)
+  wr_retired : int; (* observed worst retired instructions *)
+  wr_runs : int;
+}
+
+let wcet ?(json_dir = ".") ?(packets = 64) () =
+  let since = Obs.Counters.snapshot () in
+  let org = Soundness.org in
+  let p = Cycles.pentium in
+  (* Verify an image the way the loaders do: exports as entries, data
+     and imports as externs, no privileged lint (ring-0 worlds). *)
+  let bounds_of (image : Image.t) =
+    let data_names =
+      List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
+      @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
+    in
+    let externs name =
+      List.mem name data_names || List.mem name image.Image.imports
+    in
+    let report =
+      Verify.verify ~org ~entries:image.Image.exports ~externs
+        ~region:(0, Soundness.region_hi) ~lint_privileged:false
+        ~name:image.Image.name image.Image.text
+    in
+    report.Verify.r_bounds
+  in
+  (* One invocation in the oracle world: lay the image data out at
+     0x6000, stage the stack as [ret -> halt pad][args...], run to the
+     pad's hlt and read the architectural cycle ledger (minus the
+     pad's own hlt charge). *)
+  let observe (image : Image.t) ~entry ~args ~pokes =
+    let text = image.Image.text in
+    let n_instrs =
+      List.length
+        (List.filter (function Asm.I _ -> true | Asm.L _ -> false) text)
+    in
+    let halt_addr = org + (Instr.size * n_instrs) in
+    let prog = text @ [ Asm.L "bench$halt"; Asm.I Instr.Hlt ] in
+    let data_syms = Image.layout_data image ~base:0x6000 in
+    let extern name =
+      List.find_map
+        (fun (n, addr, _) -> if n = name then Some addr else None)
+        data_syms
+    in
+    let setup cpu =
+      let ds = Cpu.seg_reg cpu Reg.DS in
+      let poke_bytes addr bytes =
+        Bytes.iteri
+          (fun k b ->
+            Cpu.write_mem cpu ds ~offset:(addr + k) ~size:1 (Char.code b))
+          bytes
+      in
+      List.iter
+        (fun (_, addr, init) ->
+          match init with Some bytes -> poke_bytes addr bytes | None -> ())
+        data_syms;
+      List.iter (fun (addr, bytes) -> poke_bytes addr bytes) pokes;
+      let esp = 0x7F00 - (4 * (1 + List.length args)) in
+      Cpu.write_mem cpu ds ~offset:esp ~size:4 halt_addr;
+      List.iteri
+        (fun k arg -> Cpu.write_mem cpu ds ~offset:(esp + 4 + (4 * k)) ~size:4 arg)
+        args;
+      Cpu.set_reg cpu Reg.ESP esp
+    in
+    let r = Soundness.measure ~setup ~extern ~entry prog in
+    (match r.Soundness.x_stop with
+    | Cpu.Halted -> ()
+    | _ -> Printf.ksprintf failwith "wcet: %s did not reach the halt pad" entry);
+    (* the pad's hlt retires inside the measured window but outside
+       the verified routine; take it back out *)
+    ( r.Soundness.x_cycles - p.Cycles.hlt,
+      r.Soundness.x_stack,
+      r.Soundness.x_retired - 1 )
+  in
+  let row name image ~entry runs =
+    let bounds = bounds_of image in
+    let obs = List.map (fun (args, pokes) -> observe image ~entry ~args ~pokes) runs in
+    let worst f = List.fold_left (fun a o -> max a (f o)) 0 obs in
+    let cycles = List.map (fun (c, _, _) -> c) obs in
+    {
+      wr_name = name;
+      wr_bounds = bounds;
+      wr_worst = worst (fun (c, _, _) -> c);
+      wr_mean =
+        float_of_int (List.fold_left ( + ) 0 cycles)
+        /. float_of_int (max 1 (List.length cycles));
+      wr_stack = worst (fun (_, s, _) -> s);
+      wr_retired = worst (fun (_, _, n) -> n);
+      wr_runs = List.length obs;
+    }
+  in
+  (* The compiled 4-term filter over a packet stream: the matching
+     packet drives the longest path (every term true), the random rest
+     exercise the early rejects. *)
+  let terms = Filter_expr.canonical 4 in
+  let filter_image = Native_compile.image terms in
+  let pkt_base = 0x4000 in
+  let gen = Pkt_gen.create () in
+  let stream =
+    Pkt_gen.matching_packet ()
+    :: List.init (max 0 (packets - 1)) (fun _ ->
+           Pkt_gen.random_packet gen ~match_percent:50)
+  in
+  let filter_runs =
+    List.map
+      (fun pkt -> ([ pkt_base ], [ (pkt_base, Packet.to_bytes pkt) ]))
+      stream
+  in
+  let str = Bytes.of_string "palladium\x00" in
+  let rows =
+    [
+      row "cfilter (4 terms)" filter_image ~entry:"filter" filter_runs;
+      row "work (64 units)" (Ulib.work_image ~units:64) ~entry:"work"
+        [ ([], []) ];
+      row "counter bump" Ulib.counter_image ~entry:"bump" [ ([], []) ];
+      row "null_fn" Ulib.null_image ~entry:"null_fn" [ ([], []) ];
+      row "strrev (9 chars)" Ulib.strrev_image ~entry:"strrev"
+        [ ([ 0x5000 ], [ (0x5000, str) ]) ];
+    ]
+  in
+  let cell_bound = function
+    | Vcost.Finite v -> string_of_int v
+    | Vcost.Unbounded -> "unbounded"
+  in
+  let tightness r =
+    match r.wr_bounds.Vcost.b_wcet_cycles with
+    | Vcost.Finite w when r.wr_worst > 0 ->
+        Some (float_of_int w /. float_of_int r.wr_worst)
+    | _ -> None
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Certified WCET vs observed worst case (%d filter packets)"
+         (List.length stream))
+    ~headers:
+      [ "extension"; "WCET"; "obs worst"; "obs mean"; "static/obs"; "stack"; "obs" ]
+    (List.map
+       (fun r ->
+         [
+           r.wr_name;
+           cell_bound r.wr_bounds.Vcost.b_wcet_cycles;
+           string_of_int r.wr_worst;
+           Printf.sprintf "%.1f" r.wr_mean;
+           (match tightness r with
+           | Some t -> Printf.sprintf "%.2fx" t
+           | None -> "-");
+           cell_bound r.wr_bounds.Vcost.b_max_stack_bytes;
+           string_of_int r.wr_stack;
+         ])
+       rows);
+  (* What the bound buys at admission time: the web-server model with
+     a deadline sheds requests whose certified worst-case completion
+     already misses it, instead of queueing them to time out. *)
+  let handler_usec =
+    Cgi_model.request_usec ~invocation:Cgi_model.Libcgi_protected ~bytes:2048
+      ~protected_call_usec:(usec_of_cycles 144)
+  in
+  let deadline = 8.0 *. handler_usec in
+  let total = 400 in
+  let no_adm =
+    Server.run ~concurrency:30 ~total ~deadline_usec:deadline
+      ~invocation:Cgi_model.Libcgi_protected ~bytes:2048
+      ~protected_call_usec:(usec_of_cycles 144) ()
+  in
+  let adm =
+    Server.run ~concurrency:30 ~total ~deadline_usec:deadline
+      ~handler_wcet_usec:handler_usec
+      ~invocation:Cgi_model.Libcgi_protected ~bytes:2048
+      ~protected_call_usec:(usec_of_cycles 144) ()
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "WCET admission control (deadline %.0f usec, handler WCET %.1f usec)"
+         deadline handler_usec)
+    ~headers:[ "policy"; "completed"; "shed"; "throughput (rps)" ]
+    [
+      [
+        "no admission";
+        string_of_int no_adm.Server.requests;
+        string_of_int no_adm.Server.shed;
+        Printf.sprintf "%.0f" no_adm.Server.throughput_rps;
+      ];
+      [
+        "WCET admission";
+        string_of_int adm.Server.requests;
+        string_of_int adm.Server.shed;
+        Printf.sprintf "%.0f" adm.Server.throughput_rps;
+      ];
+    ];
+  let h = Obs.Histogram.create () in
+  List.iter
+    (fun (args, pokes) ->
+      let c, _, _ = observe filter_image ~entry:"filter" ~args ~pokes in
+      Obs.Histogram.observe h c)
+    filter_runs;
+  let open Obs.Json in
+  let bound_json = function
+    | Vcost.Finite v -> Int v
+    | Vcost.Unbounded -> Null
+  in
+  emit ~json_dir ~name:"wcet" ~since
+    ~histogram:("filter_cycles_per_packet", h)
+    [
+      ( "rows",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("name", String r.wr_name);
+                   ("wcet_cycles", bound_json r.wr_bounds.Vcost.b_wcet_cycles);
+                   ( "max_stack_bytes",
+                     bound_json r.wr_bounds.Vcost.b_max_stack_bytes );
+                   ("max_instrs", bound_json r.wr_bounds.Vcost.b_max_instrs);
+                   ("observed_worst_cycles", Int r.wr_worst);
+                   ("observed_mean_cycles", Float r.wr_mean);
+                   ("observed_worst_stack", Int r.wr_stack);
+                   ("observed_worst_instrs", Int r.wr_retired);
+                   ("runs", Int r.wr_runs);
+                   ( "tightness",
+                     match tightness r with Some t -> Float t | None -> Null );
+                 ])
+             rows) );
+      ( "admission",
+        Obj
+          [
+            ("deadline_usec", Float deadline);
+            ("handler_wcet_usec", Float handler_usec);
+            ("total", Int total);
+            ( "no_admission",
+              Obj
+                [
+                  ("completed", Int no_adm.Server.requests);
+                  ("shed", Int no_adm.Server.shed);
+                ] );
+            ( "wcet_admission",
+              Obj
+                [
+                  ("completed", Int adm.Server.requests);
+                  ("shed", Int adm.Server.shed);
+                ] );
+          ] );
+    ];
+  (* Pass conditions. *)
+  List.iter
+    (fun r ->
+      (match r.wr_bounds.Vcost.b_wcet_cycles with
+      | Vcost.Finite w when r.wr_worst > w ->
+          Printf.ksprintf failwith
+            "wcet: %s observed %d cycles above its certified WCET %d"
+            r.wr_name r.wr_worst w
+      | _ -> ());
+      (match r.wr_bounds.Vcost.b_max_stack_bytes with
+      | Vcost.Finite s when r.wr_stack > s ->
+          Printf.ksprintf failwith
+            "wcet: %s observed stack %d bytes above its certified bound %d"
+            r.wr_name r.wr_stack s
+      | _ -> ());
+      match r.wr_bounds.Vcost.b_max_instrs with
+      | Vcost.Finite n when r.wr_retired > n ->
+          Printf.ksprintf failwith
+            "wcet: %s retired %d instructions above its certified bound %d"
+            r.wr_name r.wr_retired n
+      | _ -> ())
+    rows;
+  (match rows with
+  | filter_row :: _ -> (
+      match tightness filter_row with
+      | Some t when t <= 2.0 -> ()
+      | Some t ->
+          Printf.ksprintf failwith
+            "wcet: filter tightness %.2fx exceeds the 2x bar" t
+      | None -> failwith "wcet: the 4-term filter must be certified finite")
+  | [] -> ());
+  if adm.Server.shed = 0 then
+    failwith "wcet: admission control shed nothing under an impossible deadline";
+  if no_adm.Server.shed <> 0 then
+    failwith "wcet: shed requests without a handler WCET configured";
+  if adm.Server.requests + adm.Server.shed <> total then
+    Printf.ksprintf failwith "wcet: %d completed + %d shed <> %d total"
+      adm.Server.requests adm.Server.shed total;
+  rows
+
 (* --- Audit cost: full vs incremental re-audit -------------------------- *)
 
 (* How much does the protection-state auditor cost?  A full audit
@@ -1710,7 +2015,7 @@ let timeline ?(json_dir = ".") ?(domains = 2) ?worlds ?(batches = 8)
 let subcommands =
   [
     "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation"; "sfi";
-    "audit"; "fastpath"; "parallel"; "timeline";
+    "audit"; "fastpath"; "parallel"; "timeline"; "wcet";
   ]
 
 (* Run the requested subset (everything when [args] is empty; bechamel
@@ -1742,6 +2047,7 @@ let run_main args =
          ?specimens:(flag "--specimens" args)
          ?seed:(flag "--seed" args)
          ());
+  if want "wcet" then ignore (wcet ?packets:(flag "--packets" args) ());
   if List.mem "parallel" args then
     ignore
       (parallel

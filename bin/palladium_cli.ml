@@ -73,13 +73,26 @@ let call_cmd =
 
 (* --- filter: packet filtering sweep ----------------------------------- *)
 
-let run_filter terms count match_percent =
+let run_filter terms count match_percent budget_policy budget_cycles =
   if terms < 0 || terms > 6 then (
     prerr_endline "palladium: --terms must be between 0 and 6";
     exit 2);
   if count <= 0 then (
     prerr_endline "palladium: --count must be positive";
     exit 2);
+  let budget_policy =
+    match budget_policy with
+    | None -> None
+    | Some s -> (
+        match Pconfig.budget_policy_of_string s with
+        | Some p -> Some p
+        | None ->
+            Printf.eprintf
+              "palladium: invalid --budget-policy %S (expected \
+               off|warn|reject)\n"
+              s;
+            exit 2)
+  in
   let w = Palladium.boot () in
   let kernel = Palladium.kernel w in
   let task = Kernel.create_task kernel ~name:"netd" in
@@ -87,8 +100,26 @@ let run_filter terms count match_percent =
   Fmt.pr "filter: %a\n" Filter_expr.pp filter;
   let interp = Bpf_asm_interp.load kernel in
   Bpf_asm_interp.set_program interp (Filter_expr.to_bpf_tcpdump filter);
+  (* The budget gates the *extension*: the interpreter baseline above
+     is ordinary kernel code (its dispatch loop is honestly unbounded
+     and would never pass), so the overrides land after it loads. *)
+  (match budget_policy with
+  | Some p -> Kernel.set_policy_override kernel ~name:"budget" (Vcost.policy_name p)
+  | None -> ());
+  (match budget_cycles with
+  | Some n ->
+      Kernel.set_policy_override kernel ~name:"budget_cycles" (string_of_int n)
+  | None -> ());
   let seg = Palladium.create_kernel_segment w in
-  let native = Native_compile.load seg filter in
+  let native =
+    try Native_compile.load seg filter
+    with Vcost.Over_budget (msg, b) ->
+      Fmt.epr
+        "palladium: compiled filter rejected by budget admission: %s@.  \
+         certified bounds: %a@."
+        msg Vcost.pp_bounds b;
+      exit 3
+  in
   let gen = Pkt_gen.create () in
   let bpf_total = ref 0 and nat_total = ref 0 and matches = ref 0 in
   List.iter
@@ -119,17 +150,37 @@ let filter_cmd =
   let pct =
     Arg.(value & opt int 25 & info [ "m"; "match" ] ~doc:"Matching packet percentage.")
   in
+  let budget_policy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "budget-policy" ] ~docv:"POLICY"
+          ~doc:
+            "Resource-budget admission policy for the compiled extension: \
+             off, warn or reject (default: the PALLADIUM_BUDGET \
+             environment).  Under reject, a filter whose certified WCET is \
+             unbounded or above the cycle budget never loads.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"CYCLES"
+          ~doc:
+            "Per-invocation cycle budget the certified WCET is admitted \
+             against (and the watchdog fuel clamp).")
+  in
   Cmd.v
     (Cmd.info "filter" ~doc:"Packet filter: BPF interpreter vs compiled extension (Figure 7).")
     Term.(
-      const (fun e t c m ->
+      const (fun e t c m bp bc ->
           set_engine e;
-          run_filter t c m)
-      $ engine_flag $ terms $ count $ pct)
+          run_filter t c m bp bc)
+      $ engine_flag $ terms $ count $ pct $ budget_policy $ budget)
 
 (* --- webserver: throughput experiment ----------------------------------- *)
 
-let run_webserver bytes concurrency total =
+let run_webserver bytes concurrency total deadline wcet =
   let models =
     [
       Cgi_model.Cgi; Cgi_model.Fast_cgi; Cgi_model.Libcgi_protected;
@@ -141,13 +192,17 @@ let run_webserver bytes concurrency total =
   List.iter
     (fun inv ->
       let r =
-        Server.run ~concurrency ~total ~invocation:inv ~bytes
+        Server.run ~concurrency ~total ?deadline_usec:deadline
+          ?handler_wcet_usec:wcet ~invocation:inv ~bytes
           ~protected_call_usec:0.72 ()
       in
-      Printf.printf "  %-22s %7.0f req/s  (cpu %.0f%%, link %.0f%%)\n"
+      Printf.printf "  %-22s %7.0f req/s  (cpu %.0f%%, link %.0f%%)%s\n"
         (Cgi_model.name inv) r.Server.throughput_rps
         (100.0 *. r.Server.cpu_utilisation)
-        (100.0 *. r.Server.link_utilisation))
+        (100.0 *. r.Server.link_utilisation)
+        (if deadline <> None then
+           Printf.sprintf "  shed %d/%d" r.Server.shed total
+         else ""))
     models
 
 let webserver_cmd =
@@ -160,9 +215,26 @@ let webserver_cmd =
   let total =
     Arg.(value & opt int 1000 & info [ "n"; "requests" ] ~doc:"Total requests.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"USEC"
+          ~doc:"Per-request deadline for WCET admission control.")
+  in
+  let wcet =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wcet" ] ~docv:"USEC"
+          ~doc:
+            "Certified per-handler worst case; with --deadline, requests \
+             whose worst-case completion already misses the deadline are \
+             shed at arrival.")
+  in
   Cmd.v
     (Cmd.info "webserver" ~doc:"CGI invocation-model throughput (Table 3).")
-    Term.(const run_webserver $ bytes $ conc $ total)
+    Term.(const run_webserver $ bytes $ conc $ total $ deadline $ wcet)
 
 (* --- fleet: N isolated web-server worlds across domains ------------------ *)
 
@@ -744,7 +816,7 @@ let run_profile workload iterations out_dir =
              ~protected_call_usec:0.72 ());
         1.0
     | "filter" ->
-        run_filter 4 (max 1 iterations * 4) 25;
+        run_filter 4 (max 1 iterations * 4) 25 None None;
         1.0 /. mhz
     | "fault" ->
         run_workload ~iterations ~with_fault:true;

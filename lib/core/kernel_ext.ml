@@ -19,6 +19,10 @@ type kmodule = {
   m_text_off : int; (* segment offset of the module text *)
   m_symbols : (string, int) Hashtbl.t; (* symbol -> segment offset *)
   m_exports : string list;
+  m_bounds : Vcost.bounds option;
+      (* certified resource bounds from load-time verification; [None]
+         when the image was admitted without analysis (both the verify
+         and budget policies off) *)
 }
 
 type invoke_error =
@@ -198,8 +202,10 @@ let emit_kernel_stub t program =
 let insmod ?(require_termination = false) t (image : Image.t) =
   if t.dead then invalid_arg "Kernel_ext.insmod: segment is dead";
   let far_targets = ref None in
+  let bounds = ref None in
   (let policy = Pconfig.effective_verify_policy t.kernel in
-   if policy <> Verify.Off then
+   let bpolicy = Pconfig.effective_budget_policy t.kernel in
+   if policy <> Verify.Off || bpolicy <> Vcost.Off then begin
      let data_names =
        List.map (fun (d : Image.data_item) -> d.Image.d_name) image.Image.data
        @ List.map (fun (b : Image.bss_item) -> b.Image.b_name) image.Image.bss
@@ -218,8 +224,10 @@ let insmod ?(require_termination = false) t (image : Image.t) =
      let report =
        Verify.verify ~org:t.cursor_off ~entries:image.Image.exports ~externs
          ~region:(0, t.seg_size) ~allowed_far ~require_termination
+         ~cost_params:(Cpu.params (Kernel.cpu t.kernel))
          ~name:image.Image.name image.Image.text
      in
+     bounds := Some report.Verify.r_bounds;
      (* A clean verdict with a static far-target set feeds the
         reachability audit: the segment's outgoing gate edges shrink
         to exactly the selectors the module can name, plus the return
@@ -228,7 +236,16 @@ let insmod ?(require_termination = false) t (image : Image.t) =
         match report.Verify.r_far_targets with
         | Some sels -> far_targets := Some (t.kgate_sel :: sels)
         | None -> ());
-     Verify.enforce ~policy ~mechanism:"insmod(ext)" report);
+     Verify.enforce ~policy ~mechanism:"insmod(ext)" report;
+     (* Admission control on the certified bounds: an unbounded or
+        over-budget WCET is rejected (or warned about) before the
+        image gets a byte of segment space. *)
+     if bpolicy <> Vcost.Off then
+       Vcost.enforce ~policy:bpolicy
+         ~budget_cycles:(Pconfig.effective_budget_cycles t.kernel)
+         ~mechanism:"insmod(ext)" ~name:image.Image.name
+         report.Verify.r_bounds
+   end);
   let text_off = t.cursor_off in
   let text_size =
     Asm.length_bytes image.Image.text + (4 * Instr.size * List.length image.Image.exports)
@@ -321,6 +338,7 @@ let insmod ?(require_termination = false) t (image : Image.t) =
       m_text_off = text_off;
       m_symbols = symbols;
       m_exports = image.Image.exports;
+      m_bounds = !bounds;
     }
   in
   t.modules <- m :: t.modules;
@@ -369,6 +387,40 @@ let abort t =
   List.iter (fun (_, sel) -> DT.clear gdt (Sel.index (Sel.decode sel))) t.ksvcs;
   t.ksvcs <- []
 
+(* Allowance for the cycles one invocation spends outside the verified
+   module text — KPrepare stub, far gate transits, the Transfer stub
+   and the return gate — which the static WCET does not cover.
+   Generous: the stub path is a few dozen instructions. *)
+let invoke_overhead_cycles = 1024
+
+(* Watchdog fuel for one invocation of [name].  With the budget policy
+   off this is the flat administrative limit, unchanged.  Under an
+   active budget policy the fuel is seeded from the module's certified
+   bounds when they are finite — static WCET, plus the worst-case TLB
+   walk surcharge the instruction bound admits, plus the stub
+   allowance — and clamped to the world's cycle budget either way, so
+   an unbounded module admitted under [Warn] still dies at the budget
+   rather than at the flat default. *)
+let fuel_limit t ~name =
+  match Pconfig.effective_budget_policy t.kernel with
+  | Vcost.Off -> Pconfig.default_time_limit_cycles
+  | Vcost.Warn | Vcost.Reject -> (
+      let budget = Pconfig.effective_budget_cycles t.kernel in
+      let owner =
+        List.find_opt
+          (fun m -> List.exists (fun fn -> m.m_name ^ "$" ^ fn = name) m.m_exports)
+          t.modules
+      in
+      match owner with
+      | Some { m_bounds = Some b; _ } -> (
+          match (b.Vcost.b_wcet_cycles, b.Vcost.b_max_instrs) with
+          | Vcost.Finite w, Vcost.Finite n ->
+              let params = Cpu.params (Kernel.cpu t.kernel) in
+              min budget
+                (w + Vcost.walk_surcharge params ~instrs:n + invoke_overhead_cycles)
+          | _ -> min budget Pconfig.default_time_limit_cycles)
+      | _ -> min budget Pconfig.default_time_limit_cycles)
+
 (* Synchronous protected invocation of an extension function by the
    kernel (Figure 4, steps 4-5-9). *)
 let invoke ?task t ~name ~arg =
@@ -390,8 +442,7 @@ let invoke ?task t ~name ~arg =
         in
         let saved = Cpu.save_state cpu in
         let wd = Kernel.watchdog kernel in
-        Watchdog.arm wd ~now:(Cpu.cycles cpu)
-          ~limit:Pconfig.default_time_limit_cycles ();
+        Watchdog.arm wd ~now:(Cpu.cycles cpu) ~limit:(fuel_limit t ~name) ();
         Cpu.reset_tick cpu (* fresh invocation, fresh timer period *);
         let result, value, cycles =
           Kernel.kernel_invoke kernel task ~fn_offset:prepare_off ~arg

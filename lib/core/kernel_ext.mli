@@ -13,6 +13,10 @@ type kmodule = {
   m_text_off : int;
   m_symbols : (string, int) Hashtbl.t;  (** symbol -> segment offset *)
   m_exports : string list;
+  m_bounds : Vcost.bounds option;
+      (** certified resource bounds from load-time verification; [None]
+          when the image was admitted without analysis (verify and
+          budget policies both off) *)
 }
 
 type invoke_error =
@@ -64,7 +68,13 @@ val insmod : ?require_termination:bool -> t -> Image.t -> kmodule
     global [Verify.policy] ([Pconfig.verify_policy]); under [Reject]
     an unsafe image raises [Verify.Rejected].  [require_termination]
     (default false) additionally rejects any CFG back edge — used for
-    BPF-derived packet filters, which must provably terminate. *)
+    BPF-derived packet filters, which must provably terminate.
+
+    Under an active budget policy ([Pconfig.budget_policy] or the
+    world's ["budget"] override) the report's certified bounds are
+    additionally checked against the world's cycle budget: an
+    unbounded or over-budget WCET warns or raises
+    [Vcost.Over_budget]. *)
 
 val module_symbol : kmodule -> string -> int option
 

@@ -12,7 +12,7 @@ let version = "0.9.0"
 
 type world = { kernel : Kernel.t }
 
-let boot ?params ?verify_policy ?audit_policy () =
+let boot ?params ?verify_policy ?audit_policy ?budget_policy ?budget_cycles () =
   let kernel = Kernel.boot ?params () in
   (* Per-world policy overrides go on the kernel (as strings — the
      kern layer cannot see the policy types) before the first audit,
@@ -25,6 +25,14 @@ let boot ?params ?verify_policy ?audit_policy () =
   | Some p ->
       Kernel.set_policy_override kernel ~name:"audit"
         (Audit.Engine.policy_name p)
+  | None -> ());
+  (match budget_policy with
+  | Some p ->
+      Kernel.set_policy_override kernel ~name:"budget" (Vcost.policy_name p)
+  | None -> ());
+  (match budget_cycles with
+  | Some n ->
+      Kernel.set_policy_override kernel ~name:"budget_cycles" (string_of_int n)
   | None -> ());
   let w = { kernel } in
   Paudit.maybe_audit ~context:"boot" w.kernel;

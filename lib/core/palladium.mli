@@ -17,14 +17,19 @@ val boot :
   ?params:Cycles.params ->
   ?verify_policy:Verify.policy ->
   ?audit_policy:Audit.Engine.policy ->
+  ?budget_policy:Vcost.policy ->
+  ?budget_cycles:int ->
   unit ->
   world
 (** Boot the machine: physical memory, GDT/IDT, the int-0x80 syscall
     gate, the Palladium fault policy and the three new system calls.
-    [?verify_policy]/[?audit_policy] pin this world's policies
-    (stored on the kernel as overrides); without them the world
-    follows the process defaults ({!Pconfig.verify_policy},
-    {!Pconfig.audit_policy}). *)
+    [?verify_policy]/[?audit_policy]/[?budget_policy] pin this world's
+    policies (stored on the kernel as overrides); without them the
+    world follows the process defaults ({!Pconfig.verify_policy},
+    {!Pconfig.audit_policy}, {!Pconfig.budget_policy}).
+    [?budget_cycles] pins the cycle budget the loaders compare static
+    WCETs against and the watchdog fuel clamp (default
+    {!Pconfig.default_time_limit_cycles}). *)
 
 val teardown : world -> unit
 (** Drop per-kernel state registered by upper layers (the auditor's

@@ -43,9 +43,22 @@ let audit_policy () = Audit.Engine.policy ()
 
 let set_audit_policy = Audit.Engine.set_policy
 
+(* Resource-budget admission policy applied by the same loaders on the
+   certified bounds the verifier computes (Vcost): [Off] (default —
+   bounds are reported but never gate), [Warn] (over-budget or
+   unbounded images noted on stderr and in the budget.* counters) or
+   [Reject] (they raise [Vcost.Over_budget]).  The cycle budget itself
+   defaults to the watchdog limit; a world overrides both through its
+   kernel's policy-override table ("budget" / "budget_cycles"). *)
+let budget_policy () = Vcost.policy ()
+
+let set_budget_policy = Vcost.set_policy
+
 let verify_policy_of_string = Verify.policy_of_string
 
 let audit_policy_of_string = Audit.Engine.policy_of_string
+
+let budget_policy_of_string = Vcost.policy_of_string
 
 (* Policy one specific world runs under: its kernel's override when
    set (Palladium.boot ?verify_policy ?audit_policy, or
@@ -60,6 +73,17 @@ let effective_audit_policy kernel =
       | Some p -> p
       | None -> audit_policy ())
   | None -> audit_policy ()
+
+let effective_budget_policy kernel =
+  Vcost.effective_policy (Kernel.policy_override kernel "budget")
+
+(* Per-world cycle budget the admission policy compares static WCETs
+   against; defaults to the watchdog's flat invocation limit so that
+   "admitted" and "not killed at run time" agree. *)
+let effective_budget_cycles kernel =
+  match Kernel.policy_override kernel "budget_cycles" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default_time_limit_cycles)
+  | None -> default_time_limit_cycles
 
 (* Both process defaults can be seeded from the environment, so CI and
    ad-hoc runs can flip them without touching call sites:
@@ -76,4 +100,5 @@ let () =
               v)
   in
   seed "PALLADIUM_VERIFY" verify_policy_of_string set_verify_policy;
-  seed "PALLADIUM_AUDIT" audit_policy_of_string set_audit_policy
+  seed "PALLADIUM_AUDIT" audit_policy_of_string set_audit_policy;
+  seed "PALLADIUM_BUDGET" budget_policy_of_string set_budget_policy

@@ -1,6 +1,6 @@
 (* Static-vs-dynamic soundness oracle for the load-time verifier.
 
-   The verifier makes three falsifiable claims about a program it
+   The verifier makes four falsifiable claims about a program it
    analyses against a region [0, hi):
 
      1. a [Proved] access never touches memory at or beyond [hi];
@@ -9,7 +9,15 @@
         ([proved_instrs ~trust_stack:true]) never *retires* an access
         at or beyond [hi] — in a deployed world the segment limit is
         what stands behind the elided guard, so "contained or faulted"
-        is exactly the property the elision banks on.
+        is exactly the property the elision banks on;
+     4. when the report carries finite resource bounds ([r_bounds]), a
+        fault-free CFG-respecting run retires at most [b_max_instrs]
+        instructions, charges at most [b_wcet_cycles] architectural
+        cycles (TLB walk surcharges excluded — the static bound prices
+        architecture, not the memory system), and never drives ESP more
+        than [b_max_stack_bytes] below its entry value.  The claim also
+        covers prefixes: a run cut short by fuel has done no more work
+        than the whole path the bound covers.
 
    This module attacks those claims dynamically: it generates random
    (and randomly mutated) [Asm.program]s from the verifier's input
@@ -356,11 +364,24 @@ type exec_result = {
   x_stop : Cpu.stop;
   x_violations : string list;
   x_diverged : bool;  (** concrete flow left the static CFG at a ret *)
+  x_cycles : int;  (** architectural cycles retired (walk charges removed) *)
+  x_retired : int;  (** instructions retired *)
+  x_stack : int;  (** deepest observed ESP excursion below entry, bytes *)
 }
 
 let engine_name = function Cpu.Interp -> "interp" | Cpu.Blocks -> "blocks"
 
-let execute engine (asm : Asm.assembled) ~static ~elide ~fuel =
+(* Architectural cycles of a finished run: the raw cycle delta minus
+   the memory-system surcharges the MMU levied for page walks.  The
+   static WCET prices the architecture only (the loaders add
+   [Vcost.walk_surcharge] separately), so the dynamic side must strip
+   walks before the comparison is meaningful. *)
+let arch_cycles cpu ~cycles0 ~walks0 =
+  let p = Cpu.params cpu in
+  let walks = X86.Mmu.page_walks (Cpu.mmu cpu) - walks0 in
+  Cpu.cycles cpu - cycles0 - (walks * p.Cycles.tlb_walk * X86.Paging.walk_length)
+
+let execute ?bounds engine (asm : Asm.assembled) ~static ~elide ~fuel =
   let cpu = make_world engine in
   Code_mem.store_program (Cpu.code cpu) ~addr:org asm.Asm.instrs;
   Cpu.set_eip cpu org;
@@ -371,16 +392,37 @@ let execute engine (asm : Asm.assembled) ~static ~elide ~fuel =
   let pending = ref None in
   let checking = ref true in
   let shadow = ref [] in
+  let retired = ref 0 in
+  let min_esp = ref entry_esp in
   let add m = if not (List.mem m !violations) then violations := m :: !violations in
+  (* The shadow-stack probe goes through [Cpu.read_mem], which levies
+     the same charges a program read would ([mem_read_extra], TLB
+     walks).  Refund the architectural part so the mirror itself stays
+     invisible to the cycle ledger the cost oracle reads; the probe's
+     walk charges are left in place because [arch_cycles] subtracts
+     every counted walk uniformly. *)
   let read_stack_top c =
-    match
-      Cpu.read_mem c (Cpu.seg_reg c Reg.SS)
-        ~offset:(Cpu.get_reg c Reg.ESP) ~size:4
-    with
-    | v -> Some v
-    | exception _ -> None
+    let p = Cpu.params c in
+    let c0 = Cpu.cycles c and w0 = X86.Mmu.page_walks (Cpu.mmu c) in
+    let r =
+      match
+        Cpu.read_mem c (Cpu.seg_reg c Reg.SS)
+          ~offset:(Cpu.get_reg c Reg.ESP) ~size:4
+      with
+      | v -> Some v
+      | exception _ -> None
+    in
+    let walked =
+      (X86.Mmu.page_walks (Cpu.mmu c) - w0)
+      * p.Cycles.tlb_walk * X86.Paging.walk_length
+    in
+    Cpu.charge c (c0 + walked - Cpu.cycles c);
+    r
   in
   let hook c =
+    incr retired;
+    let esp = Cpu.get_reg c Reg.ESP in
+    if esp < !min_esp then min_esp := esp;
     if !checking then begin
       (match !pending with
       | Some m ->
@@ -446,15 +488,53 @@ let execute engine (asm : Asm.assembled) ~static ~elide ~fuel =
   in
   Cpu.set_on_instr cpu (Some hook);
   Cpu.set_on_fault cpu (Some (fun _ _ -> Cpu.Fault_stop));
+  let cycles0 = Cpu.cycles cpu in
+  let walks0 = X86.Mmu.page_walks (Cpu.mmu cpu) in
   let stop = Cpu.run ~max_instrs:fuel cpu in
   (match (!pending, stop) with
   | Some m, (Cpu.Halted | Cpu.Max_instructions) ->
       violations := (m ^ " — the run ended without the mandatory fault") :: !violations
   | _ -> ());
+  let cycles = arch_cycles cpu ~cycles0 ~walks0 in
+  let stack = max 0 (entry_esp - !min_esp) in
+  (* Contract 4 — only meaningful on fault-free CFG-respecting runs: a
+     faulted run has paid [fault_transfer], which the bound excludes,
+     and a diverged run is off the static CFG the bound quantifies
+     over.  [Max_instructions] stays in via the prefix argument. *)
+  (match (bounds, stop, !checking) with
+  | Some (b : Vcost.bounds), (Cpu.Halted | Cpu.Max_instructions), true ->
+      (match b.Vcost.b_wcet_cycles with
+      | Vcost.Finite w when cycles > w ->
+          add
+            (Fmt.str
+               "cost: run retired %d architectural cycles, above the \
+                certified WCET of %d"
+               cycles w)
+      | _ -> ());
+      (match b.Vcost.b_max_instrs with
+      | Vcost.Finite n when !retired > n ->
+          add
+            (Fmt.str
+               "cost: run retired %d instructions, above the certified \
+                bound of %d"
+               !retired n)
+      | _ -> ());
+      (match b.Vcost.b_max_stack_bytes with
+      | Vcost.Finite s when stack > s ->
+          add
+            (Fmt.str
+               "cost: ESP dipped %d bytes below entry, beyond the \
+                certified stack depth of %d"
+               stack s)
+      | _ -> ())
+  | _ -> ());
   {
     x_stop = stop;
     x_violations = List.rev !violations;
     x_diverged = not !checking;
+    x_cycles = cycles;
+    x_retired = !retired;
+    x_stack = stack;
   }
 
 (* --- Verification front end ---------------------------------------- *)
@@ -499,7 +579,53 @@ let check_once engine ~fuel ~name prog =
     let elide =
       Verify.proved_instrs ~entries:[ "entry" ] ~trust_stack:true ~region prog
     in
-    Some (execute engine (Asm.assemble ~org prog) ~static ~elide ~fuel)
+    Some
+      (execute ~bounds:report.Verify.r_bounds engine (Asm.assemble ~org prog)
+         ~static ~elide ~fuel)
+
+(* --- Standalone measurement -----------------------------------------
+
+   Architectural-cycle measurement of an arbitrary program in the
+   oracle world, for the WCET bench: no contract tables, just run it
+   and report what it cost.  [setup] runs after ESP/EIP are staged and
+   may poke registers or memory (e.g. a packet buffer for a filter);
+   [entry] is a label in [prog].  The program must reach a [Hlt]. *)
+
+let measure ?(engine = Cpu.Interp) ?(fuel = 1_000_000)
+    ?(setup = fun (_ : Cpu.t) -> ()) ?extern ~entry prog =
+  let asm = Asm.assemble ~org ?extern prog in
+  let cpu = make_world engine in
+  Code_mem.store_program (Cpu.code cpu) ~addr:org asm.Asm.instrs;
+  let entry_addr =
+    match List.assoc_opt entry asm.Asm.symbols with
+    | Some a -> a
+    | None -> invalid_arg ("Soundness.measure: no label " ^ entry)
+  in
+  Cpu.set_eip cpu entry_addr;
+  Cpu.set_reg cpu Reg.ESP entry_esp;
+  Cpu.set_halted cpu false;
+  setup cpu;
+  let retired = ref 0 in
+  let min_esp = ref (Cpu.get_reg cpu Reg.ESP) in
+  let entry_esp' = !min_esp in
+  Cpu.set_on_instr cpu
+    (Some
+       (fun c ->
+         incr retired;
+         let esp = Cpu.get_reg c Reg.ESP in
+         if esp < !min_esp then min_esp := esp));
+  Cpu.set_on_fault cpu (Some (fun _ _ -> Cpu.Fault_stop));
+  let cycles0 = Cpu.cycles cpu in
+  let walks0 = X86.Mmu.page_walks (Cpu.mmu cpu) in
+  let stop = Cpu.run ~max_instrs:fuel cpu in
+  {
+    x_stop = stop;
+    x_violations = [];
+    x_diverged = false;
+    x_cycles = arch_cycles cpu ~cycles0 ~walks0;
+    x_retired = !retired;
+    x_stack = max 0 (entry_esp' - !min_esp);
+  }
 
 (* --- Minimisation ---------------------------------------------------
 
@@ -567,6 +693,8 @@ type summary = {
   s_skipped : int;  (** flow-integrity errors: not executed *)
   s_diverged : int;  (** engine runs whose flow left the static CFG *)
   s_runs : int;  (** engine runs with contracts active *)
+  s_bounded : int;
+      (** fault-free runs checked against finite certified cost bounds *)
   s_violations : int;
   s_artifacts : string list;
   s_instrs : int;  (** static instructions across all specimens *)
@@ -614,6 +742,7 @@ let elision_mismatches (r : Verify.report) elide =
 let run ?(json_dir = ".") ?(fuel = 2000) ?(count = 200) ~seed () =
   let skipped = ref 0
   and diverged = ref 0
+  and bounded = ref 0
   and runs = ref 0
   and violations = ref 0
   and artifacts = ref []
@@ -661,8 +790,16 @@ let run ?(json_dir = ".") ?(fuel = 2000) ?(count = 200) ~seed () =
       let asm = Asm.assemble ~org prog in
       List.iter
         (fun engine ->
-          let r = execute engine asm ~static ~elide ~fuel in
+          let r =
+            execute ~bounds:report.Verify.r_bounds engine asm ~static ~elide
+              ~fuel
+          in
           if r.x_diverged then incr diverged else incr runs;
+          (match (report.Verify.r_bounds.Vcost.b_wcet_cycles, r.x_stop) with
+          | Vcost.Finite _, (Cpu.Halted | Cpu.Max_instructions)
+            when not r.x_diverged ->
+              incr bounded
+          | _ -> ());
           if r.x_violations <> [] then begin
             violations := !violations + List.length r.x_violations;
             let minimized = minimize engine ~fuel ~name prog in
@@ -680,6 +817,7 @@ let run ?(json_dir = ".") ?(fuel = 2000) ?(count = 200) ~seed () =
     s_skipped = !skipped;
     s_diverged = !diverged;
     s_runs = !runs;
+    s_bounded = !bounded;
     s_violations = !violations;
     s_artifacts = List.rev !artifacts;
     s_instrs = !instrs;
@@ -696,13 +834,13 @@ let run ?(json_dir = ".") ?(fuel = 2000) ?(count = 200) ~seed () =
 let pp_summary ppf s =
   Fmt.pf ppf
     "@[<v>%d specimens (%d skipped on flow errors), %d engine runs, %d \
-     diverged@,\
+     diverged, %d cost-bounded@,\
      %d instrs, %d accesses: %d proved / %d stack-rel / %d runtime / %d oob; \
      %d elidable@,\
      verify time %.3fs; violations: %d@]"
-    s.s_specimens s.s_skipped s.s_runs s.s_diverged s.s_instrs s.s_accesses
-    s.s_proved s.s_stack_rel s.s_runtime s.s_oob s.s_elided s.s_verify_s
-    s.s_violations
+    s.s_specimens s.s_skipped s.s_runs s.s_diverged s.s_bounded s.s_instrs
+    s.s_accesses s.s_proved s.s_stack_rel s.s_runtime s.s_oob s.s_elided
+    s.s_verify_s s.s_violations
 
 let summary_json s =
   J.Obj
@@ -711,6 +849,7 @@ let summary_json s =
       ("skipped_flow_errors", J.Int s.s_skipped);
       ("engine_runs", J.Int s.s_runs);
       ("diverged", J.Int s.s_diverged);
+      ("cost_bounded_runs", J.Int s.s_bounded);
       ("violations", J.Int s.s_violations);
       ("artifacts", J.List (List.map (fun a -> J.String a) s.s_artifacts));
       ("instructions", J.Int s.s_instrs);

@@ -10,7 +10,11 @@
     - a [Proved] access must stay inside the region on every execution;
     - an [Oob] access must fault (the instruction must not retire);
     - an instruction whose SFI guard {!Verify.proved_instrs} would
-      elide must never retire an access outside the region.
+      elide must never retire an access outside the region;
+    - a fault-free CFG-respecting run must stay within the report's
+      certified cost bounds ({!Verify.report.r_bounds}): architectural
+      cycles at most the WCET, retired instructions at most the
+      instruction bound, ESP never deeper than the stack bound.
 
     Violations are minimised by greedy nop substitution and written as
     SOUNDNESS_*.json artifacts; a specimen is a pure function of
@@ -32,6 +36,11 @@ type exec_result = {
   x_stop : Cpu.stop;
   x_violations : string list;
   x_diverged : bool;  (** concrete flow left the static CFG at a ret *)
+  x_cycles : int;
+      (** architectural cycles retired: raw cycle delta minus the TLB
+          page-walk surcharges, the quantity the static WCET bounds *)
+  x_retired : int;  (** instructions retired *)
+  x_stack : int;  (** deepest observed ESP excursion below entry, bytes *)
 }
 
 val static_table :
@@ -40,6 +49,7 @@ val static_table :
     through-SS). *)
 
 val execute :
+  ?bounds:Vcost.bounds ->
   Cpu.engine ->
   Asm.assembled ->
   static:(int * bool * int * bool, Verify.access_class) Hashtbl.t ->
@@ -49,7 +59,24 @@ val execute :
 (** Run one assembled specimen in the oracle world under [engine],
     checking the given classification table and elision predicate.
     Tests plant deliberately wrong tables here to prove the oracle
-    can detect a lying verifier. *)
+    can detect a lying verifier.  With [?bounds], fault-free
+    CFG-respecting runs are additionally checked against the certified
+    cost bounds (cycles, instructions, stack depth). *)
+
+val measure :
+  ?engine:Cpu.engine ->
+  ?fuel:int ->
+  ?setup:(Cpu.t -> unit) ->
+  ?extern:(string -> int option) ->
+  entry:string ->
+  Asm.program ->
+  exec_result
+(** Measure one program in the oracle world without contract tables:
+    assemble at {!org}, stage ESP, run [setup] (poke registers or
+    memory, push arguments), start at label [entry] and run to a [Hlt]
+    (or [fuel], default 1M retired instructions).  [x_cycles] is the
+    architectural cycle count the static WCET quantifies over; used by
+    the WCET bench to compare observed cost against certified bounds. *)
 
 val elision_mismatches : Verify.report -> (int -> bool) -> string list
 (** Static cross-check: every access of an instruction the elision
@@ -61,6 +88,8 @@ type summary = {
   s_skipped : int;  (** flow-integrity errors: not executed *)
   s_diverged : int;  (** engine runs whose flow left the static CFG *)
   s_runs : int;  (** engine runs with contracts active *)
+  s_bounded : int;
+      (** fault-free runs checked against finite certified cost bounds *)
   s_violations : int;
   s_artifacts : string list;  (** SOUNDNESS_*.json files written *)
   s_instrs : int;  (** static instructions across all specimens *)

@@ -221,3 +221,152 @@ let dfs t ~roots =
 let block_offsets t =
   Array.to_list
     (Array.map (fun b -> t.org + (Instr.size * b.b_start)) t.blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Dominators and natural loops (per-routine, jump edges only)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below works on the *intra-routine* graph — [b_succs]
+   only, never [b_calls] — rooted at a single entry block.  A routine's
+   loops are a property of its own jump structure; calls are priced
+   through {!Vsum} summaries instead.
+
+   [dominators t ~entry] is the classic iterative algorithm of Cooper,
+   Harvey and Kennedy over a reverse postorder: it returns the
+   immediate-dominator array [idom] with [idom.(entry) = entry] and
+   [idom.(b) = -1] for blocks unreachable from [entry]. *)
+let dominators t ~entry =
+  let nb = n_blocks t in
+  let idom = Array.make nb (-1) in
+  if nb = 0 || entry < 0 || entry >= nb then idom
+  else begin
+    (* Postorder DFS from the entry over jump edges. *)
+    let order = ref [] (* reverse postorder, built back to front *) in
+    let seen = Array.make nb false in
+    let rec visit u =
+      seen.(u) <- true;
+      List.iter (fun v -> if not seen.(v) then visit v) t.blocks.(u).b_succs;
+      order := u :: !order
+    in
+    visit entry;
+    let rpo = Array.of_list !order in
+    let rpo_num = Array.make nb (-1) in
+    Array.iteri (fun i b -> rpo_num.(b) <- i) rpo;
+    (* Jump-edge predecessors restricted to the reachable subgraph. *)
+    let preds = Array.make nb [] in
+    Array.iter
+      (fun u ->
+        List.iter
+          (fun v -> if seen.(v) then preds.(v) <- u :: preds.(v))
+          t.blocks.(u).b_succs)
+      rpo;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_num.(!a) > rpo_num.(!b) do
+          a := idom.(!a)
+        done;
+        while rpo_num.(!b) > rpo_num.(!a) do
+          b := idom.(!b)
+        done
+      done;
+      !a
+    in
+    idom.(entry) <- entry;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> entry then begin
+            let new_idom =
+              List.fold_left
+                (fun acc p ->
+                  if idom.(p) = -1 then acc
+                  else match acc with None -> Some p | Some a -> Some (intersect p a))
+                None preds.(b)
+            in
+            match new_idom with
+            | Some ni when idom.(b) <> ni ->
+                idom.(b) <- ni;
+                changed := true
+            | _ -> ()
+          end)
+        rpo
+    done;
+    idom
+  end
+
+let dominates idom a b =
+  (* Does [a] dominate [b]?  Walk the idom chain from [b] upward. *)
+  let rec up b = if b = a then true else if idom.(b) = b || idom.(b) = -1 then false else up idom.(b) in
+  if idom.(b) = -1 then false else up b
+
+(* Retreating edges [(src, dst)] of a DFS from [entry] over jump edges.
+   An edge where [dst] dominates [src] is a *natural* back edge; the
+   rest witness irreducible control flow (a cycle entered other than
+   through its header), which the cost analysis refuses to bound. *)
+let back_edges t ~entry =
+  let nb = n_blocks t in
+  if nb = 0 || entry < 0 || entry >= nb then []
+  else begin
+    let colour = Array.make nb 0 in
+    let back = ref [] in
+    let rec visit u =
+      colour.(u) <- 1;
+      List.iter
+        (fun v ->
+          if colour.(v) = 0 then visit v
+          else if colour.(v) = 1 then back := (u, v) :: !back)
+        t.blocks.(u).b_succs;
+      colour.(u) <- 2
+    in
+    visit entry;
+    List.rev !back
+  end
+
+type loop = {
+  l_header : int; (* block id of the loop header *)
+  l_body : int list; (* sorted block ids, header included *)
+}
+
+(* Natural loops of the routine rooted at [entry]: one [loop] per
+   header (back edges sharing a header are merged), plus the list of
+   irreducible retreating edges that do not form natural loops.  The
+   body of the natural loop for back edge [(u, h)] is [h] plus every
+   block that reaches [u] backwards without passing through [h]. *)
+let loops t ~entry =
+  let idom = dominators t ~entry in
+  let edges = back_edges t ~entry in
+  let natural, irreducible =
+    List.partition (fun (u, h) -> dominates idom h u) edges
+  in
+  let nb = n_blocks t in
+  let preds = Array.make nb [] in
+  Array.iter
+    (fun b -> List.iter (fun v -> if v < nb then preds.(v) <- b.b_id :: preds.(v)) b.b_succs)
+    t.blocks;
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (u, h) ->
+      let body =
+        match Hashtbl.find_opt tbl h with Some s -> s | None -> Hashtbl.create 8
+      in
+      Hashtbl.replace body h ();
+      let rec pull b =
+        if not (Hashtbl.mem body b) then begin
+          Hashtbl.replace body b ();
+          List.iter pull preds.(b)
+        end
+      in
+      pull u;
+      Hashtbl.replace tbl h body)
+    natural;
+  let ls =
+    Hashtbl.fold
+      (fun h body acc ->
+        let ids = Hashtbl.fold (fun b () acc -> b :: acc) body [] in
+        { l_header = h; l_body = List.sort compare ids } :: acc)
+      tbl []
+  in
+  (List.sort (fun a b -> compare a.l_header b.l_header) ls, irreducible)

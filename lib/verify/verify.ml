@@ -66,6 +66,9 @@ type report = {
       (* Some sels: every reachable far transfer goes to a statically
          known selector in [sels]; None: at least one far transfer (or
          a CFG-defeating indirect near transfer) is not static *)
+  r_bounds : Vcost.bounds;
+      (* certified worst-case cycle / stack / instruction bounds,
+         joined over the exported entry routines *)
 }
 
 let check_name = function
@@ -488,7 +491,8 @@ type observations = {
 let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0, 1 lsl 32))
     ?arg ?(allowed_far = fun _ -> false) ?(allow_far_indirect = true)
     ?(allow_near_indirect = false) ?(lint_privileged = true) ?(require_termination = false)
-    ?(check_stack = true) ~name (program : Asm.program) : report =
+    ?(check_stack = true) ?(cost_params = Cycles.pentium) ~name (program : Asm.program) :
+    report =
   let cfg = Vcfg.build ~org ~externs program in
   let n = Vcfg.n_instrs cfg in
   let nb = Vcfg.n_blocks cfg in
@@ -574,6 +578,8 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
       (if n_back = 1 then "" else "s");
   (* --- interprocedural fixpoint abstract interpretation ------------- *)
   let obs = ref [] in
+  let entry_sums : Vsum.t list ref = ref [] in
+  let all_loops : Vcost.loop_bound list ref = ref [] in
   if n > 0 then begin
     let summaries : (int, Vsum.t) Hashtbl.t = Hashtbl.create 8 in
     let in_progress : (int, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -627,12 +633,13 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
               enqueue b
             end
       in
-      let run_block ~record ~ret_check ~far (b : Vcfg.block) st0 =
+      let run_block ?(pre = fun _ _ _ -> ()) ~record ~ret_check ~far (b : Vcfg.block) st0 =
         let st = ref (Some st0) in
         for i = b.Vcfg.b_start to b.Vcfg.b_start + b.Vcfg.b_len - 1 do
           match !st with
           | None -> () (* a no-return call: the block tail is dead *)
           | Some s ->
+              pre i s cfg.Vcfg.instrs.(i);
               st := transfer ~record ~ret_check ~far ~call:call_summary i s cfg.Vcfg.instrs.(i)
         done;
         !st
@@ -651,20 +658,88 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
             | None -> ())
       done;
       (* Final pass from the fixed entry states: collect accesses,
-         return sites and far-call operands for this routine. *)
+         return sites and far-call operands for this routine, and walk
+         the abstract ESP at every reachable instruction for the
+         stack-depth bound. *)
       let accs = ref [] in
       let rets = ref [] in
       let fars = ref [] in
       let record i ~write ~size ~ss a = accs := (i, write, size, ss, a) :: !accs in
       let ret_check i ~imm st = rets := (i, imm, st.regs.(esp_i), st.regs.(eax_i)) :: !rets in
       let far i v = fars := (i, v) :: !fars in
+      let stack_depth = ref 0 in
+      let stack_top = ref false in
+      let pre _i st instr =
+        match fst st.regs.(esp_i) with
+        | Vdomain.Bot -> ()
+        | Vdomain.Sp (l, _) when l > -Vdomain.inf_bound -> (
+            let need = max 0 (-l) in
+            let extra =
+              match instr with
+              | Instr.Push _ | Instr.Push_sreg _ | Instr.Call _ | Instr.Call_ind _ -> 4
+              | _ -> 0
+            in
+            stack_depth := max !stack_depth (need + extra);
+            match instr with
+            | Instr.Call tgt -> (
+                match (call_summary (Some tgt)).Vsum.s_stack_bytes with
+                | Some cb -> stack_depth := max !stack_depth (need + 4 + cb)
+                | None -> stack_top := true)
+            | Instr.Call_ind _ | Instr.Kcall _ ->
+                (* unknown near callee / opaque upcall: its frame is
+                   unbounded from here *)
+                stack_top := true
+            | Instr.Lcall _ | Instr.Lcall_ind _ | Instr.Int_ _ ->
+                (* vetted far transfers switch to the callee's own
+                   stack; the same-PL gate case pushes CS:EIP here *)
+                stack_depth := max !stack_depth (need + 8)
+            | _ -> ())
+        | _ -> stack_top := true
+      in
+      let out_states : state option array = Array.make nb None in
       Array.iteri
         (fun bi st ->
           match st with
-          | Some st -> ignore (run_block ~record ~ret_check ~far cfg.Vcfg.blocks.(bi) st)
+          | Some st ->
+              out_states.(bi) <- run_block ~pre ~record ~ret_check ~far cfg.Vcfg.blocks.(bi) st
           | None -> ())
         in_states;
+      (* Stack traffic below the entry frame also consumes stack, even
+         when ESP itself never moves there. *)
+      List.iter
+        (fun (_, _, _size, ss, (ea : av)) ->
+          match fst ea with
+          | Vdomain.Sp (l, _) when l > -Vdomain.inf_bound ->
+              if l < 0 then stack_depth := max !stack_depth (-l)
+          | Vdomain.Sp _ -> stack_top := true
+          | _ -> if ss then stack_top := true)
+        !accs;
       obs := { o_accs = !accs; o_rets = !rets; o_fars = !fars } :: !obs;
+      (* Cycle / instruction bounds for this routine. *)
+      let rc =
+        Vcost.routine cfg ~params:cost_params ~entry:entry_b
+          ~live:(fun b -> in_states.(b) <> None)
+          ~reg_out:(fun b r ->
+            match out_states.(b) with
+            | Some st ->
+                let d, t = st.regs.(Reg.index r) in
+                let clamp lo hi =
+                  let lo = max lo 0 and hi = min hi (Vdomain.wrap_limit - 1) in
+                  if lo > hi then None else Some (lo, hi)
+                in
+                let from_d =
+                  match d with Vdomain.Itv (l, h) -> clamp l h | _ -> None
+                in
+                (match (from_d, Vtaint.bound t) with
+                | Some (l1, h1), Some (l2, h2) -> clamp (max l1 l2) (min h1 h2)
+                | (Some _ as b), None -> b
+                | None, Some (l, h) -> clamp l h
+                | None, None -> None)
+            | None -> None)
+          ~callee:(fun tgt -> call_summary (Some tgt))
+      in
+      all_loops := List.rev_append rc.Vcost.rc_loops !all_loops;
+      let stack_bytes = if !stack_top then None else Some !stack_depth in
       (* Condense the routine into its caller-visible summary. *)
       let clobbers = Array.make Reg.count false in
       let writes_mem = ref false in
@@ -702,7 +777,13 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
             | _ -> writes_mem := true)
         !accs;
       clobbers.(esp_i) <- false;
-      if !rets = [] then Vsum.no_return
+      if !rets = [] then
+        {
+          Vsum.no_return with
+          Vsum.s_cycles = rc.Vcost.rc_cycles;
+          Vsum.s_stack_bytes = stack_bytes;
+          Vsum.s_instrs = rc.Vcost.rc_instrs;
+        }
       else
         List.fold_left
           (fun acc (_, imm, esp, eax) ->
@@ -716,6 +797,9 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
                 Vsum.s_ret_val = eax;
                 Vsum.s_writes_mem = !writes_mem;
                 Vsum.s_returns = true;
+                Vsum.s_cycles = rc.Vcost.rc_cycles;
+                Vsum.s_stack_bytes = stack_bytes;
+                Vsum.s_instrs = rc.Vcost.rc_instrs;
               }
             in
             match acc with None -> Some one | Some a -> Some (Vsum.join a one))
@@ -727,9 +811,15 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
        reachable as call targets are analysed with the unconstrained
        frame that covers both roles. *)
     List.iter
-      (fun b -> if not (List.mem b routine_entries) then ignore (analyze_routine b ?arg ()))
+      (fun b ->
+        if not (List.mem b routine_entries) then
+          entry_sums := analyze_routine b ?arg () :: !entry_sums)
       entry_bs;
-    List.iter (fun b -> ignore (summary_of b)) routine_entries
+    List.iter
+      (fun b ->
+        let s = summary_of b in
+        if List.mem b entry_bs then entry_sums := s :: !entry_sums)
+      routine_entries
   end;
   (* --- merge observations across routines --------------------------- *)
   let region_lo, region_hi = region in
@@ -870,6 +960,52 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
         | _ -> ())
     cfg.Vcfg.instrs;
   let far_targets = if !far_unknown then None else Some (List.sort_uniq compare !far_sels) in
+  (* --- certified resource bounds ------------------------------------ *)
+  let r_bounds =
+    let loops =
+      List.sort (fun a b -> compare a.Vcost.lb_header b.Vcost.lb_header) !all_loops
+    in
+    match !entry_sums with
+    | [] -> if n = 0 then Vcost.zero else { Vcost.unbounded with Vcost.b_loops = loops }
+    | sums ->
+        let wcet =
+          List.fold_left
+            (fun acc (s : Vsum.t) ->
+              match (acc, s.Vsum.s_cycles) with
+              | Vcost.Finite a, Some (_, h) -> Vcost.fin (max a h)
+              | _ -> Vcost.Unbounded)
+            (Vcost.Finite 0) sums
+        in
+        let best =
+          List.fold_left
+            (fun acc (s : Vsum.t) ->
+              match s.Vsum.s_cycles with Some (l, _) -> min acc l | None -> 0)
+            max_int sums
+        in
+        let stack =
+          List.fold_left
+            (fun acc (s : Vsum.t) ->
+              match (acc, s.Vsum.s_stack_bytes) with
+              | Vcost.Finite a, Some b -> Vcost.fin (max a b)
+              | _ -> Vcost.Unbounded)
+            (Vcost.Finite 0) sums
+        in
+        let instrs =
+          List.fold_left
+            (fun acc (s : Vsum.t) ->
+              match (acc, s.Vsum.s_instrs) with
+              | Vcost.Finite a, Some b -> Vcost.fin (max a b)
+              | _ -> Vcost.Unbounded)
+            (Vcost.Finite 0) sums
+        in
+        {
+          Vcost.b_wcet_cycles = wcet;
+          Vcost.b_best_cycles = best;
+          Vcost.b_max_stack_bytes = stack;
+          Vcost.b_max_instrs = instrs;
+          Vcost.b_loops = loops;
+        }
+  in
   {
     r_name = name;
     r_instrs = n;
@@ -879,6 +1015,7 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
     r_back_edges = n_back;
     r_unreachable = !unreachable;
     r_far_targets = far_targets;
+    r_bounds;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -900,6 +1037,7 @@ let pp_report ppf r =
   Fmt.pf ppf "  accesses: %d proved, %d stack-relative, %d runtime-checked, %d out-of-bounds@."
     (count_class r Proved) (count_class r Stack_rel) (count_class r Runtime) (count_class r Oob);
   Fmt.pf ppf "  back edges: %d; unreachable blocks: %d@." r.r_back_edges r.r_unreachable;
+  Fmt.pf ppf "  bounds: %a@." Vcost.pp_bounds r.r_bounds;
   (match r.r_far_targets with
   | Some [] -> ()
   | Some sels ->
@@ -921,6 +1059,7 @@ let report_json r =
       ("blocks", J.Int r.r_blocks);
       ("back_edges", J.Int r.r_back_edges);
       ("unreachable_blocks", J.Int r.r_unreachable);
+      ("bounds", Vcost.bounds_json r.r_bounds);
       ( "accesses",
         J.Obj
           (List.map

@@ -64,6 +64,12 @@ type report = {
           the reachability audit); [None] when at least one far-call
           operand — or a CFG-defeating indirect near transfer — is not
           static *)
+  r_bounds : Vcost.bounds;
+      (** certified worst-case cycle / stack-depth / instruction
+          bounds, joined over the exported entry routines with callees
+          included through their {!Vsum} bands; see {!Vcost} for the
+          cost contract (architectural cycles, TLB walks and fault
+          delivery excluded) *)
 }
 
 val ok : report -> bool
@@ -99,6 +105,7 @@ val verify :
   ?lint_privileged:bool ->
   ?require_termination:bool ->
   ?check_stack:bool ->
+  ?cost_params:Cycles.params ->
   name:string ->
   Asm.program ->
   report
@@ -133,7 +140,10 @@ val verify :
     - [check_stack] (default true): an unbalanced ESP at [ret], or a
       store that may overwrite a return-address slot, is an error;
       when false these are reported as info only (trusted kernel
-      modules with cross-routine non-local exits). *)
+      modules with cross-routine non-local exits).
+    - [cost_params] (default {!Cycles.pentium}): the cycle model the
+      WCET analysis prices against; loaders pass the booted CPU's own
+      parameters so static bounds and dynamic charges agree. *)
 
 (** {1 Policy and enforcement} *)
 

@@ -22,6 +22,17 @@
      cells are dropped.
    - [s_returns]: the callee has at least one reachable return path;
      when false, the call site's fall-through edge is dead code.
+   - [s_cycles]: band of architectural cycles one call of the routine
+     can cost, as priced by {!Vcost} against the simulator's
+     {!Cycles.params} (callee bands included).  [None] is top: the
+     routine is opaque, recursive, or contains an unbounded loop.
+   - [s_stack_bytes]: worst-case bytes of caller stack the callee
+     consumes below its entry ESP (its own frame plus everything it
+     calls, excluding the return-address slot the caller pushes).
+     [None] is top.
+   - [s_instrs]: worst-case instructions retired per call, used to
+     bound dynamic TLB-walk surcharges on top of [s_cycles].  [None]
+     is top.
 
    The types live here; the fixpoint that computes summaries is in
    {!Verify} (it is the same abstract interpreter the rest of the
@@ -35,6 +46,9 @@ type t = {
   s_ret_val : av;
   s_writes_mem : bool;
   s_returns : bool;
+  s_cycles : (int * int) option;
+  s_stack_bytes : int option;
+  s_instrs : int option;
 }
 
 let av_top : av = (Vdomain.top, Vtaint.untrusted)
@@ -50,12 +64,18 @@ let havoc =
     s_ret_val = av_top;
     s_writes_mem = true;
     s_returns = true;
+    s_cycles = None;
+    s_stack_bytes = None;
+    s_instrs = None;
   }
 
 let join_delta a b =
   match (a, b) with
   | None, _ | _, None -> None
   | Some (al, ah), Some (bl, bh) -> Some (min al bl, max ah bh)
+
+let join_band a b =
+  match (a, b) with None, _ | _, None -> None | Some a, Some b -> Some (max a b)
 
 let join a b =
   {
@@ -65,10 +85,14 @@ let join a b =
       (Vdomain.join (fst a.s_ret_val) (fst b.s_ret_val), Vtaint.join (snd a.s_ret_val) (snd b.s_ret_val));
     s_writes_mem = a.s_writes_mem || b.s_writes_mem;
     s_returns = a.s_returns || b.s_returns;
+    s_cycles = join_delta a.s_cycles b.s_cycles;
+    s_stack_bytes = join_band a.s_stack_bytes b.s_stack_bytes;
+    s_instrs = join_band a.s_instrs b.s_instrs;
   }
 
 (* A summary for a routine with no reachable return at all: the call
-   never comes back, so nothing else matters. *)
+   never comes back, so nothing else matters — except the resources it
+   burns before stopping, which the cost analysis fills in. *)
 let no_return =
   {
     s_esp_delta = Some (0, 0);
@@ -76,6 +100,9 @@ let no_return =
     s_ret_val = (Vdomain.Bot, Vtaint.untrusted);
     s_writes_mem = false;
     s_returns = false;
+    s_cycles = None;
+    s_stack_bytes = None;
+    s_instrs = None;
   }
 
 let pp ppf s =
@@ -88,6 +115,15 @@ let pp ppf s =
   let clobbered =
     List.filter (fun r -> s.s_clobbers.(Reg.index r)) Reg.all |> List.map Reg.name |> String.concat ","
   in
-  Fmt.pf ppf "esp%s clobbers{%s}%s%s" delta clobbered
+  let cycles =
+    match s.s_cycles with
+    | Some (l, h) -> Printf.sprintf " cycles[%d,%d]" l h
+    | None -> " cycles?"
+  in
+  let stack =
+    match s.s_stack_bytes with Some b -> Printf.sprintf " stack<=%d" b | None -> " stack?"
+  in
+  Fmt.pf ppf "esp%s clobbers{%s}%s%s%s%s" delta clobbered
     (if s.s_writes_mem then " writes-mem" else "")
     (if s.s_returns then "" else " no-return")
+    cycles stack

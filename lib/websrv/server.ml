@@ -5,23 +5,40 @@
 
 type result = {
   requests : int;
+  shed : int;
+      (* requests refused by WCET admission control: the certified
+         worst-case completion time already missed the deadline *)
   elapsed_usec : float;
   throughput_rps : float;
   cpu_utilisation : float;
   link_utilisation : float;
 }
 
-let run ?(concurrency = 30) ?(total = 1000) ?latency ~invocation ~bytes
-    ~protected_call_usec () =
+let run ?(concurrency = 30) ?(total = 1000) ?latency ?deadline_usec
+    ?handler_wcet_usec ~invocation ~bytes ~protected_call_usec () =
   let des = Des.create () in
   let cpu = Resource.create des ~name:"cpu" in
   let link = Resource.create des ~name:"link" in
   let issued = ref 0 in
   let completed = ref 0 in
+  let shed = ref 0 in
   let cpu_time =
     Cgi_model.request_usec ~invocation ~bytes ~protected_call_usec
   in
   let tx_time = Cgi_model.transmit_usec ~bytes in
+  (* WCET admission control: with a deadline and a certified per-request
+     worst case (from the handler's static bound), a request whose
+     worst-case completion — every queued request, the one in service
+     and itself all running to their WCET, plus transmission — already
+     misses the deadline is shed at arrival instead of wasting CPU on a
+     response nobody will wait for. *)
+  let admit () =
+    match (deadline_usec, handler_wcet_usec) with
+    | Some d, Some w ->
+        let backlog = float_of_int (Resource.queue_length cpu + 2) in
+        (backlog *. w) +. tx_time <= d
+    | _ -> true
+  in
   let span_on = Obs.Span.on () in
   (* DES time is float microseconds; span stamps are ints.  Rounding to
      the nearest usec is fine at the 100s-of-usec request scale. *)
@@ -29,6 +46,11 @@ let run ?(concurrency = 30) ?(total = 1000) ?latency ~invocation ~bytes
   let rec submit () =
     if !issued < total then begin
       incr issued;
+      if not (admit ()) then begin
+        incr shed;
+        submit ()
+      end
+      else
       let arrival = Des.now des in
       Resource.acquire cpu ~service:cpu_time (fun () ->
           let cpu_done = Des.now des in
@@ -67,6 +89,7 @@ let run ?(concurrency = 30) ?(total = 1000) ?latency ~invocation ~bytes
   let elapsed = Des.now des in
   {
     requests = !completed;
+    shed = !shed;
     elapsed_usec = elapsed;
     throughput_rps = float_of_int !completed /. (elapsed /. 1_000_000.0);
     cpu_utilisation = Resource.utilisation cpu ~horizon:elapsed;

@@ -361,6 +361,9 @@ let test_vsum_join () =
       s_ret_val = (Vdomain.const 5, Vtaint.const);
       s_writes_mem = false;
       s_returns = true;
+      s_cycles = Some (3, 10);
+      s_stack_bytes = Some 8;
+      s_instrs = Some 4;
     }
   in
   let b =
@@ -370,10 +373,16 @@ let test_vsum_join () =
       s_ret_val = (Vdomain.const 9, Vtaint.const);
       s_writes_mem = true;
       s_returns = true;
+      s_cycles = Some (5, 20);
+      s_stack_bytes = Some 4;
+      s_instrs = None;
     }
   in
   let j = Vsum.join a b in
   check_bool "delta band" true (j.Vsum.s_esp_delta = Some (0, 4));
+  check_bool "cycle band joined" true (j.Vsum.s_cycles = Some (3, 20));
+  check_bool "stack band joined" true (j.Vsum.s_stack_bytes = Some 8);
+  check_bool "instr top sticky" true (j.Vsum.s_instrs = None);
   check_bool "eax clobbered" true j.Vsum.s_clobbers.(Reg.index Reg.EAX);
   check_bool "ebx clobbered" true j.Vsum.s_clobbers.(Reg.index Reg.EBX);
   check_bool "ecx untouched" false j.Vsum.s_clobbers.(Reg.index Reg.ECX);
