@@ -1,24 +1,25 @@
-(* Probe: loop-widened register shifted left — does the verifier
-   unsoundly prove an attacker-controlled address in-bounds? *)
+(* Probe: entry-window slop clamp vs 32-bit wrap. *)
 let () =
   let open Asm in
   let prog = [
     L "entry";
     I (Instr.Mov (Operand.Reg Reg.EAX, Operand.Imm 0));
     L "loop";
-    I (Instr.Alu (Instr.Add, Operand.Reg Reg.EAX, Operand.Imm 1));
-    I (Instr.Cmp (Operand.Reg Reg.EAX, Operand.Imm 100));
-    I (Instr.Jcc (Instr.Ne, Instr.Label "loop"));
-    (* eax now abstractly widened to [0, +inf]; concretely 100 *)
-    I (Instr.Shl (Operand.Reg Reg.EAX, 31));
-    (* concretely eax = 100 * 2^31 mod 2^32 = 0x... huge; abstractly? *)
-    I (Instr.Mov (Operand.mem ~base:Reg.EAX (), Operand.Imm 1));
+    I (Instr.Dec (Operand.Reg Reg.EAX));
+    I (Instr.Cmp (Operand.Reg Reg.EAX, Operand.Imm 10));
+    I (Instr.Jcc (Instr.Above_eq, Instr.Label "loop"));
     I Instr.Ret;
   ] in
   let r = Verify.verify ~entries:["entry"] ~region:(0, 256*1024) ~name:"probe" prog in
-  Fmt.pr "%a@." Verify.pp_report r;
-  List.iter (fun a ->
-    Fmt.pr "access @%d write=%b ea=%a class=%s@." a.Verify.a_index a.Verify.a_write
-      Vdomain.pp a.Verify.a_ea (Verify.class_name a.Verify.a_class))
-    r.Verify.r_accesses;
-  Fmt.pr "shl raw: (1 lsl 40) lsl 31 = %d@." ((1 lsl 40) lsl 31)
+  Fmt.pr "down-counter bounds: %a@." Vcost.pp_bounds r.Verify.r_bounds;
+  let prog2 = [
+    L "entry";
+    I (Instr.Mov (Operand.Reg Reg.EAX, Operand.Imm 0xFFFFFFFF));
+    L "loop";
+    I (Instr.Inc (Operand.Reg Reg.EAX));
+    I (Instr.Cmp (Operand.Reg Reg.EAX, Operand.Imm 1000));
+    I (Instr.Jcc (Instr.Below, Instr.Label "loop"));
+    I Instr.Ret;
+  ] in
+  let r2 = Verify.verify ~entries:["entry"] ~region:(0, 256*1024) ~name:"probe2" prog2 in
+  Fmt.pr "up-counter bounds:   %a@." Vcost.pp_bounds r2.Verify.r_bounds
