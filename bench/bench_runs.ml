@@ -872,6 +872,389 @@ let sfi ?(json_dir = ".") ?(packets = 48) () =
       ("matched", Int !matches);
     ]
 
+(* --- Protection-backend comparison ------------------------------------ *)
+
+(* One matrix: every protection backend — segmentation, protection
+   keys and the two SFI flavours — over the same workloads (protected
+   null call, string reverse, the compiled 4-term packet filter, the
+   LibCGI web-server sweep and a rogue-store fault injection), with
+   per-backend TLB pressure, guard counts and audit coverage.  The
+   backends differ only in boundary hardware, so every architectural
+   output must agree: the reversed string, the per-packet filter
+   verdicts, the requests completed, and containment of the rogue
+   store. *)
+
+type bk_row = {
+  bk_kind : Pbackend.kind;
+  bk_xfer_cycles : float; (* mean protected null-call cycles *)
+  bk_strrev : string;
+  bk_filter_cycles : float; (* mean cycles per packet *)
+  bk_verdicts : int list;
+  bk_rps : float;
+  bk_requests : int;
+  bk_contained : bool;
+  bk_fault_class : string;
+  bk_guards : int; (* SFI guard instructions on the filter *)
+  bk_tlb_hits : int;
+  bk_tlb_misses : int;
+  bk_tlb_flushes : int;
+  bk_audit_ok : bool;
+  bk_audit_findings : int;
+  bk_audit_invariants : int;
+}
+
+let bk_region = { Sfi.base = 0; size = 1 lsl 30 }
+
+let bk_string = "backends" (* 8 bytes: two u32 reads under Kmod *)
+
+let bk_u32s_to_string ws =
+  String.init
+    (4 * List.length ws)
+    (fun idx -> Char.chr ((List.nth ws (idx / 4) lsr (8 * (idx mod 4))) land 0xff))
+
+let bk_fault_name = function
+  | X86.Fault.Page_key _ -> "page-key"
+  | X86.Fault.Page_privilege _ -> "page-privilege"
+  | f -> Fmt.str "%a" X86.Fault.pp f
+
+(* Shared per-row finisher: webserver sweep priced at this backend's
+   measured transfer cost, TLB pressure since the row began, audit
+   coverage of the row's world. *)
+let bk_finish ~since ~requests ~kernel row =
+  let ws =
+    Server.run ~total:requests ~invocation:Cgi_model.Libcgi_protected
+      ~bytes:1024
+      ~protected_call_usec:(row.bk_xfer_cycles /. mhz)
+      ()
+  in
+  let d = Obs.Counters.delta ~since in
+  let g n = Option.value (List.assoc_opt n d) ~default:0 in
+  let report = Paudit.force_audit ~context:"bench backends" kernel in
+  {
+    row with
+    bk_rps = ws.Server.throughput_rps;
+    bk_requests = ws.Server.requests;
+    bk_tlb_hits = g "x86.tlb.hits";
+    bk_tlb_misses = g "x86.tlb.misses";
+    bk_tlb_flushes = g "x86.tlb.flushes";
+    bk_audit_ok = Audit.Engine.ok report;
+    bk_audit_findings = List.length report.Audit.Engine.rp_findings;
+    bk_audit_invariants = List.length Audit.Invariant.catalogue;
+  }
+
+let bk_empty kind =
+  {
+    bk_kind = kind;
+    bk_xfer_cycles = 0.0;
+    bk_strrev = "";
+    bk_filter_cycles = 0.0;
+    bk_verdicts = [];
+    bk_rps = 0.0;
+    bk_requests = 0;
+    bk_contained = false;
+    bk_fault_class = "";
+    bk_guards = 0;
+    bk_tlb_hits = 0;
+    bk_tlb_misses = 0;
+    bk_tlb_flushes = 0;
+    bk_audit_ok = false;
+    bk_audit_findings = 0;
+    bk_audit_invariants = 0;
+  }
+
+(* Application-hosting backends (segmentation, protection keys): one
+   world, one backend-generic application, every workload through
+   [Pbackend]. *)
+let bk_app_row ~hist ~stream ~filter_image ~calls ~requests kind =
+  let since = Obs.Counters.snapshot () in
+  let w = Palladium.boot ~backend:kind () in
+  let app = Palladium.create_backend_app w ~name:"bk" in
+  (* transfer cost: protected null call *)
+  let next = Pbackend.load app Ulib.null_image in
+  let prepare = Pbackend.resolve app next "null_fn" in
+  ignore (Pbackend.call app ~prepare ~arg:1);
+  let cyc = ref 0 in
+  for _ = 1 to calls do
+    match Pbackend.call app ~prepare ~arg:1 with
+    | Ok (_, c) ->
+        Obs.Histogram.observe hist c;
+        cyc := !cyc + c
+    | Error e -> Fmt.failwith "backends: null call: %a" User_ext.pp_call_error e
+  done;
+  (* strrev over a shared heap buffer *)
+  let rev = Pbackend.load app Ulib.strrev_image in
+  let rev_prep = Pbackend.resolve app rev "strrev" in
+  let buf = Pbackend.xmalloc rev 64 in
+  Pbackend.poke_bytes app buf (Bytes.of_string (bk_string ^ "\000"));
+  (match Pbackend.call app ~prepare:rev_prep ~arg:buf with
+  | Ok _ -> ()
+  | Error e -> Fmt.failwith "backends: strrev: %a" User_ext.pp_call_error e);
+  let reversed =
+    Bytes.to_string (Pbackend.peek_bytes app buf (String.length bk_string))
+  in
+  (* compiled packet filter, hosted as a user-level extension *)
+  let fext = Pbackend.load app filter_image in
+  let fprep = Pbackend.resolve app fext "filter" in
+  let fbuf = Pbackend.dlsym_data fext Pconfig.shared_area_symbol in
+  let fcyc = ref 0 in
+  let verdicts =
+    List.map
+      (fun pkt ->
+        Pbackend.poke_bytes app fbuf
+          (Bytes.make Native_compile.shared_bytes '\000');
+        Pbackend.poke_bytes app fbuf pkt;
+        match Pbackend.call app ~prepare:fprep ~arg:fbuf with
+        | Ok (v, c) ->
+            fcyc := !fcyc + c;
+            v
+        | Error e -> Fmt.failwith "backends: filter: %a" User_ext.pp_call_error e)
+      stream
+  in
+  (* fault injection: extension store to hidden application memory *)
+  let task = Pbackend.task app in
+  let area =
+    Address_space.mmap task.Task.asp ~len:4096 ~perms:Vm_area.rw Vm_area.Data
+  in
+  Address_space.populate task.Task.asp area;
+  let cell = area.Vm_area.va_start in
+  Pbackend.poke_u32 app cell 0x5eed;
+  let rogue = Pbackend.load app Ulib.rogue_write_image in
+  let poke = Pbackend.resolve app rogue "poke" in
+  let contained, fault_class =
+    match Pbackend.call app ~prepare:poke ~arg:cell with
+    | Ok _ -> (false, "completed")
+    | Error (User_ext.Protection_fault f) ->
+        (Pbackend.peek_u32 app cell = 0x5eed, bk_fault_name f)
+    | Error e -> (false, Fmt.str "%a" User_ext.pp_call_error e)
+  in
+  let row =
+    {
+      (bk_empty kind) with
+      bk_xfer_cycles = float_of_int !cyc /. float_of_int calls;
+      bk_strrev = reversed;
+      bk_filter_cycles =
+        float_of_int !fcyc /. float_of_int (List.length stream);
+      bk_verdicts = verdicts;
+      bk_contained = contained;
+      bk_fault_class = fault_class;
+    }
+  in
+  let row = bk_finish ~since ~requests ~kernel:(Palladium.kernel w) row in
+  Palladium.teardown w;
+  row
+
+(* SFI backends: the same workloads as rewritten kernel modules.  SFI
+   has no transfer gate — its tax is the inline guards — so the
+   "transfer" is a bare module invocation, and containment comes from
+   address masking rather than a fault. *)
+let bk_sfi_row ~hist ~stream ~filter_image ~terms ~calls ~requests kind =
+  let since = Obs.Counters.snapshot () in
+  let mode = if kind = Pbackend.Sfi_verified then Sfi.Verified else Sfi.Full in
+  let w = Palladium.boot () in
+  let kernel = Palladium.kernel w in
+  let task = Kernel.create_task kernel ~name:"bk" in
+  let invoke km fn arg =
+    match Kmod.invoke km task ~fn ~arg with
+    | Kernel.Completed, v, c -> (v, c)
+    | _ -> failwith "backends: sfi invocation failed"
+  in
+  let nm =
+    Kmod.insmod kernel
+      (Sfi.sandbox_image ~mode Sfi.Read_write bk_region Ulib.null_image)
+  in
+  ignore (invoke nm "null_fn" 1);
+  let cyc = ref 0 in
+  for _ = 1 to calls do
+    let _, c = invoke nm "null_fn" 1 in
+    Obs.Histogram.observe hist c;
+    cyc := !cyc + c
+  done;
+  (* strrev with the buffer in the module's own bss *)
+  let rev_image =
+    Image.create ~name:"bkrev"
+      ~bss:[ Image.bss_item ~align:4 "buf" 64 ]
+      ~exports:[ "strrev" ]
+      (Ulib.strrev_body ~name:"strrev")
+  in
+  let rm =
+    Kmod.insmod kernel (Sfi.sandbox_image ~mode Sfi.Read_write bk_region rev_image)
+  in
+  Kmod.poke rm ~symbol:"buf" ~off:0 (Bytes.of_string (bk_string ^ "\000"));
+  ignore (invoke rm "strrev" (Kmod.symbol rm "buf"));
+  let reversed =
+    bk_u32s_to_string
+      [ Kmod.peek_u32 rm ~symbol:"buf" ~off:0;
+        Kmod.peek_u32 rm ~symbol:"buf" ~off:4 ]
+  in
+  (* compiled filter; the verifier elides guards it can prove safe *)
+  let arg = (0, bk_region.Sfi.size - Native_compile.shared_bytes) in
+  let fm =
+    Kmod.insmod kernel
+      (Sfi.sandbox_image ~mode ~arg Sfi.Read_write bk_region filter_image)
+  in
+  let fbuf = Kmod.symbol fm Pconfig.shared_area_symbol in
+  let guards =
+    Sfi.inserted_instructions ~mode ~entries:[ "filter" ] ~arg
+      ~region:bk_region Sfi.Read_write
+      (Native_compile.filter_text terms)
+  in
+  let fcyc = ref 0 in
+  let verdicts =
+    List.map
+      (fun pkt ->
+        Kmod.poke fm ~symbol:Pconfig.shared_area_symbol ~off:0
+          (Bytes.make Native_compile.shared_bytes '\000');
+        Kmod.poke fm ~symbol:Pconfig.shared_area_symbol ~off:0 pkt;
+        let v, c = invoke fm "filter" fbuf in
+        fcyc := !fcyc + c;
+        v)
+      stream
+  in
+  (* fault injection: the rogue store aims outside the region and the
+     inserted mask forces it back inside — containment by rewriting *)
+  let gm =
+    Kmod.insmod kernel
+      (Sfi.sandbox_image ~mode Sfi.Read_write bk_region Ulib.rogue_write_image)
+  in
+  let outside = bk_region.Sfi.size + 0x44 in
+  let contained, fault_class =
+    match Kmod.invoke gm task ~fn:"poke" ~arg:outside with
+    | Kernel.Completed, _, _ -> (true, "sfi-masked")
+    | _ -> (false, "faulted")
+  in
+  let row =
+    {
+      (bk_empty kind) with
+      bk_xfer_cycles = float_of_int !cyc /. float_of_int calls;
+      bk_strrev = reversed;
+      bk_filter_cycles =
+        float_of_int !fcyc /. float_of_int (List.length stream);
+      bk_verdicts = verdicts;
+      bk_contained = contained;
+      bk_fault_class = fault_class;
+      bk_guards = guards;
+    }
+  in
+  let row = bk_finish ~since ~requests ~kernel row in
+  Palladium.teardown w;
+  row
+
+let backends ?(json_dir = ".") ?(packets = 32) ?(calls = 60) ?(requests = 300)
+    () =
+  let since = Obs.Counters.snapshot () in
+  let stream =
+    List.map Packet.to_bytes
+      (Pkt_gen.stream (Pkt_gen.create ()) ~count:packets ~match_percent:25)
+  in
+  let terms = Filter_expr.canonical 4 in
+  let filter_image = Native_compile.image terms in
+  let hist = Obs.Histogram.create () in
+  let rows =
+    List.map
+      (fun kind ->
+        match kind with
+        | Pbackend.Segmentation | Pbackend.Mpk ->
+            bk_app_row ~hist ~stream ~filter_image ~calls ~requests kind
+        | Pbackend.Sfi_full | Pbackend.Sfi_verified ->
+            bk_sfi_row ~hist ~stream ~filter_image ~terms ~calls ~requests kind)
+      Pbackend.all
+  in
+  let base = List.hd rows in
+  let agree =
+    List.for_all
+      (fun r ->
+        String.equal r.bk_strrev base.bk_strrev
+        && r.bk_verdicts = base.bk_verdicts
+        && r.bk_requests = base.bk_requests
+        && r.bk_contained)
+      rows
+  in
+  let find k = List.find (fun r -> r.bk_kind = k) rows in
+  let mpk_cheaper =
+    (find Pbackend.Mpk).bk_xfer_cycles
+    < (find Pbackend.Segmentation).bk_xfer_cycles
+  in
+  let matches = List.length (List.filter (( = ) 1) base.bk_verdicts) in
+  Table.print
+    ~title:
+      "Protection backends: same workloads, different boundary enforcement"
+    ~headers:
+      [
+        "backend"; "xfer cyc"; "filter cyc/pkt"; "req/s"; "fault"; "guards";
+        "tlb miss"; "audit";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Pbackend.kind_name r.bk_kind;
+           Printf.sprintf "%.1f" r.bk_xfer_cycles;
+           Printf.sprintf "%.1f" r.bk_filter_cycles;
+           Printf.sprintf "%.0f" r.bk_rps;
+           r.bk_fault_class;
+           string_of_int r.bk_guards;
+           string_of_int r.bk_tlb_misses;
+           Printf.sprintf "%s (%d/%d)"
+             (if r.bk_audit_ok then "ok" else "FINDINGS")
+             r.bk_audit_invariants r.bk_audit_findings;
+         ])
+       rows);
+  Printf.printf
+    "(%s; mpk transfer %s segmentation; %d/%d packets matched)\n"
+    (if agree then "all backends agree on every workload output"
+     else "BACKENDS DISAGREE")
+    (if mpk_cheaper then "cheaper than" else "NOT cheaper than")
+    matches packets;
+  if not agree then failwith "bench backends: backends disagree on outputs";
+  if not mpk_cheaper then
+    failwith "bench backends: mpk transfer not cheaper than segmentation";
+  let open Obs.Json in
+  let row_json r =
+    Obj
+      [
+        ("backend", String (Pbackend.kind_name r.bk_kind));
+        ("transfer_cycles", Float r.bk_xfer_cycles);
+        ("strrev", String r.bk_strrev);
+        ("filter_cycles_per_packet", Float r.bk_filter_cycles);
+        ( "filter_matches",
+          Int (List.length (List.filter (( = ) 1) r.bk_verdicts)) );
+        ("webserver_rps", Float r.bk_rps);
+        ("webserver_requests", Int r.bk_requests);
+        ("fault_contained", Bool r.bk_contained);
+        ("fault_class", String r.bk_fault_class);
+        ("guard_instructions", Int r.bk_guards);
+        ( "tlb",
+          Obj
+            [
+              ("hits", Int r.bk_tlb_hits);
+              ("misses", Int r.bk_tlb_misses);
+              ("flushes", Int r.bk_tlb_flushes);
+            ] );
+        ( "audit",
+          Obj
+            [
+              ("ok", Bool r.bk_audit_ok);
+              ("findings", Int r.bk_audit_findings);
+              ("invariants_checked", Int r.bk_audit_invariants);
+            ] );
+      ]
+  in
+  emit ~json_dir ~name:"backends" ~since
+    ~histogram:("backends_transfer_cycles", hist)
+    [
+      ("backends", List (List.map row_json rows));
+      ("agreement", Bool agree);
+      ("mpk_cheaper_than_seg", Bool mpk_cheaper);
+      ( "workloads",
+        List
+          [
+            String "null-call"; String "strrev"; String "filter";
+            String "webserver"; String "fault-injection";
+          ] );
+      ("packets", Int packets);
+      ("calls", Int calls);
+      ("requests", Int requests);
+    ]
+
 (* --- Verifier soundness oracle ----------------------------------------- *)
 
 (* Falsification run for the static analysis behind guard elision:
@@ -2015,7 +2398,7 @@ let timeline ?(json_dir = ".") ?(domains = 2) ?worlds ?(batches = 8)
 let subcommands =
   [
     "table1"; "table2"; "table3"; "figure7"; "micro"; "ipc"; "ablation"; "sfi";
-    "audit"; "fastpath"; "parallel"; "timeline"; "wcet";
+    "backends"; "audit"; "fastpath"; "parallel"; "timeline"; "wcet";
   ]
 
 (* Run the requested subset (everything when [args] is empty; bechamel
@@ -2032,6 +2415,7 @@ let run_main args =
   if want "ipc" then ipc_cmp ~palladium_cycles:!palladium_cycles ();
   if want "ablation" then ablation ();
   if want "sfi" then sfi ();
+  if want "backends" then backends ();
   if want "audit" then audit ();
   if want "fastpath" then ignore (fastpath ());
   (* parallel spawns domains, so — like bechamel — it only runs when

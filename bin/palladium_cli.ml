@@ -39,22 +39,67 @@ let engine_flag =
 
 let set_engine = Bexec.set_default_engine
 
+(* --- --backend: protection-backend selection -------------------------- *)
+
+(* Commands hosting extensible applications also take [--backend]; the
+   default comes from [Pbackend] ($PALLADIUM_BACKEND or seg).  Unlike
+   --engine, backends are *architecturally* different mechanisms — the
+   flag changes which protection hardware the compartment boundary
+   uses, while workload outputs (results, request counts, fault
+   classes) must stay identical. *)
+let backend_conv =
+  let parse s =
+    match Pbackend.kind_of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid backend %S (expected %s)" s
+                Pbackend.expected))
+  in
+  let print ppf b = Format.pp_print_string ppf (Pbackend.kind_name b) in
+  Arg.conv (parse, print)
+
+let backend_flag =
+  Arg.(
+    value
+    & opt backend_conv (Pbackend.default ())
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Protection backend for extensible applications: $(b,seg) (the \
+           paper's segmentation mechanism, the default) or $(b,mpk) \
+           (protection keys with wrpkru entry stubs).  $(b,sfi-full) and \
+           $(b,sfi-verified) are benchmark-only comparators (see bench \
+           backends).  Defaults from \\$PALLADIUM_BACKEND.")
+
+let set_backend = Pbackend.set_default
+
+(* Create a backend-generic application, exiting cleanly when the
+   selected backend cannot host applications (the SFI kinds). *)
+let create_app_or_exit w ~name =
+  try Palladium.create_backend_app w ~name
+  with Invalid_argument msg ->
+    Printf.eprintf "palladium: %s\n" msg;
+    exit 2
+
 (* --- call: measure a protected null call ----------------------------- *)
 
 let run_call iterations =
   let w = Palladium.boot () in
-  let app = Palladium.create_app w ~name:"cli" in
-  let ext = User_ext.seg_dlopen app Ulib.null_image in
-  let prepare = User_ext.seg_dlsym app ext "null_fn" in
-  ignore (User_ext.call app ~prepare ~arg:0);
+  let app = create_app_or_exit w ~name:"cli" in
+  let ext = Pbackend.load app Ulib.null_image in
+  let prepare = Pbackend.resolve app ext "null_fn" in
+  ignore (Pbackend.call app ~prepare ~arg:0);
   let samples =
     List.init iterations (fun _ ->
-        match User_ext.call app ~prepare ~arg:0 with
+        match Pbackend.call app ~prepare ~arg:0 with
         | Ok (_, cycles) -> float_of_int cycles
         | Error e -> Fmt.failwith "%a" User_ext.pp_call_error e)
   in
   Printf.printf
-    "protected null call: mean %.1f cycles (%.3f usec), stddev %.2f, %d runs\n"
+    "protected null call (%s backend): mean %.1f cycles (%.3f usec), stddev \
+     %.2f, %d runs\n"
+    (Pbackend.kind_name (Pbackend.backend_of app))
     (Stats.mean samples)
     (Stats.mean samples /. mhz)
     (Stats.stddev samples) iterations
@@ -66,10 +111,11 @@ let call_cmd =
   Cmd.v
     (Cmd.info "call" ~doc:"Measure the protected procedure call cost (Table 1).")
     Term.(
-      const (fun e n ->
+      const (fun e b n ->
           set_engine e;
+          set_backend b;
           run_call n)
-      $ engine_flag $ iterations)
+      $ engine_flag $ backend_flag $ iterations)
 
 (* --- filter: packet filtering sweep ----------------------------------- *)
 
@@ -173,28 +219,76 @@ let filter_cmd =
   Cmd.v
     (Cmd.info "filter" ~doc:"Packet filter: BPF interpreter vs compiled extension (Figure 7).")
     Term.(
-      const (fun e t c m bp bc ->
+      const (fun e b t c m bp bc ->
           set_engine e;
+          set_backend b;
           run_filter t c m bp bc)
-      $ engine_flag $ terms $ count $ pct $ budget_policy $ budget)
+      $ engine_flag $ backend_flag $ terms $ count $ pct $ budget_policy
+      $ budget)
 
 (* --- webserver: throughput experiment ----------------------------------- *)
 
-let run_webserver bytes concurrency total deadline wcet =
+(* Mean protected null-call cost in usec of simulated time under one
+   backend — the per-request protection cost the web-server model
+   charges Libcgi_protected.  The application backends are measured
+   through [Pbackend]; the SFI comparators through a sandboxed kernel
+   module, their natural host. *)
+let null_call_usec ?(iterations = 40) backend =
+  match backend with
+  | (Pbackend.Segmentation | Pbackend.Mpk) as b ->
+      let w = Palladium.boot ~backend:b () in
+      let app = create_app_or_exit w ~name:"probe" in
+      let ext = Pbackend.load app Ulib.null_image in
+      let prepare = Pbackend.resolve app ext "null_fn" in
+      ignore (Pbackend.call app ~prepare ~arg:0);
+      let samples =
+        List.init iterations (fun _ ->
+            match Pbackend.call app ~prepare ~arg:0 with
+            | Ok (_, cycles) -> float_of_int cycles
+            | Error e -> Fmt.failwith "%a" User_ext.pp_call_error e)
+      in
+      Palladium.teardown w;
+      Stats.mean samples /. mhz
+  | (Pbackend.Sfi_full | Pbackend.Sfi_verified) as b ->
+      let w = Palladium.boot () in
+      let kernel = Palladium.kernel w in
+      let task = Kernel.create_task kernel ~name:"probe" in
+      let mode = if b = Pbackend.Sfi_full then Sfi.Full else Sfi.Verified in
+      let region = { Sfi.base = 0; size = 1 lsl 30 } in
+      let km =
+        Kmod.insmod kernel
+          (Sfi.sandbox_image ~mode Sfi.Read_write region Ulib.null_image)
+      in
+      let invoke () =
+        match Kmod.invoke km task ~fn:"null_fn" ~arg:0 with
+        | Kernel.Completed, _, cycles -> float_of_int cycles
+        | _ -> failwith "null_call_usec: sfi null call failed"
+      in
+      ignore (invoke ());
+      let samples = List.init iterations (fun _ -> invoke ()) in
+      Palladium.teardown w;
+      Stats.mean samples /. mhz
+
+let run_webserver backend bytes concurrency total deadline wcet =
   let models =
     [
       Cgi_model.Cgi; Cgi_model.Fast_cgi; Cgi_model.Libcgi_protected;
       Cgi_model.Libcgi; Cgi_model.Static;
     ]
   in
-  Printf.printf "file size %d bytes, %d requests, %d concurrent:\n" bytes total
-    concurrency;
+  let pc_usec = null_call_usec backend in
+  Printf.printf
+    "file size %d bytes, %d requests, %d concurrent (%s backend: protected \
+     call %.2f usec):\n"
+    bytes total concurrency
+    (Pbackend.kind_name backend)
+    pc_usec;
   List.iter
     (fun inv ->
       let r =
         Server.run ~concurrency ~total ?deadline_usec:deadline
           ?handler_wcet_usec:wcet ~invocation:inv ~bytes
-          ~protected_call_usec:0.72 ()
+          ~protected_call_usec:pc_usec ()
       in
       Printf.printf "  %-22s %7.0f req/s  (cpu %.0f%%, link %.0f%%)%s\n"
         (Cgi_model.name inv) r.Server.throughput_rps
@@ -234,20 +328,25 @@ let webserver_cmd =
   in
   Cmd.v
     (Cmd.info "webserver" ~doc:"CGI invocation-model throughput (Table 3).")
-    Term.(const run_webserver $ bytes $ conc $ total $ deadline $ wcet)
+    Term.(
+      const (fun b s c n d w ->
+          set_backend b;
+          run_webserver b s c n d w)
+      $ backend_flag $ bytes $ conc $ total $ deadline $ wcet)
 
 (* --- fleet: N isolated web-server worlds across domains ------------------ *)
 
 (* Bounded mode (no --duration): one fixed request sweep per world,
    run twice (serial then parallel) for the determinism check. *)
 let run_fleet worlds domains bytes requests =
+  let pc_usec = null_call_usec (Pbackend.default ()) in
   let world _i =
     let w = Palladium.boot () in
     let latency = Obs.Histogram.get_or_create "fleet.request_usec" in
     let r =
       Server.run ~total:requests ~latency
-        ~invocation:Cgi_model.Libcgi_protected ~bytes ~protected_call_usec:0.72
-        ()
+        ~invocation:Cgi_model.Libcgi_protected ~bytes
+        ~protected_call_usec:pc_usec ()
     in
     Palladium.teardown w;
     r
@@ -309,13 +408,14 @@ let run_fleet_live worlds domains bytes duration sample_ms serve_port
     Obs.Counters.counter ~help:"Fleet world workload batches completed"
       "fleet.batches"
   in
+  let pc_usec = null_call_usec (Pbackend.default ()) in
   let world i =
     let w = Palladium.boot () in
     let kcpu = Kernel.cpu (Palladium.kernel w) in
     Telemetry.attach collectors.(i) kcpu;
-    let app = Palladium.create_app w ~name:(Printf.sprintf "fleet-%d" i) in
-    let ext = User_ext.seg_dlopen app Ulib.null_image in
-    let prepare = User_ext.seg_dlsym app ext "null_fn" in
+    let app = create_app_or_exit w ~name:(Printf.sprintf "fleet-%d" i) in
+    let ext = Pbackend.load app Ulib.null_image in
+    let prepare = Pbackend.resolve app ext "null_fn" in
     let h_call = Obs.Histogram.get_or_create "fleet.call_cycles" in
     let latency = Obs.Histogram.get_or_create "fleet.request_usec" in
     let deadline = Unix.gettimeofday () +. duration in
@@ -323,7 +423,7 @@ let run_fleet_live worlds domains bytes duration sample_ms serve_port
     while Unix.gettimeofday () < deadline do
       for _ = 1 to calls_per_batch do
         let t0 = Cpu.cycles kcpu in
-        (match User_ext.call app ~prepare ~arg:0 with
+        (match Pbackend.call app ~prepare ~arg:0 with
         | Ok _ -> ()
         | Error e -> Fmt.failwith "%a" User_ext.pp_call_error e);
         Obs.Histogram.observe h_call (Cpu.cycles kcpu - t0)
@@ -331,7 +431,7 @@ let run_fleet_live worlds domains bytes duration sample_ms serve_port
       let r =
         Server.run ~total:requests_per_batch ~latency
           ~invocation:Cgi_model.Libcgi_protected ~bytes
-          ~protected_call_usec:0.72 ()
+          ~protected_call_usec:pc_usec ()
       in
       Obs.Counters.add c_requests r.Server.requests;
       requests := !requests + r.Server.requests;
@@ -618,14 +718,15 @@ let fleet_cmd =
           sampling, streaming Prometheus exposition ($(b,--serve)) and JSONL \
           flushing ($(b,--jsonl)).")
     Term.(
-      const (fun e w d b n dur sample srv jl exp out ->
+      const (fun e bk w d b n dur sample srv jl exp out ->
           set_engine e;
+          set_backend bk;
           match dur with
           | None -> run_fleet w d b n
           | Some duration ->
               run_fleet_live w d b duration sample srv jl exp out)
-      $ engine_flag $ worlds $ domains $ bytes $ total $ duration
-      $ sample_every $ serve $ jsonl $ expect $ out)
+      $ engine_flag $ backend_flag $ worlds $ domains $ bytes $ total
+      $ duration $ sample_every $ serve $ jsonl $ expect $ out)
 
 (* --- rpc ------------------------------------------------------------------ *)
 
@@ -653,22 +754,22 @@ let rpc_cmd =
    ways, walks pages, loads descriptors and makes syscalls. *)
 let run_workload ~iterations ~with_fault =
   let w = Palladium.boot () in
-  let app = Palladium.create_app w ~name:"cli" in
-  let ext = User_ext.seg_dlopen app Ulib.null_image in
-  let prepare = User_ext.seg_dlsym app ext "null_fn" in
+  let app = create_app_or_exit w ~name:"cli" in
+  let ext = Pbackend.load app Ulib.null_image in
+  let prepare = Pbackend.resolve app ext "null_fn" in
   for _ = 1 to max 1 iterations do
-    ignore (User_ext.call app ~prepare ~arg:0)
+    ignore (Pbackend.call app ~prepare ~arg:0)
   done;
   if with_fault then begin
     (* an extension store to hidden application memory: SIGSEGV path *)
     let area =
-      Address_space.mmap (User_ext.task app).Task.asp ~len:4096
+      Address_space.mmap (Pbackend.task app).Task.asp ~len:4096
         ~perms:Vm_area.rw Vm_area.Data
     in
-    Address_space.populate (User_ext.task app).Task.asp area;
-    let rogue = User_ext.seg_dlopen app Ulib.rogue_write_image in
-    let poke = User_ext.seg_dlsym app rogue "poke" in
-    ignore (User_ext.call app ~prepare:poke ~arg:area.Vm_area.va_start)
+    Address_space.populate (Pbackend.task app).Task.asp area;
+    let rogue = Pbackend.load app Ulib.rogue_write_image in
+    let poke = Pbackend.resolve app rogue "poke" in
+    ignore (Pbackend.call app ~prepare:poke ~arg:area.Vm_area.va_start)
   end
 
 let run_stats iterations with_fault =
@@ -692,10 +793,11 @@ let stats_cmd =
          "Run a protected-call workload and print the global event counters \
           (TLB, page walks, privilege crossings, syscalls, faults).")
     Term.(
-      const (fun e n f ->
+      const (fun e b n f ->
           set_engine e;
+          set_backend b;
           run_stats n f)
-      $ engine_flag $ iterations $ with_fault)
+      $ engine_flag $ backend_flag $ iterations $ with_fault)
 
 (* --- trace: event ring buffer dump ----------------------------------------- *)
 
@@ -776,10 +878,12 @@ let trace_cmd =
           ring buffer (privilege transitions, module loads, protected calls, \
           faults, syscalls).")
     Term.(
-      const (fun e n f c j k ->
+      const (fun e b n f c j k ->
           set_engine e;
+          set_backend b;
           run_trace n f c j k)
-      $ engine_flag $ iterations $ with_fault $ capacity $ json $ filter)
+      $ engine_flag $ backend_flag $ iterations $ with_fault $ capacity $ json
+      $ filter)
 
 (* --- profile: span profiler over a workload -------------------------------- *)
 
@@ -860,10 +964,11 @@ let profile_cmd =
           trace (Perfetto), a Prometheus exposition and folded stacks for \
           flamegraphs.")
     Term.(
-      const (fun e w n o ->
+      const (fun e b w n o ->
           set_engine e;
+          set_backend b;
           run_profile w n o)
-      $ engine_flag $ workload $ iterations $ out_dir)
+      $ engine_flag $ backend_flag $ workload $ iterations $ out_dir)
 
 (* --- verify: load-time verifier reports ------------------------------------ *)
 

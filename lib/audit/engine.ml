@@ -4,7 +4,7 @@
 
 module J = Obs.Json
 
-type policy = Off | Warn | Reject
+type policy = Ppolicy.t = Off | Warn | Reject
 
 (* Process default; atomic so worlds on different domains read it
    safely.  Per-world overrides are resolved by the caller (Paudit
@@ -16,14 +16,11 @@ let policy () = Atomic.get default_policy
 
 let set_policy p = Atomic.set default_policy p
 
-let policy_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "off" -> Some Off
-  | "warn" -> Some Warn
-  | "reject" -> Some Reject
-  | _ -> None
+let policy_of_string = Ppolicy.of_string
 
-let policy_name = function Off -> "off" | Warn -> "warn" | Reject -> "reject"
+let policy_name = Ppolicy.name
+
+let effective_policy override = Ppolicy.resolve ~default:(policy ()) override
 
 type report = {
   rp_findings : Finding.t list;

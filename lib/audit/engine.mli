@@ -2,7 +2,7 @@
     reachability analysis over a snapshot, and applies the configured
     policy to the outcome. *)
 
-type policy = Off | Warn | Reject
+type policy = Ppolicy.t = Off | Warn | Reject
 
 val policy : unit -> policy
 (** Process-default audit policy; defaults to [Warn].  Atomic, so safe
@@ -16,6 +16,11 @@ val policy_of_string : string -> policy option
 (** Accepts ["off"], ["warn"], ["reject"] (case-insensitive). *)
 
 val policy_name : policy -> string
+
+val effective_policy : string option -> policy
+(** The policy for one world: the kernel's override string
+    ([Kernel.policy_override kernel "audit"]) when present and
+    parseable, else the process default. *)
 
 type report = {
   rp_findings : Finding.t list;  (** catalogue findings, then REACH *)

@@ -10,6 +10,7 @@ type subject =
   | Page of { pid : int option; vpn : int }
   | Frame of int
   | Task_state of int
+  | Code_addr of int
   | Machine
 
 type t = { f_id : string; f_subject : subject; f_msg : string }
@@ -26,6 +27,7 @@ let pp_subject ppf = function
   | Page { pid = None; vpn } -> Fmt.pf ppf "page(boot)[vpn %#x]" vpn
   | Frame pfn -> Fmt.pf ppf "frame[pfn %#x]" pfn
   | Task_state pid -> Fmt.pf ppf "task(pid %d)" pid
+  | Code_addr a -> Fmt.pf ppf "code[%#x]" a
   | Machine -> Fmt.string ppf "machine"
 
 let pp ppf t = Fmt.pf ppf "%s @ %a: %s" t.f_id pp_subject t.f_subject t.f_msg
@@ -50,6 +52,7 @@ let subject_json s =
         ]
   | Frame pfn -> obj "frame" [ ("pfn", J.Int pfn) ]
   | Task_state pid -> obj "task" [ ("pid", J.Int pid) ]
+  | Code_addr a -> obj "code_addr" [ ("addr", J.Int a) ]
   | Machine -> obj "machine" []
 
 let to_json t =

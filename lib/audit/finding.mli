@@ -10,6 +10,7 @@ type subject =
       (** [pid = None] means the kernel boot directory. *)
   | Frame of int  (** a physical frame number *)
   | Task_state of int  (** pid *)
+  | Code_addr of int  (** an instruction slot in code memory *)
   | Machine  (** global state with no narrower locus *)
 
 type t = { f_id : string; f_subject : subject; f_msg : string }

@@ -14,7 +14,10 @@
    - Page-level checks partition by region and cause: PTE/area PPL
      disagreement is INV-17, PTEs without a VM area INV-18, kernel
      pages marked user INV-19, frame aliasing INV-20 (user-writable
-     frames only, so INV-19 and INV-20 cannot both fire). *)
+     frames only, so INV-19 and INV-20 cannot both fire).
+   - Protection-key (MPK backend) checks mirror the PPL ones: PTE/area
+     key disagreement is INV-22, WRPKRU placement and operand INV-23,
+     keyed kernel pages INV-24. *)
 
 module P = X86.Privilege
 module Sel = X86.Selector
@@ -755,6 +758,99 @@ let check_task_seg_roles (s : S.t) =
         @ role "ext_cs" tk.S.t_ext_cs ~want_code:true ~dpl:P.R3 ~writable:false)
     s.S.s_tasks
 
+(* --- INV-22: protection-key consistency (MPK backend) -------------- *)
+
+let check_key_consistency (s : S.t) =
+  List.concat_map
+    (fun (tk : S.task) ->
+      List.filter_map
+        (fun (pg : S.page) ->
+          if S.is_kernel_vpn pg.S.pg_vpn then None
+          else
+            match S.area_covering tk (pg.S.pg_vpn * page_size) with
+            | None -> None (* INV-18's complaint *)
+            | Some a ->
+                if pg.S.pg_key <> a.S.ar_key then
+                  Some
+                    (F.v ~id:"INV-22"
+                       (F.Page { pid = Some tk.S.t_pid; vpn = pg.S.pg_vpn })
+                       "PTE carries protection key %d but the %s area %s is \
+                        key %d — the hardware no longer enforces what \
+                        init_mpk/set_key recorded"
+                       pg.S.pg_key
+                       (Vm_area.kind_name a.S.ar_kind)
+                       a.S.ar_label a.S.ar_key)
+                else None)
+        tk.S.t_pages)
+    s.S.s_tasks
+
+(* --- INV-23: WRPKRU confinement ------------------------------------ *)
+
+(* WRPKRU is unprivileged, so its *placement* is the invariant: every
+   occurrence in code memory must lie inside a registered MPK domain's
+   stub range and write one of the domain's sanctioned rights values.
+   A site anywhere else is a forged gate — the extension (or anyone)
+   could grant itself access to keyed pages. *)
+let check_wrpkru_confinement (s : S.t) =
+  List.concat_map
+    (fun (ws : S.wrpkru_site) ->
+      let subj = F.Code_addr ws.S.ws_addr in
+      match
+        List.find_opt
+          (fun (md : S.mpk_domain) ->
+            ws.S.ws_addr >= md.S.md_stub_base && ws.S.ws_addr < md.S.md_stub_end)
+          s.S.s_mpk_domains
+      with
+      | None ->
+          [
+            F.v ~id:"INV-23" subj
+              "wrpkru outside every registered MPK stub range — a forged \
+               protection-key gate";
+          ]
+      | Some md -> (
+          match ws.S.ws_imm with
+          | None ->
+              [
+                F.v ~id:"INV-23" subj
+                  "wrpkru in domain %s with a non-constant operand — the \
+                   rights it writes cannot be audited"
+                  md.S.md_name;
+              ]
+          | Some v ->
+              if List.mem v md.S.md_rights then []
+              else
+                [
+                  F.v ~id:"INV-23" subj
+                    "wrpkru writes rights %#x, not one of domain %s's \
+                     sanctioned values"
+                    v md.S.md_name;
+                ]))
+    s.S.s_wrpkru_sites
+
+(* --- INV-24: kernel pages carry no protection key ------------------ *)
+
+(* Keys are only consulted on user pages, so a keyed kernel page is
+   harmless to the hardware model — but it means someone re-stamped a
+   mapping nobody should be able to name, and a later U/S flip would
+   silently put the page under extension-grantable rights. *)
+let check_kernel_keys (s : S.t) =
+  let of_pages pid pages =
+    List.filter_map
+      (fun (pg : S.page) ->
+        if S.is_kernel_vpn pg.S.pg_vpn && pg.S.pg_key <> 0 then
+          Some
+            (F.v ~id:"INV-24" (F.Page { pid; vpn = pg.S.pg_vpn })
+               "kernel page carries protection key %d — kernel memory must \
+                never be reachable through an extension-grantable key"
+               pg.S.pg_key)
+        else None)
+      pages
+  in
+  of_pages None s.S.s_boot_pages
+  @ List.concat_map
+      (fun (tk : S.task) -> of_pages (Some tk.S.t_pid) tk.S.t_pages)
+      s.S.s_tasks
+
 (* --- catalogue ------------------------------------------------------ *)
 
 let iv ~id ~name ~paper ~doc check =
@@ -841,6 +937,19 @@ let catalogue =
         "promoted tasks keep app_cs (DPL 2 code), app_ss (DPL 2 writable \
          data) and ext_cs (DPL 3 code)"
       check_task_seg_roles;
+    iv ~id:"INV-22" ~name:"key-consistency" ~paper:"§4.4.1 (MPK analogue)"
+      ~doc:
+        "each mapped user page's protection key equals its VM area's \
+         recorded key (init_mpk/set_key intent)"
+      check_key_consistency;
+    iv ~id:"INV-23" ~name:"wrpkru-confinement" ~paper:"§4.4.2 (MPK analogue)"
+      ~doc:
+        "every wrpkru in code memory sits inside a registered MPK stub range \
+         and writes a sanctioned constant rights value"
+      check_wrpkru_confinement;
+    iv ~id:"INV-24" ~name:"kernel-key-free" ~paper:"§3.1 (MPK analogue)"
+      ~doc:"kernel-window pages carry protection key 0 in every directory"
+      check_kernel_keys;
   ]
 
 let find key =

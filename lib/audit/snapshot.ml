@@ -11,13 +11,20 @@ module P = X86.Privilege
 module Sel = X86.Selector
 module DT = X86.Desc_table
 
-type page = { pg_vpn : int; pg_pfn : int; pg_writable : bool; pg_user : bool }
+type page = {
+  pg_vpn : int;
+  pg_pfn : int;
+  pg_writable : bool;
+  pg_user : bool;
+  pg_key : int;
+}
 
 type area = {
   ar_start : int;
   ar_end : int;
   ar_writable : bool;
   ar_ppl : P.page_level;
+  ar_key : int;
   ar_kind : Vm_area.kind;
   ar_label : string;
 }
@@ -48,11 +55,30 @@ type registered_segment = {
   rs_dead : bool;
 }
 
+(* An MPK compartment as the backend registered it: the stub range is
+   the only place WRPKRU may appear, and the rights list is the only
+   set of values it may write. *)
+type mpk_domain = {
+  md_pid : int;
+  md_name : string;
+  md_stub_base : int;
+  md_stub_end : int; (* exclusive *)
+  md_app_key : int;
+  md_ext_key : int;
+  md_rights : int list; (* sanctioned WRPKRU operand values *)
+}
+
+(* A WRPKRU instruction found in code memory: its address and its
+   operand when that operand is a constant immediate. *)
+type wrpkru_site = { ws_addr : int; ws_imm : int option }
+
 type t = {
   s_gdt : (int * X86.Descriptor.t) list;
   s_idt : (int * X86.Descriptor.t) list;
   s_tasks : task list;
   s_segments : registered_segment list;
+  s_mpk_domains : mpk_domain list;
+  s_wrpkru_sites : wrpkru_site list;
   s_boot_pages : page list;
   s_syscall_entry : int;
   s_kcs : Sel.t;
@@ -74,6 +100,7 @@ let dir_pages dir =
           pg_pfn = pte.X86.Paging.pfn;
           pg_writable = pte.X86.Paging.writable;
           pg_user = pte.X86.Paging.user;
+          pg_key = pte.X86.Paging.key;
         }
         :: !acc);
   List.rev !acc
@@ -84,9 +111,20 @@ let capture_area (a : Vm_area.t) =
     ar_end = a.Vm_area.va_end;
     ar_writable = a.Vm_area.perms.Vm_area.pw;
     ar_ppl = a.Vm_area.ppl;
+    ar_key = a.Vm_area.key;
     ar_kind = a.Vm_area.kind;
     ar_label = a.Vm_area.label;
   }
+
+let wrpkru_sites code =
+  let acc = ref [] in
+  Code_mem.iter code (fun addr instr ->
+      match instr with
+      | Instr.Wrpkru (Operand.Imm v) ->
+          acc := { ws_addr = addr; ws_imm = Some v } :: !acc
+      | Instr.Wrpkru _ -> acc := { ws_addr = addr; ws_imm = None } :: !acc
+      | _ -> ());
+  List.rev !acc
 
 let capture_task (tk : Task.t) =
   let stacks =
@@ -112,12 +150,14 @@ let capture_task (tk : Task.t) =
     t_areas = List.map capture_area (Address_space.areas tk.Task.asp);
   }
 
-let capture ?(segments = []) ?(generation = 0) kernel =
+let capture ?(segments = []) ?(mpk_domains = []) ?(generation = 0) kernel =
   {
     s_gdt = table_entries (Kernel.gdt kernel);
     s_idt = table_entries (Kernel.idt kernel);
     s_tasks = List.rev_map capture_task (Kernel.tasks kernel);
     s_segments = segments;
+    s_mpk_domains = mpk_domains;
+    s_wrpkru_sites = wrpkru_sites (Kernel.code kernel);
     s_boot_pages = dir_pages (Kernel.boot_directory kernel);
     s_syscall_entry = Kernel.syscall_entry_offset kernel;
     s_kcs = Kernel.kernel_code_selector kernel;

@@ -3,13 +3,20 @@
     area, plus the loader-side ground truth (registered extension
     segments and AppCallGate entries) the invariants check against. *)
 
-type page = { pg_vpn : int; pg_pfn : int; pg_writable : bool; pg_user : bool }
+type page = {
+  pg_vpn : int;
+  pg_pfn : int;
+  pg_writable : bool;
+  pg_user : bool;
+  pg_key : int;  (** protection key of the PTE (0 = never checked) *)
+}
 
 type area = {
   ar_start : int;
   ar_end : int;  (** exclusive *)
   ar_writable : bool;
   ar_ppl : X86.Privilege.page_level;
+  ar_key : int;  (** protection key the area's pages should carry *)
   ar_kind : Vm_area.kind;
   ar_label : string;
 }
@@ -49,11 +56,30 @@ type registered_segment = {
   rs_dead : bool;  (** aborted; its descriptors must be gone *)
 }
 
+(** An MPK compartment as the protection-key backend registered it:
+    the stub range is the only sanctioned home for WRPKRU, and
+    [md_rights] the only values it may write. *)
+type mpk_domain = {
+  md_pid : int;
+  md_name : string;
+  md_stub_base : int;
+  md_stub_end : int;  (** exclusive *)
+  md_app_key : int;
+  md_ext_key : int;
+  md_rights : int list;
+}
+
+(** A WRPKRU instruction found in code memory; [ws_imm] is its operand
+    when that operand is a constant immediate. *)
+type wrpkru_site = { ws_addr : int; ws_imm : int option }
+
 type t = {
   s_gdt : (int * X86.Descriptor.t) list;
   s_idt : (int * X86.Descriptor.t) list;
   s_tasks : task list;
   s_segments : registered_segment list;
+  s_mpk_domains : mpk_domain list;
+  s_wrpkru_sites : wrpkru_site list;
   s_boot_pages : page list;
   s_syscall_entry : int;  (** kernel offset behind IDT vector 0x80 *)
   s_kcs : X86.Selector.t;
@@ -62,11 +88,17 @@ type t = {
 }
 
 val capture :
-  ?segments:registered_segment list -> ?generation:int -> Kernel.t -> t
+  ?segments:registered_segment list ->
+  ?mpk_domains:mpk_domain list ->
+  ?generation:int ->
+  Kernel.t ->
+  t
 (** Read-only walk of the kernel's descriptor tables, tasks, page
-    tables and TSSs.  [segments] is the auditor's registry of
-    sanctioned kernel-extension segments (default none);
-    [generation] stamps the snapshot for incremental re-audit. *)
+    tables and TSSs, plus a scan of code memory for WRPKRU sites.
+    [segments] is the auditor's registry of sanctioned kernel-extension
+    segments and [mpk_domains] its registry of MPK compartments
+    (default none); [generation] stamps the snapshot for incremental
+    re-audit. *)
 
 val find_gdt : t -> int -> X86.Descriptor.t option
 

@@ -1,0 +1,345 @@
+(* The protection-key extension mechanism: the MPK-style alternative
+   to the segmentation backend (User_ext).  The application keeps its
+   flat ring 3 segments and instead tags memory with 4-bit protection
+   keys: its own writable private pages carry the application key, the
+   extension's pages the extension key, and stubs/read-only/shared
+   pages key 0.  A protected call is a single generated stub that
+   switches stacks and writes the PKRU twice — down to extension
+   rights around the call, back up on return — with no phantom record,
+   no call gates and no ring transition.  Wrong-key accesses fault
+   exactly like PPL violations do under segmentation, so the paper's
+   protection guarantees survive while the transfer cost drops to two
+   wrpkru instructions.
+
+   Confinement of WRPKRU itself is the load-time verifier's job
+   (extension images may not contain it; see Verify's allowed_wrpkru
+   lint) plus the auditor's INV-23 placement check — the instruction
+   is unprivileged on the hardware. *)
+
+let app_key = 1
+
+let ext_key = 2
+
+type extension = {
+  x_name : string;
+  x_handle : Dyld.handle;
+  x_stack_area : Vm_area.t;
+  x_arg_slot : int; (* = initial extension ESP; top stack slot *)
+  x_heap_base : int;
+  x_heap_end : int;
+  mutable x_heap_cursor : int;
+  mutable x_functions : (string * int) list; (* function -> stub address *)
+}
+
+(* Same shape as the segmentation backend's errors, and the same type:
+   backend-generic callers (Pbackend) see one error space. *)
+type call_error = User_ext.call_error =
+  | Protection_fault of X86.Fault.t
+  | Time_limit_exceeded of Watchdog.expiry
+  | Runaway
+
+type t = {
+  kernel : Kernel.t;
+  task : Task.t;
+  env : Dyld.env;
+  rt : Runtime.t;
+  sp2_slot : int;
+  bp2_slot : int;
+  stub_base : int;
+  stub_end : int;
+  mutable stub_cursor : int;
+  ext_pkru : int; (* rights while an extension runs: app key denied *)
+  mutable extensions : extension list;
+  mutable time_limit : int;
+  mutable calls : int; (* statistics *)
+}
+
+let page_size = X86.Phys_mem.page_size
+
+let task t = t.task
+
+let runtime t = t.rt
+
+let env t = t.env
+
+let kernel t = t.kernel
+
+let ext_pkru t = t.ext_pkru
+
+let set_time_limit t cycles = t.time_limit <- cycles
+
+let calls t = t.calls
+
+(* Append assembled code to the application's stub region. *)
+let emit_stubs t program =
+  let asm = Asm.assemble ~org:t.stub_cursor program in
+  if t.stub_cursor + asm.Asm.text_size > t.stub_end then
+    invalid_arg "Mpk_ext: stub region exhausted";
+  Code_mem.store_program (Kernel.code t.kernel) ~addr:t.stub_cursor
+    asm.Asm.instrs;
+  t.stub_cursor <- t.stub_cursor + asm.Asm.text_size;
+  asm
+
+(* Create an extensible application under the protection-key backend:
+   runtime + data + stub regions as in the segmentation flow, then
+   init_mpk instead of init_PL — all writable private pages receive
+   the application key, but the task stays an ordinary flat ring 3
+   process. *)
+let create kernel ~name =
+  let task = Kernel.create_task kernel ~name in
+  let env = Dyld.create_env () in
+  let rt = Runtime.install kernel task in
+  (* Saved stack/base pointer slots: application data, so they carry
+     the application key after init_mpk — extensions cannot corrupt
+     them. *)
+  let data_area =
+    Address_space.mmap task.Task.asp ~len:page_size ~perms:Vm_area.rw
+      ~label:"palladium.data" Vm_area.Data
+  in
+  Address_space.populate task.Task.asp data_area;
+  (* Stub region: read-only executable, key 0 — the sanctioned (and
+     audited) home of every wrpkru. *)
+  let stub_area =
+    Address_space.mmap task.Task.asp
+      ~len:(Pconfig.stub_region_pages * page_size)
+      ~perms:Vm_area.rx ~label:"palladium.stubs" Vm_area.Text
+  in
+  Address_space.populate task.Task.asp stub_area;
+  let ext_pkru = X86.Mmu.key_ad app_key in
+  let t =
+    {
+      kernel;
+      task;
+      env;
+      rt;
+      sp2_slot = data_area.Vm_area.va_start;
+      bp2_slot = data_area.Vm_area.va_start + 4;
+      stub_base = stub_area.Vm_area.va_start;
+      stub_end = stub_area.Vm_area.va_end;
+      stub_cursor = stub_area.Vm_area.va_start;
+      ext_pkru;
+      extensions = [];
+      time_limit = Pconfig.default_time_limit_cycles;
+      calls = 0;
+    }
+  in
+  ignore
+    (Runtime.syscall_exn rt ~number:Syscall.sys_init_mpk ~a1:app_key
+       ~name:"init_mpk");
+  Paudit.register_mpk_domain kernel ~pid:task.Task.pid ~name
+    ~stub_base:t.stub_base ~stub_end:t.stub_end ~app_key ~ext_key
+    ~rights:[ 0; ext_pkru ];
+  Paudit.maybe_audit ~context:("mpk promote " ^ name) kernel;
+  t
+
+(* Key management: expose a range to extensions (key 0, accessible
+   under any PKRU) or hide it again behind the application key. *)
+let expose_range t ~addr ~len =
+  ignore
+    (Runtime.syscall_exn t.rt ~number:Syscall.sys_set_key ~a1:addr ~a2:len
+       ~a3:0 ~name:"set_key")
+
+let hide_range t ~addr ~len =
+  ignore
+    (Runtime.syscall_exn t.rt ~number:Syscall.sys_set_key ~a1:addr ~a2:len
+       ~a3:app_key ~name:"set_key")
+
+(* mpk_dlopen: load an extension image (same loader and verifier pass
+   as the segmentation backend) and stamp every extension area — text,
+   data, GOT, stack, heap — with the extension key. *)
+let mpk_dlopen t image =
+  let handle =
+    Dyld.dlopen ~placement:Dyld.extension_segment ~kernel:t.kernel
+      ~task:t.task ~env:t.env image
+  in
+  let asp = t.task.Task.asp in
+  let stack_area =
+    Address_space.mmap asp
+      ~len:(Pconfig.ext_stack_pages * page_size)
+      ~perms:Vm_area.rw
+      ~label:(image.Image.name ^ ".stack")
+      Vm_area.Ext_stack
+  in
+  Address_space.populate asp stack_area;
+  let heap_area =
+    Address_space.mmap asp ~len:(16 * page_size) ~perms:Vm_area.rw
+      ~label:(image.Image.name ^ ".heap")
+      Vm_area.Ext_data
+  in
+  Address_space.populate asp heap_area;
+  (* set_key charges the same per-page marking cost PPL marking does,
+     so load cost stays comparable across backends. *)
+  List.iter
+    (fun (a : Vm_area.t) ->
+      ignore
+        (Runtime.syscall_exn t.rt ~number:Syscall.sys_set_key
+           ~a1:a.Vm_area.va_start
+           ~a2:(a.Vm_area.va_end - a.Vm_area.va_start)
+           ~a3:ext_key ~name:"set_key"))
+    (stack_area :: heap_area :: handle.Dyld.h_areas);
+  let ext =
+    {
+      x_name = image.Image.name;
+      x_handle = handle;
+      x_stack_area = stack_area;
+      x_arg_slot = stack_area.Vm_area.va_end - 4;
+      x_heap_base = heap_area.Vm_area.va_start;
+      x_heap_end = heap_area.Vm_area.va_end;
+      x_heap_cursor = heap_area.Vm_area.va_start;
+      x_functions = [];
+    }
+  in
+  t.extensions <- ext :: t.extensions;
+  Paudit.maybe_audit ~context:("mpk_dlopen " ^ image.Image.name) t.kernel;
+  ext
+
+let find_extension t name =
+  List.find_opt (fun x -> x.x_name = name) t.extensions
+
+(* mpk_dlsym: resolve an extension function and return a pointer to a
+   generated protected-call stub for it. *)
+let mpk_dlsym t ext fn_name =
+  match List.assoc_opt fn_name ext.x_functions with
+  | Some stub -> stub
+  | None ->
+      let fn_addr = Dyld.dlsym ext.x_handle fn_name in
+      let spec =
+        {
+          Stub_gen.mk_fn_name = ext.x_name ^ "$" ^ fn_name;
+          mk_fn_addr = fn_addr;
+          mk_ext_stack_ptr = ext.x_arg_slot;
+          mk_sp2_slot = t.sp2_slot;
+          mk_bp2_slot = t.bp2_slot;
+          mk_ext_pkru = t.ext_pkru;
+          mk_app_pkru = 0;
+        }
+      in
+      let asm = emit_stubs t (Stub_gen.mpk_prepare spec) in
+      let stub = Asm.symbol asm (Stub_gen.mpk_prepare_label spec) in
+      ext.x_functions <- (fn_name, stub) :: ext.x_functions;
+      stub
+
+let dlsym_data ext name = Dyld.dlsym ext.x_handle name
+
+(* xmalloc: allocate from the extension's heap (extension key). *)
+let xmalloc ext size =
+  let aligned = (size + 3) land lnot 3 in
+  if ext.x_heap_cursor + aligned > ext.x_heap_end then
+    invalid_arg "Mpk_ext.xmalloc: extension heap exhausted";
+  let addr = ext.x_heap_cursor in
+  ext.x_heap_cursor <- ext.x_heap_cursor + aligned;
+  addr
+
+let c_protected_calls = Obs.Counters.counter "core.protected_calls"
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+(* The MPK analogue of the Table 1 phases, recovered from the stub's
+   [Mark] stamps:
+
+     Prepare     .setup  -> .call     argument copy + stack switch
+     wrpkru.in   .call   -> .body     the rights drop
+     ext.body    .body   -> .return   the extension function itself
+     wrpkru.out  .return -> .restore  the rights restore
+     ret         .restore-> rt.done   frame restore + near return  *)
+let record_phase_spans marks =
+  let find suffix =
+    List.find_map
+      (fun (n, c) -> if Filename.check_suffix n suffix then Some c else None)
+      marks
+  in
+  let phase name a b =
+    match (a, b) with
+    | Some x, Some y when y >= x -> ignore (Obs.Span.record name ~start:x ~stop:y)
+    | _ -> ()
+  in
+  let setup = find ".setup" in
+  let call = find ".call" in
+  let body = find ".body" in
+  let return = find ".return" in
+  let restore = find ".restore" in
+  let done_ = find "rt.done" in
+  phase "Prepare" setup call;
+  phase "wrpkru.in" call body;
+  phase "ext.body" body return;
+  phase "wrpkru.out" return restore;
+  phase "ret" restore done_
+
+(* Protected extension call: identical driver to the segmentation
+   backend — watchdog, spans, fault classification — only the stub it
+   enters differs. *)
+let call t ~prepare ~arg =
+  t.calls <- t.calls + 1;
+  Obs.Counters.incr c_protected_calls;
+  let wd = Kernel.watchdog t.kernel in
+  let cpu = Kernel.cpu t.kernel in
+  let span_on = Obs.Span.on () in
+  let marks_before = if span_on then List.length (Cpu.marks cpu) else 0 in
+  if span_on then
+    Obs.Span.begin_ "protected_call"
+      ~args:[ ("prepare", Printf.sprintf "%#x" prepare) ]
+      ~at:(Cpu.cycles cpu);
+  Watchdog.arm wd ~now:(Cpu.cycles cpu) ~limit:t.time_limit ();
+  Cpu.reset_tick cpu;
+  let o = Runtime.invoke1 t.rt ~fn:prepare ~arg in
+  Watchdog.disarm wd;
+  (* An aborted call (fault, timeout, runaway) never reaches the stub's
+     closing wrpkru, which would leave the thread stuck at extension
+     rights.  A real kernel restores PKRU from the interrupted thread's
+     saved context when it delivers the signal; mirror that here so the
+     application keeps its own rights after containment. *)
+  (match o.Runtime.result with
+  | Kernel.Completed -> ()
+  | Kernel.Faulted _ | Kernel.Timed_out _ | Kernel.Out_of_fuel ->
+      X86.Mmu.set_pkru (Cpu.mmu cpu) 0);
+  if span_on then begin
+    record_phase_spans (drop marks_before (Cpu.marks cpu));
+    Obs.Span.end_ "protected_call" ~at:(Cpu.cycles cpu)
+  end;
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~cycles:(Cpu.cycles cpu)
+      (Obs.Trace.Protected_call
+         {
+           fn = Printf.sprintf "%#x" prepare;
+           outcome =
+             (match o.Runtime.result with
+             | Kernel.Completed -> "ok"
+             | Kernel.Faulted _ -> "fault"
+             | Kernel.Timed_out _ -> "timeout"
+             | Kernel.Out_of_fuel -> "runaway");
+           cycles = o.Runtime.cycles;
+         });
+  match o.Runtime.result with
+  | Kernel.Completed -> Ok (o.Runtime.value, o.Runtime.cycles)
+  | Kernel.Faulted f -> Error (Protection_fault f)
+  | Kernel.Timed_out e ->
+      ignore
+        (Signal.deliver t.task.Task.signals
+           {
+             Signal.signal = Signal.SIGALRM;
+             fault_addr = None;
+             reason = "extension exceeded its CPU time limit";
+           });
+      Error (Time_limit_exceeded e)
+  | Kernel.Out_of_fuel -> Error Runaway
+
+(* Unprotected local call (Table 2 baseline; PKRU stays 0). *)
+let call_unprotected t ~fn ~arg =
+  let o = Runtime.invoke1 t.rt ~fn ~arg in
+  match o.Runtime.result with
+  | Kernel.Completed -> Ok (o.Runtime.value, o.Runtime.cycles)
+  | Kernel.Faulted f -> Error (Protection_fault f)
+  | Kernel.Timed_out e -> Error (Time_limit_exceeded e)
+  | Kernel.Out_of_fuel -> Error Runaway
+
+(* Helpers for tests and services to access task memory. *)
+let peek_u32 t addr = Address_space.peek_u32 t.task.Task.asp addr
+
+let peek_bytes t addr len = Address_space.peek_bytes t.task.Task.asp addr len
+
+let poke_bytes t addr bytes = Address_space.poke_bytes t.task.Task.asp addr bytes
+
+let poke_u32 t addr v = Address_space.poke_u32 t.task.Task.asp addr v
+
+let pp_call_error = User_ext.pp_call_error

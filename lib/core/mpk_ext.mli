@@ -1,0 +1,97 @@
+(** The protection-key (MPK-style) extension mechanism — the paging
+    half of the paper's integrated scheme re-expressed with per-page
+    protection keys instead of page privilege levels.
+
+    The application stays a flat ring 3 process.  init_mpk stamps its
+    writable private pages with the application key; extensions load
+    into areas stamped with the extension key; stubs and read-only
+    pages stay key 0.  A protected call is one generated stub that
+    switches stacks and writes PKRU twice (deny-app around the call) —
+    no phantom record, no gates, no ring change.  Wrong-key accesses
+    raise [Fault.Page_key] exactly where the segmentation backend
+    raises PPL faults. *)
+
+val app_key : int
+(** Protection key of the application's writable private pages (1). *)
+
+val ext_key : int
+(** Protection key of extension pages (2). *)
+
+(** A loaded extension: its image, stack, heap and generated stubs. *)
+type extension = {
+  x_name : string;
+  x_handle : Dyld.handle;
+  x_stack_area : Vm_area.t;
+  x_arg_slot : int;  (** top extension-stack slot; initial extension ESP *)
+  x_heap_base : int;
+  x_heap_end : int;
+  mutable x_heap_cursor : int;
+  mutable x_functions : (string * int) list;
+      (** function name -> protected-call stub address *)
+}
+
+(** Same error space as the segmentation backend (a type equation, so
+    the two backends' results interchange). *)
+type call_error = User_ext.call_error =
+  | Protection_fault of X86.Fault.t
+  | Time_limit_exceeded of Watchdog.expiry
+  | Runaway
+
+type t
+
+val create : Kernel.t -> name:string -> t
+(** Create a task, install the runtime, set up the data/stub regions,
+    perform init_mpk (application-key marking) and register the MPK
+    domain with the auditor. *)
+
+val task : t -> Task.t
+
+val runtime : t -> Runtime.t
+
+val env : t -> Dyld.env
+
+val kernel : t -> Kernel.t
+
+val ext_pkru : t -> int
+(** The PKRU value extensions run under (application key denied). *)
+
+val calls : t -> int
+
+val set_time_limit : t -> int -> unit
+
+val mpk_dlopen : t -> Image.t -> extension
+(** Load an image through the same loader/verifier path as
+    [User_ext.seg_dlopen], then stamp all its areas (text, data, GOT,
+    stack, heap) with the extension key. *)
+
+val find_extension : t -> string -> extension option
+
+val mpk_dlsym : t -> extension -> string -> int
+(** Resolve an extension function and return its generated
+    protected-call stub (cached per function). *)
+
+val dlsym_data : extension -> string -> int
+
+val xmalloc : extension -> int -> int
+
+val call : t -> prepare:int -> arg:int -> (int * int, call_error) result
+(** Protected extension call through the wrpkru stub, under the
+    watchdog.  [Ok (result, cycles)] on completion. *)
+
+val call_unprotected : t -> fn:int -> arg:int -> (int * int, call_error) result
+
+val expose_range : t -> addr:int -> len:int -> unit
+(** set_key to 0: make pages accessible under any PKRU. *)
+
+val hide_range : t -> addr:int -> len:int -> unit
+(** set_key back to the application key. *)
+
+val peek_u32 : t -> int -> int
+
+val peek_bytes : t -> int -> int -> Bytes.t
+
+val poke_bytes : t -> int -> Bytes.t -> unit
+
+val poke_u32 : t -> int -> int -> unit
+
+val pp_call_error : call_error Fmt.t

@@ -12,7 +12,8 @@ let version = "0.9.0"
 
 type world = { kernel : Kernel.t }
 
-let boot ?params ?verify_policy ?audit_policy ?budget_policy ?budget_cycles () =
+let boot ?params ?verify_policy ?audit_policy ?budget_policy ?budget_cycles
+    ?backend () =
   let kernel = Kernel.boot ?params () in
   (* Per-world policy overrides go on the kernel (as strings — the
      kern layer cannot see the policy types) before the first audit,
@@ -34,6 +35,10 @@ let boot ?params ?verify_policy ?audit_policy ?budget_policy ?budget_cycles () =
   | Some n ->
       Kernel.set_policy_override kernel ~name:"budget_cycles" (string_of_int n)
   | None -> ());
+  (match backend with
+  | Some b ->
+      Kernel.set_policy_override kernel ~name:"backend" (Pbackend.kind_name b)
+  | None -> ());
   let w = { kernel } in
   Paudit.maybe_audit ~context:"boot" w.kernel;
   w
@@ -52,6 +57,12 @@ let cpu w = Kernel.cpu w.kernel
 (* An extensible application, promoted to SPL 2 and ready to load
    SPL 3 extensions. *)
 let create_app w ~name = User_ext.create w.kernel ~name
+
+(* The world's effective protection backend, and a backend-generic
+   application under it (segmentation or protection keys). *)
+let backend w = Pbackend.effective w.kernel
+
+let create_backend_app ?backend w ~name = Pbackend.create ?backend w.kernel ~name
 
 (* A plain (non-Palladium) process at SPL 3. *)
 let create_plain_process w ~name =

@@ -19,6 +19,7 @@ val boot :
   ?audit_policy:Audit.Engine.policy ->
   ?budget_policy:Vcost.policy ->
   ?budget_cycles:int ->
+  ?backend:Pbackend.kind ->
   unit ->
   world
 (** Boot the machine: physical memory, GDT/IDT, the int-0x80 syscall
@@ -29,7 +30,10 @@ val boot :
     {!Pconfig.audit_policy}, {!Pconfig.budget_policy}).
     [?budget_cycles] pins the cycle budget the loaders compare static
     WCETs against and the watchdog fuel clamp (default
-    {!Pconfig.default_time_limit_cycles}). *)
+    {!Pconfig.default_time_limit_cycles}).  [?backend] pins this
+    world's protection backend ({!Pbackend.kind}); without it the
+    world follows the process default ([PALLADIUM_BACKEND] or
+    {!Pbackend.set_default}). *)
 
 val teardown : world -> unit
 (** Drop per-kernel state registered by upper layers (the auditor's
@@ -44,6 +48,14 @@ val cpu : world -> Cpu.t
 val create_app : world -> name:string -> User_ext.t
 (** An extensible application, already promoted to SPL 2 and ready to
     seg_dlopen extensions. *)
+
+val backend : world -> Pbackend.kind
+(** The world's effective protection backend. *)
+
+val create_backend_app :
+  ?backend:Pbackend.kind -> world -> name:string -> Pbackend.app
+(** A backend-generic extensible application under the world's
+    effective backend (or an explicit [?backend]). *)
 
 val create_plain_process : world -> name:string -> Task.t * Runtime.t
 (** An ordinary (non-Palladium) SPL 3 process. *)

@@ -26,8 +26,22 @@ type seg = {
   mutable sg_dead : bool;
 }
 
+(* An MPK compartment: the backend's own record of where its WRPKRU
+   stubs live and which rights values they write, ground truth for the
+   INV-23 placement check. *)
+type mdom = {
+  dm_pid : int;
+  dm_name : string;
+  dm_stub_base : int;
+  dm_stub_end : int;
+  dm_app_key : int;
+  dm_ext_key : int;
+  dm_rights : int list;
+}
+
 type state = {
   mutable st_segs : seg list;
+  mutable st_mpk : mdom list;
   (* Generation at which this kernel last passed (or warned through)
      an audit; [None] until the first audit. *)
   mutable st_last_gen : int option;
@@ -41,7 +55,7 @@ let state_of kernel =
   match Kernel.ext_state kernel slot with
   | Some (Audit_state st) -> st
   | _ ->
-      let st = { st_segs = []; st_last_gen = None } in
+      let st = { st_segs = []; st_mpk = []; st_last_gen = None } in
       Kernel.set_ext_state kernel slot (Audit_state st);
       st
 
@@ -66,6 +80,35 @@ let register_segment kernel ~name ~cs ~ds ~base ~size =
       sg_dead = false;
     }
     :: st.st_segs
+
+let register_mpk_domain kernel ~pid ~name ~stub_base ~stub_end ~app_key
+    ~ext_key ~rights =
+  let st = state_of kernel in
+  st.st_mpk <-
+    {
+      dm_pid = pid;
+      dm_name = name;
+      dm_stub_base = stub_base;
+      dm_stub_end = stub_end;
+      dm_app_key = app_key;
+      dm_ext_key = ext_key;
+      dm_rights = List.sort_uniq compare rights;
+    }
+    :: st.st_mpk
+
+let mpk_domains kernel =
+  List.rev_map
+    (fun dm ->
+      {
+        S.md_pid = dm.dm_pid;
+        md_name = dm.dm_name;
+        md_stub_base = dm.dm_stub_base;
+        md_stub_end = dm.dm_stub_end;
+        md_app_key = dm.dm_app_key;
+        md_ext_key = dm.dm_ext_key;
+        md_rights = dm.dm_rights;
+      })
+    (state_of kernel).st_mpk
 
 let find_seg kernel ~cs =
   List.find_opt (fun sg -> sg.sg_cs = cs) (state_of kernel).st_segs
@@ -125,11 +168,17 @@ let generation kernel =
         + (match sg.sg_far with None -> 1 | Some sels -> List.length sels)
         + if sg.sg_dead then 1 else 0)
       0 (state_of kernel).st_segs
+    + List.length (state_of kernel).st_mpk
   in
-  dt_writes + pg_gens + List.length tasks + registry_shape
+  (* Code-memory mutations matter too: the WRPKRU placement check
+     (INV-23) scans the instruction store, so a freshly stored rogue
+     wrpkru must invalidate the incremental-audit cache. *)
+  let code_gen = Code_mem.generation (Kernel.code kernel) in
+  dt_writes + pg_gens + code_gen + List.length tasks + registry_shape
 
 let capture kernel =
-  S.capture ~segments:(segments kernel) ~generation:(generation kernel) kernel
+  S.capture ~segments:(segments kernel) ~mpk_domains:(mpk_domains kernel)
+    ~generation:(generation kernel) kernel
 
 let c_skipped = Obs.Counters.counter "audit.skipped"
 

@@ -35,6 +35,22 @@ val mark_segment_dead : Kernel.t -> cs:int -> unit
 
 val segments : Kernel.t -> Audit.Snapshot.registered_segment list
 
+val register_mpk_domain :
+  Kernel.t ->
+  pid:int ->
+  name:string ->
+  stub_base:int ->
+  stub_end:int ->
+  app_key:int ->
+  ext_key:int ->
+  rights:int list ->
+  unit
+(** Record an MPK compartment: [stub_base, stub_end) is the only range
+    where WRPKRU may appear, and [rights] the only values it may write
+    (INV-23's ground truth). *)
+
+val mpk_domains : Kernel.t -> Audit.Snapshot.mpk_domain list
+
 val forget : Kernel.t -> unit
 (** Drop this kernel's audit state (segment registry and generation
     cache) — world teardown.  The next audit of the same kernel starts

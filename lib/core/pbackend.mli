@@ -1,0 +1,85 @@
+(** Pluggable protection backends.
+
+    A backend is one answer to "how is the application/extension
+    boundary enforced".  [Segmentation] is the paper's user-level
+    mechanism ([User_ext]); [Mpk] is the protection-key re-expression
+    of its paging half ([Mpk_ext]); the two SFI kinds are the
+    software-fault-isolation baselines, usable in benchmarks only
+    (they rewrite modules rather than host applications).
+
+    Selection layers, weakest to strongest:
+    process default ([set_default], seeded from [PALLADIUM_BACKEND])
+    < per-world override ([Palladium.boot ?backend], stored in the
+    kernel's policy-override table under ["backend"]) < an explicit
+    [?backend] argument to [create]. *)
+
+type kind = Segmentation | Mpk | Sfi_full | Sfi_verified
+
+val all : kind list
+
+val kind_name : kind -> string
+(** "seg" | "mpk" | "sfi-full" | "sfi-verified". *)
+
+val kind_of_string : string -> kind option
+(** Accepts the [kind_name] spellings plus common aliases
+    ("segmentation", "pku", "sfi", underscores). *)
+
+val expected : string
+(** Human-readable list of accepted spellings, for error messages. *)
+
+val default : unit -> kind
+
+val set_default : kind -> unit
+
+val effective : Kernel.t -> kind
+(** The backend this kernel's world runs under: its ["backend"] policy
+    override when set and parseable, else the process default. *)
+
+(** A backend-generic application host. *)
+type app = Seg of User_ext.t | Mpk_app of Mpk_ext.t
+
+(** A backend-generic loaded extension. *)
+type ext = Ext_seg of User_ext.extension | Ext_mpk of Mpk_ext.extension
+
+val create : ?backend:kind -> Kernel.t -> name:string -> app
+(** Create an application under [backend] (default: [effective]).
+    @raise Invalid_argument for the SFI kinds. *)
+
+val backend_of : app -> kind
+
+val task : app -> Task.t
+
+val kernel_of : app -> Kernel.t
+
+val set_time_limit : app -> int -> unit
+
+val calls : app -> int
+
+val load : app -> Image.t -> ext
+(** [seg_dlopen] or [mpk_dlopen], by backend. *)
+
+val resolve : app -> ext -> string -> int
+(** Resolve a function to its protected-call entry (Prepare stub or
+    wrpkru stub).  @raise Invalid_argument on a backend mismatch. *)
+
+val dlsym_data : ext -> string -> int
+
+val xmalloc : ext -> int -> int
+
+val call : app -> prepare:int -> arg:int -> (int * int, User_ext.call_error) result
+(** Protected call; both backends share [User_ext.call_error]. *)
+
+val call_unprotected :
+  app -> fn:int -> arg:int -> (int * int, User_ext.call_error) result
+
+val expose_range : app -> addr:int -> len:int -> unit
+
+val hide_range : app -> addr:int -> len:int -> unit
+
+val peek_u32 : app -> int -> int
+
+val poke_u32 : app -> int -> int -> unit
+
+val peek_bytes : app -> int -> int -> Bytes.t
+
+val poke_bytes : app -> int -> Bytes.t -> unit

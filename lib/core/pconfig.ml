@@ -54,6 +54,9 @@ let budget_policy () = Vcost.policy ()
 
 let set_budget_policy = Vcost.set_policy
 
+(* All three layers parse the same Off/Warn/Reject strings through the
+   shared Ppolicy helper; the per-layer aliases are kept for callers
+   that want the layer's own (re-exported) policy type. *)
 let verify_policy_of_string = Verify.policy_of_string
 
 let audit_policy_of_string = Audit.Engine.policy_of_string
@@ -67,12 +70,7 @@ let effective_verify_policy kernel =
   Verify.effective_policy (Kernel.policy_override kernel "verify")
 
 let effective_audit_policy kernel =
-  match Kernel.policy_override kernel "audit" with
-  | Some s -> (
-      match Audit.Engine.policy_of_string s with
-      | Some p -> p
-      | None -> audit_policy ())
-  | None -> audit_policy ()
+  Audit.Engine.effective_policy (Kernel.policy_override kernel "audit")
 
 let effective_budget_policy kernel =
   Vcost.effective_policy (Kernel.policy_override kernel "budget")
@@ -85,19 +83,14 @@ let effective_budget_cycles kernel =
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default_time_limit_cycles)
   | None -> default_time_limit_cycles
 
-(* Both process defaults can be seeded from the environment, so CI and
+(* The process defaults can be seeded from the environment, so CI and
    ad-hoc runs can flip them without touching call sites:
-   PALLADIUM_VERIFY=off|warn|reject, PALLADIUM_AUDIT=off|warn|reject. *)
+   PALLADIUM_VERIFY / PALLADIUM_AUDIT / PALLADIUM_BUDGET =
+   off|warn|reject.  (PALLADIUM_BACKEND is seeded the same way by
+   Pbackend.) *)
 let () =
   let seed var parse set =
-    match Sys.getenv_opt var with
-    | None -> ()
-    | Some v -> (
-        match parse v with
-        | Some p -> set p
-        | None ->
-            Fmt.epr "palladium: ignoring %s=%S (expected off|warn|reject)@." var
-              v)
+    Ppolicy.seed_env var ~parse ~expected:"off|warn|reject" ~set
   in
   seed "PALLADIUM_VERIFY" verify_policy_of_string set_verify_policy;
   seed "PALLADIUM_AUDIT" audit_policy_of_string set_audit_policy;

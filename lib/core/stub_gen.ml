@@ -117,6 +117,48 @@ let kernel_transfer spec =
     i (Instr.Lcall spec.return_gate);
   ]
 
+(* --- MPK backend ---------------------------------------------------- *)
+
+(* Inputs for one extension function's protection-key entry stub. *)
+type mpk_stub_spec = {
+  mk_fn_name : string; (* unique; labels and marks derive from it *)
+  mk_fn_addr : int; (* extension function address (flat) *)
+  mk_ext_stack_ptr : int; (* initial extension ESP; the argument slot *)
+  mk_sp2_slot : int; (* where the stub saves the caller's ESP *)
+  mk_bp2_slot : int; (* where the stub saves the caller's EBP *)
+  mk_ext_pkru : int; (* rights while the extension runs *)
+  mk_app_pkru : int; (* rights restored on return (usually 0) *)
+}
+
+let mpk_prepare_label spec = "mprep$" ^ spec.mk_fn_name
+
+(* The whole protected call is one stub: no phantom record, no call
+   gate, no ring change.  The stack switch MUST precede the rights
+   drop — under the extension PKRU the application stack is key-denied,
+   so a push after the wrpkru would fault.  Jumping into the exit half
+   early merely terminates the call (it restores the application's
+   saved frame and returns into the runtime), the same early-out the
+   segmentation return gate allows. *)
+let mpk_prepare spec =
+  [
+    L (mpk_prepare_label spec);
+    i (Instr.Mark (spec.mk_fn_name ^ ".setup"));
+    i (Instr.Push (Operand.deref ~disp:4 Reg.ESP)); (* pushl 0x4(%esp) *)
+    i (Instr.Pop (absolute spec.mk_ext_stack_ptr)); (* popl ExtensionStack *)
+    i (Instr.Mov (absolute spec.mk_sp2_slot, reg Reg.ESP)); (* movl %esp, SP2 *)
+    i (Instr.Mov (absolute spec.mk_bp2_slot, reg Reg.EBP)); (* movl %ebp, BP2 *)
+    i (Instr.Mov (reg Reg.ESP, imm spec.mk_ext_stack_ptr)); (* switch stacks *)
+    i (Instr.Mark (spec.mk_fn_name ^ ".call"));
+    i (Instr.Wrpkru (imm spec.mk_ext_pkru)); (* drop to extension rights *)
+    i (Instr.Call (Instr.Abs spec.mk_fn_addr)); (* call ExtensionFunction *)
+    i (Instr.Mark (spec.mk_fn_name ^ ".return"));
+    i (Instr.Wrpkru (imm spec.mk_app_pkru)); (* regain application rights *)
+    i (Instr.Mark (spec.mk_fn_name ^ ".restore"));
+    i (Instr.Mov (reg Reg.ESP, absolute spec.mk_sp2_slot)); (* mov SP2, %esp *)
+    i (Instr.Mov (reg Reg.EBP, absolute spec.mk_bp2_slot)); (* mov BP2, %ebp *)
+    i Instr.Ret;
+  ]
+
 (* Application-service stub (section 4.5.1, last paragraph): entered
    at the core's privilege level through a DPL 3 call gate.  The
    service executes against the extension's own stack: EBX is pointed

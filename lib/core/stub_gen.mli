@@ -51,6 +51,26 @@ val kernel_prepare :
 val kernel_transfer : fn_stub_spec -> Asm.program
 (** Kernel-side Transfer, placed inside the extension segment. *)
 
+(** Inputs for one extension function's protection-key entry stub. *)
+type mpk_stub_spec = {
+  mk_fn_name : string;  (** unique; labels and marks derive from it *)
+  mk_fn_addr : int;  (** extension function address (flat) *)
+  mk_ext_stack_ptr : int;  (** initial extension ESP (= argument slot) *)
+  mk_sp2_slot : int;  (** where the stub saves the caller's ESP *)
+  mk_bp2_slot : int;  (** where the stub saves the caller's EBP *)
+  mk_ext_pkru : int;  (** PKRU while the extension runs *)
+  mk_app_pkru : int;  (** PKRU restored on return (usually 0) *)
+}
+
+val mpk_prepare_label : mpk_stub_spec -> string
+
+val mpk_prepare : mpk_stub_spec -> Asm.program
+(** The MPK protected-call stub: copy the argument, save ESP/EBP,
+    switch to the extension stack, [wrpkru] down to extension rights,
+    call the function, [wrpkru] back up and restore.  No phantom
+    record, no gates, no ring change — the transfer cost is two
+    [wrpkru]s instead of an [lret]/[lcall] pair. *)
+
 val app_service : label:string -> kcall_name:string -> Asm.program
 (** An application-service stub reached through a DPL 3 call gate: it
     points EBX at the arguments the extension pushed on its own stack

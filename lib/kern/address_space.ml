@@ -18,16 +18,22 @@ type t = {
   dir : X86.Paging.dir;
   mutable areas : Vm_area.t list; (* sorted by va_start *)
   mutable spl2 : bool;
-  mutable marked_pages : int; (* statistics: PPL-marking operations *)
+  mutable mpk_app_key : int; (* 0 = no MPK promotion (see mpk_promote) *)
+  mutable marked_pages : int; (* statistics: PPL/key-marking operations *)
 }
 
-let create ~phys ~dir = { phys; dir; areas = []; spl2 = false; marked_pages = 0 }
+let create ~phys ~dir =
+  { phys; dir; areas = []; spl2 = false; mpk_app_key = 0; marked_pages = 0 }
 
 let directory t = t.dir
 
 let areas t = t.areas
 
 let is_promoted t = t.spl2
+
+let is_mpk t = t.mpk_app_key <> 0
+
+let mpk_app_key t = t.mpk_app_key
 
 let marked_pages t = t.marked_pages
 
@@ -73,12 +79,27 @@ let default_ppl t ~(perms : Vm_area.perms) ~(kind : Vm_area.kind) =
   | Vm_area.Mmap_anon | Vm_area.Shared_lib | Vm_area.Gate_stack ->
       if t.spl2 && perms.Vm_area.pw then P.Supervisor else P.User
 
+(* The protection key a fresh area receives under the current MPK
+   promotion state: the application key for the app's own writable
+   private areas (the same set promote would mark supervisor), 0 for
+   everything else.  Extension areas receive their key explicitly
+   through [set_key_range] after loading. *)
+let default_key t ~(perms : Vm_area.perms) ~(kind : Vm_area.kind) =
+  match kind with
+  | Vm_area.Ext_code | Vm_area.Ext_data | Vm_area.Ext_stack
+  | Vm_area.Shared_area | Vm_area.Got | Vm_area.Plt ->
+      0
+  | Vm_area.Text | Vm_area.Data | Vm_area.Bss | Vm_area.Heap | Vm_area.Stack
+  | Vm_area.Mmap_anon | Vm_area.Shared_lib | Vm_area.Gate_stack ->
+      if perms.Vm_area.pw then t.mpk_app_key else 0
+
 let map_area t ?label ~va_start ~len ~perms kind =
   let va_end = X86.Layout.page_align_up (va_start + len) in
   let va_start = X86.Layout.page_align_down va_start in
   check_user_range ~va_start ~va_end;
   let ppl = default_ppl t ~perms ~kind in
-  let area = Vm_area.create ?label ~va_start ~va_end ~perms ~ppl kind in
+  let key = default_key t ~perms ~kind in
+  let area = Vm_area.create ?label ~key ~va_start ~va_end ~perms ~ppl kind in
   add_area t area;
   area
 
@@ -125,11 +146,13 @@ let munmap t ~addr ~len =
     drop;
   List.length drop
 
-(* Map one page of an area (demand paging).  Returns the new frame. *)
+(* Map one page of an area (demand paging).  Returns the new frame.
+   The area's protection key rides along so demand-paged frames carry
+   the same key as eagerly populated ones. *)
 let map_page t (area : Vm_area.t) ~vpn =
   let pfn = X86.Phys_mem.alloc_frame t.phys in
   X86.Paging.map t.dir ~vpn ~pfn ~writable:area.Vm_area.perms.Vm_area.pw
-    ~user:(area.Vm_area.ppl = P.User);
+    ~user:(area.Vm_area.ppl = P.User) ~key:area.Vm_area.key;
   pfn
 
 (* Demand-fault service: returns [true] when the faulting page was
@@ -191,6 +214,58 @@ let promote t =
       in
       if keep_user then acc else acc + apply_ppl t a P.Supervisor)
     0 t.areas
+
+(* --- protection-key marking (MPK backend) -------------------------- *)
+
+(* Re-stamp the key of every mapped page of [area]; unmapped pages get
+   the new key when they fault in ([map_page] reads [area.key]).
+   Returns page-table entries touched for cycle accounting. *)
+let apply_key t (area : Vm_area.t) key =
+  if key < 0 || key >= X86.Paging.key_count then
+    invalid_arg "Address_space.apply_key: bad key";
+  area.Vm_area.key <- key;
+  let vpn0 = area.Vm_area.va_start / page_size in
+  let touched = ref 0 in
+  for i = 0 to Vm_area.pages area - 1 do
+    if X86.Paging.set_key t.dir ~vpn:(vpn0 + i) key then incr touched
+  done;
+  t.marked_pages <- t.marked_pages + !touched;
+  !touched
+
+(* init_mpk's memory side: the MPK analogue of [promote].  Stamps the
+   application key on all writable non-extension areas — the same set
+   promote marks supervisor — but leaves every page a user page and
+   the task at SPL 3: confinement comes from the PKRU value the
+   entry/exit stubs write, not from rings.  Returns pages touched. *)
+let mpk_promote t ~app_key =
+  if app_key <= 0 || app_key >= X86.Paging.key_count then
+    invalid_arg "Address_space.mpk_promote: bad key";
+  t.mpk_app_key <- app_key;
+  List.fold_left
+    (fun acc (a : Vm_area.t) ->
+      let keyed = default_key t ~perms:a.Vm_area.perms ~kind:a.Vm_area.kind in
+      if keyed = 0 then acc else acc + apply_key t a keyed)
+    0 t.areas
+
+(* set_key: assign [key] to a byte range, e.g. extension areas after
+   loading (extension key) or shared buffers (key 0 = expose).  The
+   range must fall entirely inside existing areas. *)
+let set_key_range t ~addr ~len key =
+  if key < 0 || key >= X86.Paging.key_count then Error Errno.EINVAL
+  else begin
+    let va_start = X86.Layout.page_align_down addr in
+    let va_end = X86.Layout.page_align_up (addr + len) in
+    let affected =
+      List.filter (fun a -> Vm_area.overlaps a ~va_start ~va_end) t.areas
+    in
+    match affected with
+    | [] -> Error Errno.EINVAL
+    | areas ->
+        let touched =
+          List.fold_left (fun acc a -> acc + apply_key t a key) 0 areas
+        in
+        Ok touched
+  end
 
 (* set_range: expose pages to extensions (PPL 1) or hide them (PPL 0).
    The range must fall entirely inside existing areas. *)
@@ -267,11 +342,12 @@ let clone t =
     areas =
       List.map
         (fun (a : Vm_area.t) ->
-          Vm_area.create ~label:a.Vm_area.label ~va_start:a.Vm_area.va_start
-            ~va_end:a.Vm_area.va_end ~perms:a.Vm_area.perms ~ppl:a.Vm_area.ppl
-            a.Vm_area.kind)
+          Vm_area.create ~label:a.Vm_area.label ~key:a.Vm_area.key
+            ~va_start:a.Vm_area.va_start ~va_end:a.Vm_area.va_end
+            ~perms:a.Vm_area.perms ~ppl:a.Vm_area.ppl a.Vm_area.kind)
         t.areas;
     spl2 = t.spl2;
+    mpk_app_key = t.mpk_app_key;
     marked_pages = 0;
   }
 

@@ -13,8 +13,15 @@ val areas : t -> Vm_area.t list
 
 val is_promoted : t -> bool
 
+val is_mpk : t -> bool
+(** [true] after {!mpk_promote}: the space runs under the protection-
+    key backend (flat segments, keys instead of PPLs). *)
+
+val mpk_app_key : t -> int
+(** The application's protection key (0 when not MPK-promoted). *)
+
 val marked_pages : t -> int
-(** Statistics: PPL-marking operations performed. *)
+(** Statistics: PPL/key-marking operations performed. *)
 
 val find_area : t -> int -> Vm_area.t option
 
@@ -69,6 +76,22 @@ val promote : t -> int
 
 val set_range :
   t -> addr:int -> len:int -> X86.Privilege.page_level -> (int, Errno.t) result
+
+val apply_key : t -> Vm_area.t -> int -> int
+(** Re-stamp an area's protection key; returns PTEs touched.  Unmapped
+    pages pick the key up at demand-map time.  Callers flush the TLB. *)
+
+val mpk_promote : t -> app_key:int -> int
+(** init_mpk's memory side: the MPK analogue of {!promote}.  Writable
+    non-extension areas receive [app_key]; pages stay user pages and
+    the task stays at SPL 3 (confinement comes from PKRU, not rings).
+    Fresh writable private areas mapped later inherit [app_key].
+    Returns PTEs touched. *)
+
+val set_key_range : t -> addr:int -> len:int -> int -> (int, Errno.t) result
+(** Assign a protection key to a byte range (extension areas after
+    loading, shared buffers).  [Error EINVAL] when the range hits no
+    area or the key is out of range. *)
 
 val mprotect :
   t -> addr:int -> len:int -> perms:Vm_area.perms -> (unit, Errno.t) result

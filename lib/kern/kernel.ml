@@ -383,6 +383,51 @@ let sys_set_call_gate (ctx : Syscall.context) =
           (idx, ctx.Syscall.arg1) :: task.Task.gate_entries;
         Sel.encode (Sel.make ~table:Sel.Ldt ~rpl:P.R3 idx)
 
+(* init_mpk: the protection-key analogue of init_PL.  The process
+   keeps its flat ring 3 segments — no LDT descriptors, no call gates,
+   no TSS stack — and instead all its writable private pages are
+   stamped with the application key (arg1).  Confinement then comes
+   from the PKRU values the backend's entry/exit stubs write: the
+   extension runs with a PKRU that denies the application key.
+   Extensions cannot call this (or set_key) themselves: the load-time
+   verifier rejects [int 0x80] in extension images. *)
+let sys_init_mpk (ctx : Syscall.context) =
+  let task = ctx.Syscall.task in
+  let cpu = ctx.Syscall.cpu in
+  let app_key = ctx.Syscall.arg1 in
+  if Task.is_promoted task || Address_space.is_mpk task.Task.asp then
+    Errno.to_ret Errno.EPERM
+  else if app_key <= 0 || app_key >= X86.Paging.key_count then
+    Errno.to_ret Errno.EINVAL
+  else begin
+    (* Key marking walks the same page tables PPL marking does, so it
+       is priced identically. *)
+    let pages = Address_space.mpk_promote task.Task.asp ~app_key in
+    X86.Mmu.flush_tlb (Cpu.mmu cpu);
+    Cpu.charge cpu (Kcosts.ppl_mark_startup + (Kcosts.ppl_mark_per_page * pages));
+    0
+  end
+
+(* set_key: assign a protection key to a page range — extension areas
+   after loading (extension key), or shared buffers (key 0 = expose to
+   everyone).  Only meaningful after init_mpk.  No TLB flush is needed
+   for the *decision* (the TLB caches the key, not the verdict), but
+   the cached key itself changes, so stale entries must go. *)
+let sys_set_key (ctx : Syscall.context) =
+  let task = ctx.Syscall.task in
+  if not (Address_space.is_mpk task.Task.asp) then Errno.to_ret Errno.EPERM
+  else
+    match
+      Address_space.set_key_range task.Task.asp ~addr:ctx.Syscall.arg1
+        ~len:ctx.Syscall.arg2 ctx.Syscall.arg3
+    with
+    | Error e -> Errno.to_ret e
+    | Ok touched ->
+        X86.Mmu.flush_tlb (Cpu.mmu ctx.Syscall.cpu);
+        Cpu.charge ctx.Syscall.cpu
+          (Kcosts.ppl_mark_startup + (Kcosts.ppl_mark_per_page * touched));
+        0
+
 (* --- Task management ------------------------------------------------ *)
 
 let kernel_stack_pages = 2
@@ -608,7 +653,9 @@ let register_base_syscalls t =
   reg_syscall t ~number:Syscall.sys_init_pl ~name:"init_PL" (sys_init_pl t);
   reg_syscall t ~number:Syscall.sys_set_range ~name:"set_range" sys_set_range;
   reg_syscall t ~number:Syscall.sys_set_call_gate ~name:"set_call_gate"
-    sys_set_call_gate
+    sys_set_call_gate;
+  reg_syscall t ~number:Syscall.sys_init_mpk ~name:"init_mpk" sys_init_mpk;
+  reg_syscall t ~number:Syscall.sys_set_key ~name:"set_key" sys_set_key
 
 (* Atomic so kernels booted by worlds on different domains still get
    unique ids. *)

@@ -36,9 +36,13 @@ let decide ~(cpl : P.ring) ~(task : Task.t) (fault : F.t) : outcome =
             fault_addr = Some linear;
             reason = F.to_string fault;
           })
-  | F.Page_privilege { linear; _ } | F.Page_readonly { linear } ->
-      (* A user-mode (SPL 3) access hit a supervisor or read-only page:
-         this is the user-extension confinement check firing. *)
+  | F.Page_privilege { linear; _ }
+  | F.Page_readonly { linear }
+  | F.Page_key { linear; _ } ->
+      (* A user-mode (SPL 3) access hit a supervisor or read-only page,
+         or a data access was denied by the page's protection key under
+         the current PKRU: the user-extension confinement check
+         firing. *)
       Deliver_segv
         {
           Signal.signal = Signal.SIGSEGV;

@@ -28,6 +28,10 @@ let sys_set_range = 201
 
 let sys_set_call_gate = 202
 
+let sys_init_mpk = 203
+
+let sys_set_key = 204
+
 type context = {
   task : Task.t;
   cpu : Cpu.t;

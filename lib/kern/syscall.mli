@@ -23,6 +23,10 @@ val sys_set_range : int
 
 val sys_set_call_gate : int
 
+val sys_init_mpk : int
+
+val sys_set_key : int
+
 type context = {
   task : Task.t;
   cpu : Cpu.t;

@@ -33,6 +33,7 @@ type t = {
   mutable va_end : int; (* exclusive, page aligned *)
   mutable perms : perms;
   mutable ppl : X86.Privilege.page_level;
+  mutable key : int; (* protection key its pages receive (MPK backend) *)
   kind : kind;
   label : string;
 }
@@ -53,13 +54,14 @@ let kind_name = function
   | Shared_area -> "shared"
   | Gate_stack -> "gate-stack"
 
-let create ?(label = "") ~va_start ~va_end ~perms ~ppl kind =
+let create ?(label = "") ?(key = 0) ~va_start ~va_end ~perms ~ppl kind =
   if va_start land X86.Phys_mem.page_mask <> 0 then
     invalid_arg "Vm_area: unaligned start";
   if va_end land X86.Phys_mem.page_mask <> 0 then
     invalid_arg "Vm_area: unaligned end";
   if va_end <= va_start then invalid_arg "Vm_area: empty area";
-  { va_start; va_end; perms; ppl; kind; label }
+  if key < 0 || key >= X86.Paging.key_count then invalid_arg "Vm_area: bad key";
+  { va_start; va_end; perms; ppl; key; kind; label }
 
 let contains t addr = addr >= t.va_start && addr < t.va_end
 
@@ -74,9 +76,11 @@ let allows t (access : X86.Fault.access) =
   | X86.Fault.Execute -> t.perms.px
 
 let pp ppf t =
-  Fmt.pf ppf "%#x-%#x %s%s%s %a %s%s" t.va_start t.va_end
+  Fmt.pf ppf "%#x-%#x %s%s%s %a%s %s%s" t.va_start t.va_end
     (if t.perms.pr then "r" else "-")
     (if t.perms.pw then "w" else "-")
     (if t.perms.px then "x" else "-")
-    X86.Privilege.pp_page t.ppl (kind_name t.kind)
+    X86.Privilege.pp_page t.ppl
+    (if t.key = 0 then "" else Printf.sprintf " key%d" t.key)
+    (kind_name t.kind)
     (if t.label = "" then "" else " [" ^ t.label ^ "]")

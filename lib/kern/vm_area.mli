@@ -32,6 +32,9 @@ type t = {
   mutable va_end : int;  (** exclusive, page aligned *)
   mutable perms : perms;
   mutable ppl : X86.Privilege.page_level;
+  mutable key : int;
+      (** protection key its pages receive when mapped (MPK backend);
+          0 = no key, never checked *)
   kind : kind;
   label : string;
 }
@@ -40,13 +43,15 @@ val kind_name : kind -> string
 
 val create :
   ?label:string ->
+  ?key:int ->
   va_start:int ->
   va_end:int ->
   perms:perms ->
   ppl:X86.Privilege.page_level ->
   kind ->
   t
-(** Raises [Invalid_argument] on unaligned or empty ranges. *)
+(** Raises [Invalid_argument] on unaligned or empty ranges, or a key
+    outside [0, X86.Paging.key_count). [key] defaults to 0. *)
 
 val contains : t -> int -> bool
 

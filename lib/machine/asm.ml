@@ -70,6 +70,7 @@ let assemble ?(org = 0) ?(extern = fun _ -> None) items =
     | Instr.Jmp_ind o -> Instr.Jmp_ind (operand o)
     | Instr.Jcc (c, t) -> Instr.Jcc (c, target t)
     | Instr.Lcall_ind o -> Instr.Lcall_ind (operand o)
+    | Instr.Wrpkru o -> Instr.Wrpkru (operand o)
     | ( Instr.Lea _ | Instr.Push_sreg _ | Instr.Ret | Instr.Ret_imm _
       | Instr.Lcall _ | Instr.Lret | Instr.Lret_imm _ | Instr.Int_ _
       | Instr.Iret | Instr.Hlt | Instr.Nop | Instr.Mark _ | Instr.Kcall _

@@ -61,3 +61,9 @@ let store_program t ~addr instrs =
 let fetch t ~addr = Hashtbl.find_opt t.slots addr
 
 let count t = Hashtbl.length t.slots
+
+(* Ordered so audits over the store are deterministic. *)
+let iter t f =
+  Hashtbl.fold (fun addr instr acc -> (addr, instr) :: acc) t.slots []
+  |> List.sort compare
+  |> List.iter (fun (addr, instr) -> f addr instr)

@@ -21,3 +21,8 @@ val fetch : t -> addr:int -> Instr.t option
 val remove_range : t -> addr:int -> len:int -> unit
 
 val count : t -> int
+
+val iter : t -> (int -> Instr.t -> unit) -> unit
+(** Visit every stored slot in address order (the protection auditor
+    scans for instructions that must only appear in sanctioned
+    ranges). *)

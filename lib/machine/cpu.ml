@@ -873,6 +873,15 @@ let exec t instr =
   | Instr.Lret_imm n -> exec_lret t n
   | Instr.Int_ v -> exec_int t v next
   | Instr.Iret -> exec_iret t
+  | Instr.Wrpkru o ->
+      (* No bcache invalidation is needed: translated blocks never cache
+         a key-dependent decision (instruction fetch is an Execute
+         access, exempt from key checks; data accesses consult the live
+         PKRU on every TLB hit), and the block engine classifies Wrpkru
+         as impure, so it always executes here in the interpreter. *)
+      charge t t.params.wrpkru;
+      X86.Mmu.set_pkru t.mmu (read_operand t o);
+      fallthrough ()
 
 let step t =
   let instr = fetch t in
@@ -947,6 +956,7 @@ type saved_state = {
   s_ss : Seg.loaded;
   s_es : Seg.loaded;
   s_halted : bool;
+  s_pkru : int;
 }
 
 let save_state t =
@@ -958,6 +968,7 @@ let save_state t =
     s_ss = t.ss;
     s_es = t.es;
     s_halted = t.halted;
+    s_pkru = X86.Mmu.pkru t.mmu;
   }
 
 let restore_state t s =
@@ -967,7 +978,11 @@ let restore_state t s =
   t.ds <- s.s_ds;
   t.ss <- s.s_ss;
   t.es <- s.s_es;
-  t.halted <- s.s_halted
+  t.halted <- s.s_halted;
+  (* An aborted extension may die between the entry stub's WRPKRU and
+     the exit stub's; restoring the saved PKRU puts the app's rights
+     back, exactly as restoring CS:EIP undoes a partial far call. *)
+  X86.Mmu.set_pkru t.mmu s.s_pkru
 
 (* Task switch: reload LDT view, CR3 (flushing the TLB) and the TSS.
    The CR3 load also invalidates cached block translations. *)

@@ -45,6 +45,10 @@ type params = {
   mov_sreg : int;
   mov_sreg_hazard : int;
   push_sreg : int;
+  wrpkru : int;
+      (* protection-key rights write: serializing, but no descriptor
+         loads and no pipeline flush to another ring — the whole point
+         of an MPK-style domain switch *)
   (* Memory-system costs. *)
   tlb_walk : int; (* per page-table reference on a TLB miss *)
   (* Fault processing: hardware exception delivery before any handler
@@ -83,6 +87,7 @@ let pentium =
     mov_sreg = 3;
     mov_sreg_hazard = 9; (* measured 12 vs manual 2-3, section 5.1 *)
     push_sreg = 1;
+    wrpkru = 23;
     tlb_walk = 10;
     fault_transfer = 250;
     task_switch = 85;

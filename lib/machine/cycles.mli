@@ -30,6 +30,7 @@ type params = {
   mov_sreg : int;
   mov_sreg_hazard : int;
   push_sreg : int;
+  wrpkru : int;
   tlb_walk : int;
   fault_transfer : int;
   task_switch : int;

@@ -43,6 +43,12 @@ let boundary ~(cpl : P.ring) (fault : F.t) =
       "null segment register: a privilege-lowering lret invalidated a data \
        segment that stayed more privileged than the new CPL. Reload DS/ES \
        after descending (the kernel Transfer stubs do this)."
+  | F.Page_key _, _ ->
+      "protection-key confinement: a data access was denied by the page's \
+       protection key under the current PKRU. Under the MPK backend the \
+       application's rights exclude extension-private pages (and vice \
+       versa); cross the boundary through the generated WRPKRU stubs or \
+       share the data via expose_range."
   | F.Page_not_present _, _ ->
       "page not present and not demand-mappable: the address lies outside \
        every vm_area (an unmapped pointer), or its area was unmapped."

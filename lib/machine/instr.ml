@@ -58,6 +58,11 @@ type t =
   | Lret_imm of int
   | Int_ of int
   | Iret
+  | Wrpkru of Operand.t
+      (* write the protection-key rights register.  Unprivileged, as on
+         real hardware: confinement relies on W^X plus the verifier
+         proving extension text contains no WRPKRU outside loader
+         stubs. *)
   | Hlt
   | Nop
   | Mark of string
@@ -128,6 +133,7 @@ let pp ppf = function
   | Lret_imm n -> Fmt.pf ppf "lret %d" n
   | Int_ v -> Fmt.pf ppf "int %#x" v
   | Iret -> Fmt.string ppf "iret"
+  | Wrpkru o -> Fmt.pf ppf "wrpkru %a" Operand.pp o
   | Hlt -> Fmt.string ppf "hlt"
   | Nop -> Fmt.string ppf "nop"
   | Mark s -> Fmt.pf ppf "@%s" s

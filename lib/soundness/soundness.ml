@@ -349,7 +349,7 @@ let concrete_accesses cpu (instr : Instr.t) =
   | Instr.Shl (o, _) | Instr.Shr (o, _) ->
       rmw o
   | Instr.Imul (_, o) | Instr.Call_ind o | Instr.Jmp_ind o | Instr.Lcall_ind o
-    ->
+  | Instr.Wrpkru o ->
       load o
   | Instr.Xchg (a, b) -> rmw a @ rmw b
   | Instr.Lea _ | Instr.Push_sreg _ | Instr.Call _ | Instr.Ret

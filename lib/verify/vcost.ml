@@ -145,6 +145,7 @@ let price (p : Cycles.params) ~(callee : Instr.target -> Vsum.t) (instr : Instr.
   | Instr.Ret | Instr.Ret_imm _ -> f (p.Cycles.ret_near + rd)
   | Instr.Jmp _ -> f p.Cycles.jmp
   | Instr.Jcc _ -> f 0 (* priced per edge *)
+  | Instr.Wrpkru o -> f (p.Cycles.wrpkru + (m o * rd))
   | Instr.Call_ind _ | Instr.Jmp_ind _ | Instr.Lcall _ | Instr.Lcall_ind _ | Instr.Lret
   | Instr.Lret_imm _ | Instr.Int_ _ | Instr.Iret | Instr.Kcall _ ->
       None
@@ -651,7 +652,7 @@ let walk_surcharge (p : Cycles.params) ~instrs =
    lives here (the kern layer cannot see verify types); {!Pconfig}
    re-exports it next to the verify and audit policies and seeds it
    from PALLADIUM_BUDGET / PALLADIUM_BUDGET_CYCLES. *)
-type policy = Off | Warn | Reject
+type policy = Ppolicy.t = Off | Warn | Reject
 
 let default_policy : policy Atomic.t = Atomic.make Off
 
@@ -659,18 +660,11 @@ let policy () = Atomic.get default_policy
 
 let set_policy p = Atomic.set default_policy p
 
-let policy_of_string = function
-  | "off" -> Some Off
-  | "warn" -> Some Warn
-  | "reject" -> Some Reject
-  | _ -> None
+let policy_of_string = Ppolicy.of_string
 
-let policy_name = function Off -> "off" | Warn -> "warn" | Reject -> "reject"
+let policy_name = Ppolicy.name
 
-let effective_policy override =
-  match override with
-  | Some s -> ( match policy_of_string s with Some p -> p | None -> policy ())
-  | None -> policy ()
+let effective_policy override = Ppolicy.resolve ~default:(policy ()) override
 
 exception Over_budget of string * bounds
 

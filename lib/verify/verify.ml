@@ -392,7 +392,7 @@ let transfer ~record ~ret_check ~far ~call i st (instr : Instr.t) : state option
       | _ -> record i ~write:false ~size:4 ~ss:true (reg st Reg.ESP));
       ret_check i ~imm:n st;
       Some st
-  | Instr.Jmp_ind o ->
+  | Instr.Jmp_ind o | Instr.Wrpkru o ->
       ignore (value ~size:4 o);
       Some st
   | Instr.Jmp _ | Instr.Jcc _ | Instr.Lret | Instr.Lret_imm _ | Instr.Iret | Instr.Hlt
@@ -441,7 +441,8 @@ let operands_of : Instr.t -> Operand.t list = function
   | Instr.Imul (_, o)
   | Instr.Call_ind o
   | Instr.Jmp_ind o
-  | Instr.Lcall_ind o ->
+  | Instr.Lcall_ind o
+  | Instr.Wrpkru o ->
       [ o ]
   | Instr.Lea _ | Instr.Push_sreg _ | Instr.Call _ | Instr.Ret | Instr.Ret_imm _
   | Instr.Jmp _ | Instr.Jcc _ | Instr.Lcall _ | Instr.Lret | Instr.Lret_imm _
@@ -489,10 +490,10 @@ type observations = {
 }
 
 let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0, 1 lsl 32))
-    ?arg ?(allowed_far = fun _ -> false) ?(allow_far_indirect = true)
-    ?(allow_near_indirect = false) ?(lint_privileged = true) ?(require_termination = false)
-    ?(check_stack = true) ?(cost_params = Cycles.pentium) ~name (program : Asm.program) :
-    report =
+    ?arg ?(allowed_far = fun _ -> false) ?(allowed_wrpkru = fun _ -> false)
+    ?(allow_far_indirect = true) ?(allow_near_indirect = false) ?(lint_privileged = true)
+    ?(require_termination = false) ?(check_stack = true) ?(cost_params = Cycles.pentium)
+    ~name (program : Asm.program) : report =
   let cfg = Vcfg.build ~org ~externs program in
   let n = Vcfg.n_instrs cfg in
   let nb = Vcfg.n_blocks cfg in
@@ -532,6 +533,24 @@ let verify ?(org = 0) ?(entries = []) ?(externs = fun _ -> false) ?(region = (0,
          match privileged_of instr with
          | Some why -> diag ~index:i Privileged Error "%s" why
          | None -> ());
+      (* WRPKRU is unprivileged on the hardware, so the verifier is the
+         only line of defense against an extension rewriting its own
+         access rights: the operand must be a constant immediate and
+         one of the values the protection backend assigned to its
+         entry/exit stubs.  Checked regardless of [lint_privileged] —
+         even SFI-profiled code has no business touching PKRU. *)
+      (match instr with
+      | Instr.Wrpkru (Operand.Imm v) ->
+          if allowed_wrpkru v then
+            diag ~index:i Privileged Info
+              "wrpkru %#x (backend-assigned rights value)" v
+          else
+            diag ~index:i Privileged Error
+              "wrpkru %#x is not a backend-assigned rights value" v
+      | Instr.Wrpkru _ ->
+          diag ~index:i Privileged Error
+            "wrpkru with a non-constant operand (rights must be a backend-assigned immediate)"
+      | _ -> ());
       match instr with
       | Instr.Jmp_ind _ | Instr.Call_ind _ ->
           if allow_near_indirect then
@@ -1107,7 +1126,7 @@ let report_json r =
 (* Policy and enforcement                                              *)
 (* ------------------------------------------------------------------ *)
 
-type policy = Off | Warn | Reject
+type policy = Ppolicy.t = Off | Warn | Reject
 
 (* Default Warn: existing workloads (including the fault-injection
    examples, which load deliberately rogue images) keep running, with
@@ -1121,21 +1140,11 @@ let policy () = Atomic.get default_policy
 
 let set_policy p = Atomic.set default_policy p
 
-let policy_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "off" -> Some Off
-  | "warn" -> Some Warn
-  | "reject" -> Some Reject
-  | _ -> None
+let policy_of_string = Ppolicy.of_string
 
-let policy_name = function Off -> "off" | Warn -> "warn" | Reject -> "reject"
+let policy_name = Ppolicy.name
 
-(* Resolve the policy for one world: its kernel's override string when
-   present and parseable, else the process default. *)
-let effective_policy override =
-  match override with
-  | Some s -> ( match policy_of_string s with Some p -> p | None -> policy ())
-  | None -> policy ()
+let effective_policy override = Ppolicy.resolve ~default:(policy ()) override
 
 exception Rejected of string * report
 

@@ -100,6 +100,7 @@ val verify :
   ?region:int * int ->
   ?arg:int * int ->
   ?allowed_far:(int -> bool) ->
+  ?allowed_wrpkru:(int -> bool) ->
   ?allow_far_indirect:bool ->
   ?allow_near_indirect:bool ->
   ?lint_privileged:bool ->
@@ -129,6 +130,12 @@ val verify :
       Far-call operands the abstract interpretation resolves to a
       constant are checked against this table statically; an unvetted
       static selector is an error even when [allow_far_indirect].
+    - [allowed_wrpkru]: protection-key rights values the backend
+      assigned to its own entry/exit stubs.  A [wrpkru] whose operand
+      is a constant immediate in this set is reported as info;
+      any other [wrpkru] — disallowed value or non-constant operand —
+      is a [Privileged] error, independent of [lint_privileged]
+      (default: reject all, the right profile for extension images).
     - [allow_far_indirect] (default true): [lcall *o] with a
       non-static operand is vetted by the hardware gate at run time.
     - [allow_near_indirect] (default false): [jmp *o]/[call *o] defeat
@@ -147,7 +154,7 @@ val verify :
 
 (** {1 Policy and enforcement} *)
 
-type policy = Off | Warn | Reject
+type policy = Ppolicy.t = Off | Warn | Reject
 
 val policy : unit -> policy
 (** Process-default load-time verification policy, default [Warn];

@@ -47,6 +47,9 @@ type t =
          protects an extensible application from its extensions. *)
   | Page_readonly of { linear : int }
       (* User-mode write to a read-only page (e.g. the protected GOT). *)
+  | Page_key of { linear : int; access : access; key : int }
+      (* Data access to a user page whose protection key the current
+         PKRU value denies: the MPK-style backend's confinement check. *)
 
 type access_t = access
 
@@ -65,7 +68,8 @@ let vector = function
   | Invalid_transfer _ ->
       13 (* #GP *)
   | Segment_not_present _ -> 11 (* #NP *)
-  | Page_not_present _ | Page_privilege _ | Page_readonly _ -> 14 (* #PF *)
+  | Page_not_present _ | Page_privilege _ | Page_readonly _ | Page_key _ ->
+      14 (* #PF *)
 
 let is_page_fault t = vector t = 14
 
@@ -94,5 +98,8 @@ let pp ppf = function
         linear Privilege.pp cpl
   | Page_readonly { linear } ->
       Fmt.pf ppf "#PF: write to read-only page at %#x" linear
+  | Page_key { linear; access; key } ->
+      Fmt.pf ppf "#PF: %a at %#x denied by protection key %d" pp_access access
+        linear key
 
 let to_string t = Fmt.str "%a" pp t

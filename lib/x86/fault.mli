@@ -28,6 +28,7 @@ type t =
   | Page_not_present of { linear : int; access : access }
   | Page_privilege of { linear : int; access : access; cpl : Privilege.ring }
   | Page_readonly of { linear : int }
+  | Page_key of { linear : int; access : access; key : int }
 
 type access_t = access
 

@@ -13,10 +13,16 @@ type t = {
   phys : Phys_mem.t;
   tlb : Tlb.t;
   mutable dir : Paging.dir;
+  (* PKRU-style protection-key rights register: bit 2k denies all data
+     access with key k, bit 2k+1 denies writes.  0 (reset value)
+     permits everything, so worlds that never touch keys behave
+     exactly as before. *)
+  mutable pkru : int;
   mutable walks : int;
   mutable f_not_present : int;
   mutable f_privilege : int;
   mutable f_readonly : int;
+  mutable f_key : int;
 }
 
 let create ?tlb phys ~dir =
@@ -25,10 +31,12 @@ let create ?tlb phys ~dir =
     phys;
     tlb;
     dir;
+    pkru = 0;
     walks = 0;
     f_not_present = 0;
     f_privilege = 0;
     f_readonly = 0;
+    f_key = 0;
   }
 
 let phys t = t.phys
@@ -45,6 +53,19 @@ let load_cr3 t dir =
 
 let flush_tlb t = Tlb.flush t.tlb
 
+(* PKRU access.  Writing it does NOT flush the TLB: entries cache the
+   page's key, not the access decision, and the rights register is
+   consulted on every access — exactly the hardware contract that
+   makes WRPKRU domain switches cheap. *)
+let pkru t = t.pkru
+
+let set_pkru t v = t.pkru <- v land 0xFFFF_FFFF
+
+(* Access-rights mask for key [k]: AD at bit 2k, WD at bit 2k+1. *)
+let key_ad k = 1 lsl (2 * k)
+
+let key_wd k = 1 lsl ((2 * k) + 1)
+
 let page_walks t = t.walks
 
 (* Per-instance event tallies (walks plus page faults broken down by
@@ -55,6 +76,7 @@ type stats = {
   mmu_fault_not_present : int;
   mmu_fault_privilege : int;
   mmu_fault_readonly : int;
+  mmu_fault_key : int;
 }
 
 let stats t =
@@ -63,13 +85,15 @@ let stats t =
     mmu_fault_not_present = t.f_not_present;
     mmu_fault_privilege = t.f_privilege;
     mmu_fault_readonly = t.f_readonly;
+    mmu_fault_key = t.f_key;
   }
 
 let reset_stats t =
   t.walks <- 0;
   t.f_not_present <- 0;
   t.f_privilege <- 0;
-  t.f_readonly <- 0
+  t.f_readonly <- 0;
+  t.f_key <- 0
 
 let c_walks = Obs.Counters.counter "x86.mmu.page_walks"
 
@@ -94,6 +118,13 @@ let fault_readonly t f =
   Obs.Counters.incr c_fault_readonly;
   Fault.raise_ f
 
+let c_fault_key = Obs.Counters.counter "x86.mmu.fault.key"
+
+let fault_key t f =
+  t.f_key <- t.f_key + 1;
+  Obs.Counters.incr c_fault_key;
+  Fault.raise_ f
+
 (* True when the access runs with user-mode page privileges.  Only
    ring 3 is user mode; rings 0-2 are supervisor — this is precisely
    why Palladium puts extensible applications at SPL 2. *)
@@ -101,14 +132,30 @@ let user_mode cpl = Privilege.equal cpl Privilege.R3
 
 type translation = { phys_addr : int; walked : bool }
 
+(* Protection-key check, hardware MPK semantics: applies to *data*
+   accesses (never instruction fetch) on *user* pages, at every CPL;
+   key 0 with a backend-built PKRU is never denied, and the reset PKRU
+   of 0 denies nothing at all. *)
+let check_key t ~(access : Fault.access) ~linear ~user ~key =
+  if user && key <> 0 && t.pkru <> 0 then
+    match access with
+    | Fault.Execute -> ()
+    | Fault.Read ->
+        if t.pkru land key_ad key <> 0 then
+          fault_key t (Fault.Page_key { linear; access; key })
+    | Fault.Write ->
+        if t.pkru land (key_ad key lor key_wd key) <> 0 then
+          fault_key t (Fault.Page_key { linear; access; key })
+
 let check_pte t ~cpl ~(access : Fault.access) ~linear (pte : Paging.pte) =
   if user_mode cpl && not pte.Paging.user then
     fault_privilege t (Fault.Page_privilege { linear; access; cpl });
-  match access with
+  (match access with
   | Fault.Write ->
       if (not pte.Paging.writable) && user_mode cpl then
         fault_readonly t (Fault.Page_readonly { linear })
-  | Fault.Read | Fault.Execute -> ()
+  | Fault.Read | Fault.Execute -> ());
+  check_key t ~access ~linear ~user:pte.Paging.user ~key:pte.Paging.key
 
 (* Linear addresses are 32 bits.  A corrupt address (negative or past
    4 GByte, which the 63-bit OCaml ints used for address arithmetic
@@ -123,8 +170,10 @@ let translate t ~cpl ~(access : Fault.access) linear =
   let off = linear land Phys_mem.page_mask in
   match Tlb.lookup t.tlb ~vpn with
   | Some e ->
-      (* TLB entries cache the U/S and W bits, so protection checks are
-         performed on hits too (as the hardware does). *)
+      (* TLB entries cache the U/S, W and key bits, so protection
+         checks — the key check against the live PKRU included — are
+         performed on hits too (as the hardware does), without an
+         extra page walk. *)
       if user_mode cpl && not e.Tlb.e_user then
         fault_privilege t (Fault.Page_privilege { linear; access; cpl });
       (match access with
@@ -132,6 +181,7 @@ let translate t ~cpl ~(access : Fault.access) linear =
           if (not e.Tlb.e_writable) && user_mode cpl then
             fault_readonly t (Fault.Page_readonly { linear })
       | Fault.Read | Fault.Execute -> ());
+      check_key t ~access ~linear ~user:e.Tlb.e_user ~key:e.Tlb.e_key;
       { phys_addr = Paging.linear_of_vpn e.Tlb.e_pfn lor off; walked = false }
   | None -> (
       t.walks <- t.walks + 1;
@@ -143,8 +193,8 @@ let translate t ~cpl ~(access : Fault.access) linear =
           check_pte t ~cpl ~access ~linear pte;
           pte.Paging.accessed <- true;
           if access = Fault.Write then pte.Paging.dirty <- true;
-          Tlb.insert t.tlb ~vpn ~pfn:pte.Paging.pfn ~user:pte.Paging.user
-            ~writable:pte.Paging.writable;
+          Tlb.insert ~key:pte.Paging.key t.tlb ~vpn ~pfn:pte.Paging.pfn
+            ~user:pte.Paging.user ~writable:pte.Paging.writable;
           { phys_addr = Paging.linear_of_vpn pte.Paging.pfn lor off; walked = true })
 
 (* Multi-byte accesses that straddle a page boundary translate each

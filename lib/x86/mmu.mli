@@ -16,6 +16,21 @@ val load_cr3 : t -> Paging.dir -> unit
 
 val flush_tlb : t -> unit
 
+val pkru : t -> int
+(** The protection-key rights register: bit [2k] denies all data
+    access with key [k], bit [2k+1] denies writes.  Reset value 0
+    permits everything. *)
+
+val set_pkru : t -> int -> unit
+(** Write PKRU.  Does not flush the TLB: entries cache the page's key,
+    and the rights register is consulted on every access. *)
+
+val key_ad : int -> int
+(** Access-disable PKRU mask for a key. *)
+
+val key_wd : int -> int
+(** Write-disable PKRU mask for a key. *)
+
 val page_walks : t -> int
 
 (** Per-instance event tallies — page walks and page faults broken
@@ -27,6 +42,7 @@ type stats = {
   mmu_fault_not_present : int;
   mmu_fault_privilege : int;
   mmu_fault_readonly : int;
+  mmu_fault_key : int;
 }
 
 val stats : t -> stats
@@ -40,7 +56,8 @@ type translation = { phys_addr : int; walked : bool }
 
 val translate : t -> cpl:Privilege.ring -> access:Fault.access -> int -> translation
 (** Raises {!Fault.Fault} on page-not-present, user access to a
-    supervisor (PPL 0) page, or user write to a read-only page. *)
+    supervisor (PPL 0) page, user write to a read-only page, or a data
+    access denied by the page's protection key under the current PKRU. *)
 
 val translate_range :
   t -> cpl:Privilege.ring -> access:Fault.access -> int -> int -> translation

@@ -20,6 +20,7 @@ type pte = {
   mutable user : bool; (* true = PPL 1, accessible from ring 3 *)
   mutable accessed : bool;
   mutable dirty : bool;
+  mutable key : int; (* 4-bit protection key, checked against PKRU *)
 }
 
 type dir = {
@@ -66,7 +67,11 @@ let lookup t ~vpn =
    cycles per reference on a TLB miss. *)
 let walk_length = 2
 
-let map t ~vpn ~pfn ~writable ~user =
+let key_count = 16
+
+let map ?(key = 0) t ~vpn ~pfn ~writable ~user =
+  if key < 0 || key >= key_count then
+    invalid_arg (Printf.sprintf "Paging.map: key %d out of range" key);
   let di, ti = split_vpn vpn in
   let table =
     match t.tables.(di) with
@@ -81,7 +86,16 @@ let map t ~vpn ~pfn ~writable ~user =
   | Some _ | None -> t.mapped <- t.mapped + 1);
   t.generation <- t.generation + 1;
   table.(ti) <-
-    Some { pfn; present = true; writable; user; accessed = false; dirty = false }
+    Some
+      {
+        pfn;
+        present = true;
+        writable;
+        user;
+        accessed = false;
+        dirty = false;
+        key;
+      }
 
 let unmap t ~vpn =
   let di, ti = split_vpn vpn in
@@ -112,6 +126,18 @@ let set_writable t ~vpn writable =
       t.generation <- t.generation + 1;
       true
 
+(* Protection-key (re)assignment; callers must flush the TLB, exactly
+   as for PPL marking. *)
+let set_key t ~vpn key =
+  if key < 0 || key >= key_count then
+    invalid_arg (Printf.sprintf "Paging.set_key: key %d out of range" key);
+  match lookup t ~vpn with
+  | None -> false
+  | Some pte ->
+      pte.key <- key;
+      t.generation <- t.generation + 1;
+      true
+
 let iter t f =
   Array.iteri
     (fun di slot ->
@@ -132,12 +158,14 @@ let iter t f =
 let clone t =
   let fresh = create () in
   iter t (fun vpn pte ->
-      map fresh ~vpn ~pfn:pte.pfn ~writable:pte.writable ~user:pte.user);
+      map fresh ~key:pte.key ~vpn ~pfn:pte.pfn ~writable:pte.writable
+        ~user:pte.user);
   fresh
 
 let pp_pte ppf pte =
-  Fmt.pf ppf "pfn=%#x%s%s%s%s" pte.pfn
+  Fmt.pf ppf "pfn=%#x%s%s%s%s%s" pte.pfn
     (if pte.writable then " w" else " ro")
     (if pte.user then " user" else " sup")
     (if pte.accessed then " A" else "")
     (if pte.dirty then " D" else "")
+    (if pte.key <> 0 then Printf.sprintf " key=%d" pte.key else "")

@@ -14,6 +14,7 @@ type pte = {
   mutable user : bool;
   mutable accessed : bool;
   mutable dirty : bool;
+  mutable key : int;
 }
 
 type dir
@@ -36,7 +37,13 @@ val lookup : dir -> vpn:int -> pte option
 val walk_length : int
 (** Memory references of a hardware page walk (charged on TLB miss). *)
 
-val map : dir -> vpn:int -> pfn:int -> writable:bool -> user:bool -> unit
+val key_count : int
+(** Number of protection keys (4-bit field: 16). *)
+
+val map :
+  ?key:int -> dir -> vpn:int -> pfn:int -> writable:bool -> user:bool -> unit
+(** [key] defaults to 0, the key whose accesses no PKRU value built by
+    the backends ever denies. *)
 
 val unmap : dir -> vpn:int -> int option
 (** Returns the frame that was mapped, if any. *)
@@ -46,6 +53,10 @@ val set_user : dir -> vpn:int -> bool -> bool
     must flush the TLB. *)
 
 val set_writable : dir -> vpn:int -> bool -> bool
+
+val set_key : dir -> vpn:int -> int -> bool
+(** Protection-key assignment; returns false when the page is not
+    mapped.  Callers must flush the TLB. *)
 
 val iter : dir -> (int -> pte -> unit) -> unit
 

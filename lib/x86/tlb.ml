@@ -10,6 +10,10 @@ type entry = {
   e_pfn : int;
   e_user : bool;
   e_writable : bool;
+  e_key : int;
+      (* protection key cached with the translation, so key checks on
+         hits cost no extra page walk — PKRU itself is checked at
+         access time, never cached *)
 }
 
 type t = {
@@ -64,9 +68,9 @@ let note_hits t n =
     Obs.Counters.add c_hits n
   end
 
-let insert t ~vpn ~pfn ~user ~writable =
+let insert ?(key = 0) t ~vpn ~pfn ~user ~writable =
   t.slots.(slot t vpn) <-
-    Some { e_vpn = vpn; e_pfn = pfn; e_user = user; e_writable = writable }
+    Some { e_vpn = vpn; e_pfn = pfn; e_user = user; e_writable = writable; e_key = key }
 
 let invalidate t ~vpn =
   match t.slots.(slot t vpn) with

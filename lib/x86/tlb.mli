@@ -5,6 +5,7 @@ type entry = {
   e_pfn : int;
   e_user : bool;
   e_writable : bool;
+  e_key : int;  (** protection key cached with the translation *)
 }
 
 type t
@@ -22,7 +23,8 @@ val note_hits : t -> int -> unit
 (** Credit [n] batched hits to the statistics, exactly as [n]
     successful {!lookup} calls would have. *)
 
-val insert : t -> vpn:int -> pfn:int -> user:bool -> writable:bool -> unit
+val insert :
+  ?key:int -> t -> vpn:int -> pfn:int -> user:bool -> writable:bool -> unit
 
 val invalidate : t -> vpn:int -> unit
 

@@ -86,6 +86,37 @@ let () =
   validate "ablation";
   Bench_runs.sfi ~json_dir ~packets:12 ();
   validate "sfi";
+  Bench_runs.backends ~json_dir ~packets:8 ~calls:5 ~requests:60 ();
+  validate "backends";
+  (* the backend matrix must cover enough of the space, agree across
+     backends, and show the protection-key transfer beating the
+     segmentation gate pair *)
+  let doc = load "backends" in
+  (match mem "backends" doc with
+  | J.List rows when List.length rows >= 3 ->
+      List.iter
+        (fun row ->
+          (match J.to_str (mem "backend" row) with
+          | Some _ -> ()
+          | None -> fail "backends: row without a backend name");
+          (match mem "fault_contained" row with
+          | J.Bool true -> ()
+          | _ -> fail "backends: a backend failed to contain the rogue store");
+          match J.to_int (mem "invariants_checked" (mem "audit" row)) with
+          | Some n when n > 0 -> ()
+          | _ -> fail "backends: audit coverage missing")
+        rows
+  | J.List rows -> fail "backends: only %d backends covered" (List.length rows)
+  | _ -> fail "backends: backend rows missing");
+  (match mem "workloads" doc with
+  | J.List ws when List.length ws >= 3 -> ()
+  | _ -> fail "backends: fewer than 3 workloads");
+  (match mem "agreement" doc with
+  | J.Bool true -> ()
+  | _ -> fail "backends: cross-backend agreement bit not set");
+  (match mem "mpk_cheaper_than_seg" doc with
+  | J.Bool true -> ()
+  | _ -> fail "backends: mpk transfer not cheaper than segmentation");
   Bench_runs.audit ~json_dir ~full_iters:3 ();
   validate "audit";
   (* a clean world must audit clean, and skipping must beat auditing *)
